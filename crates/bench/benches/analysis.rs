@@ -1,0 +1,33 @@
+//! Analytical-model benchmarks (Table 8 / §6.5): the closed-form
+//! evaluation must stay trivially cheap — it is meant to run inside
+//! schedulers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jitckpt::analysis::{
+    optimal_frequency, scaling_curve, wasted_rate_jit_transparent, wasted_rate_jit_user,
+    wasted_rate_periodic_optimal, JobParams,
+};
+use std::hint::black_box;
+
+fn bench_model(c: &mut Criterion) {
+    let p = JobParams::new(5.0, 2.0 / 992.0, 9.9, 1024, 0.418);
+    c.bench_function("optimal_frequency", |b| {
+        b.iter(|| black_box(optimal_frequency(black_box(&p))))
+    });
+    c.bench_function("wasted_rates_all_three", |b| {
+        b.iter(|| {
+            black_box((
+                wasted_rate_periodic_optimal(black_box(&p)),
+                wasted_rate_jit_user(black_box(&p), 0.0),
+                wasted_rate_jit_transparent(black_box(&p), 1e-4),
+            ))
+        })
+    });
+    let ns: Vec<usize> = (0..14).map(|k| 4usize << k).collect();
+    c.bench_function("scaling_curve_14_points", |b| {
+        b.iter(|| black_box(scaling_curve(black_box(&p), &ns, 0.0, 1e-4)))
+    });
+}
+
+criterion_group!(benches, bench_model);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Checkpoint codec throughput: serialization dominates the fixed
+//! overhead of a JIT checkpoint, so encode/decode and CRC must be cheap.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use simcore::codec::{crc64, decode_framed, encode_framed, f32_checksum};
+use std::hint::black_box;
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    for elems in [1usize << 12, 1 << 16] {
+        let data: Vec<f32> = (0..elems).map(|i| i as f32 * 0.5).collect();
+        group.throughput(Throughput::Bytes((elems * 4) as u64));
+        group.bench_function(format!("encode_framed_{elems}"), |b| {
+            b.iter(|| black_box(encode_framed(black_box(&data))))
+        });
+        let framed = encode_framed(&data);
+        group.bench_function(format!("decode_framed_{elems}"), |b| {
+            b.iter(|| {
+                let v: Vec<f32> = decode_framed(black_box(&framed)).unwrap();
+                black_box(v)
+            })
+        });
+        group.bench_function(format!("f32_checksum_{elems}"), |b| {
+            b.iter(|| black_box(f32_checksum(black_box(&data))))
+        });
+        let bytes: Vec<u8> = vec![0xAB; elems];
+        group.bench_function(format!("crc64_{elems}B"), |b| {
+            b.iter(|| black_box(crc64(black_box(&bytes))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

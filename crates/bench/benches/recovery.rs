@@ -1,0 +1,91 @@
+//! Recovery-path benchmarks (Tables 4-7): host-side cost of the recovery
+//! machinery itself — reset, object re-creation, replay, checkpoint
+//! assembly — on small functional jobs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jitckpt::checkpoint::{self, CkptKind};
+use cluster::SharedStore;
+use dltrain::TrainState;
+use simcore::layout::ParallelLayout;
+use simcore::{JobId, RankId};
+use simgpu::BufferTag;
+use std::hint::black_box;
+
+fn sample_state(iteration: u64, buffers: usize, elems: usize) -> TrainState {
+    TrainState {
+        iteration,
+        opt_t: iteration as u32,
+        buffers: (0..buffers)
+            .map(|i| (format!("p{i}"), BufferTag::Param, vec![i as f32; elems]))
+            .collect(),
+        logical_bytes: (buffers * elems * 4) as u64,
+    }
+}
+
+fn bench_checkpoint_io(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkpoint_io");
+    group.sample_size(20);
+    for (buffers, elems) in [(16usize, 1024usize), (64, 4096)] {
+        let state = sample_state(3, buffers, elems);
+        group.bench_function(format!("write_{buffers}x{elems}"), |b| {
+            let store = SharedStore::new();
+            b.iter(|| {
+                checkpoint::write_checkpoint(
+                    &store,
+                    JobId(0),
+                    CkptKind::Jit,
+                    RankId(0),
+                    0,
+                    0,
+                    0,
+                    black_box(&state),
+                )
+                .unwrap()
+            });
+        });
+        group.bench_function(format!("read_validate_{buffers}x{elems}"), |b| {
+            let store = SharedStore::new();
+            checkpoint::write_checkpoint(&store, JobId(0), CkptKind::Jit, RankId(0), 0, 0, 0, &state)
+                .unwrap();
+            b.iter(|| {
+                black_box(
+                    checkpoint::read_checkpoint(&store, JobId(0), CkptKind::Jit, 3, 0, 0, 0)
+                        .unwrap(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_assembly(c: &mut Criterion) {
+    // Checkpoint assembly over many candidate iterations and cells.
+    let mut group = c.benchmark_group("assembly");
+    group.sample_size(20);
+    let layout = ParallelLayout::three_d(2, 2, 2);
+    let store = SharedStore::new();
+    for it in 0..20u64 {
+        for (stage, part) in layout.cells() {
+            for dp in 0..2 {
+                checkpoint::write_checkpoint(
+                    &store,
+                    JobId(0),
+                    CkptKind::Jit,
+                    RankId(0),
+                    stage,
+                    part,
+                    dp,
+                    &sample_state(it, 4, 64),
+                )
+                .unwrap();
+            }
+        }
+    }
+    group.bench_function("assemble_20_iters_4_cells", |b| {
+        b.iter(|| black_box(checkpoint::assemble(&store, JobId(0), &layout).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkpoint_io, bench_assembly);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Steady-state overhead micro-benchmarks (Table 3's mechanism costs).
+//!
+//! Measures the host-side execution cost of one training iteration under
+//! (a) the direct executor and (b) the intercepting proxy client with
+//! replay logging — the interception overhead the paper reports as
+//! "nearly zero".
+
+use cluster::FailureInjector;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dltrain::{JobSetup, RankTrainer, TrainConfig};
+use proxy::{DirectExecutor, ProxyClient};
+use simcore::cost::CostModel;
+use simcore::{GpuId, RankId};
+use simgpu::Gpu;
+use std::hint::black_box;
+
+fn bench_minibatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minibatch");
+    group.sample_size(20);
+    group.bench_function("direct_executor", |b| {
+        let cfg = TrainConfig::tiny_dp(1);
+        let setup = JobSetup::build(cfg.layout, CostModel::v100(), 8);
+        let gpu = Gpu::new(GpuId(0), CostModel::v100());
+        let exec = DirectExecutor::new(RankId(0), 0, gpu, setup.world.clone());
+        let mut tr =
+            RankTrainer::new(exec, cfg, &setup.per_rank[0], FailureInjector::none()).unwrap();
+        b.iter(|| {
+            black_box(tr.train_step().unwrap());
+        });
+    });
+    group.bench_function("proxy_client_logged", |b| {
+        let cfg = TrainConfig::tiny_dp(1);
+        let setup = JobSetup::build(cfg.layout, CostModel::v100(), 8);
+        let gpu = Gpu::new(GpuId(0), CostModel::v100());
+        let mut client = ProxyClient::new(RankId(0), 0, gpu, setup.world.clone());
+        client.set_verify_schedule(None, None);
+        let mut tr =
+            RankTrainer::new(client, cfg, &setup.per_rank[0], FailureInjector::none()).unwrap();
+        b.iter(|| {
+            black_box(tr.train_step().unwrap());
+        });
+    });
+    group.finish();
+}
+
+fn bench_checkpoint_snapshot(c: &mut Criterion) {
+    // The user-level save path: snapshotting all persistent buffers.
+    let mut group = c.benchmark_group("jit_checkpoint");
+    group.sample_size(20);
+    for n_params in [8usize, 64, 256] {
+        group.bench_function(format!("snapshot_{n_params}_buffers"), |b| {
+            let mut gpu = Gpu::new(GpuId(0), CostModel::v100());
+            for i in 0..n_params {
+                gpu.exec(&simgpu::DeviceCall::Malloc {
+                    site: simgpu::AllocSite::new(format!("p{i}"), 256),
+                    elems: 256,
+                    logical_bytes: 1024,
+                    tag: simgpu::BufferTag::Param,
+                })
+                .unwrap();
+            }
+            b.iter(|| black_box(gpu.snapshot_persistent()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_minibatch, bench_checkpoint_snapshot);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Watchdog ablation: hang-detection latency as a function of the
+//! configured timeout (DESIGN.md ablation #1). Detection latency directly
+//! adds to every recovery, but short timeouts risk false positives on
+//! slow-but-healthy collectives.
+
+use collectives::{CollectiveObserver, CollectiveTicket};
+use criterion::{criterion_group, criterion_main, Criterion};
+use proxy::Watchdog;
+use simcore::RankId;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn detection_latency(timeout_ms: u64) -> Duration {
+    let fired = Arc::new(AtomicBool::new(false));
+    let f = fired.clone();
+    let wd = Watchdog::spawn(Duration::from_millis(timeout_ms), move || {
+        f.store(true, Ordering::SeqCst);
+    });
+    let obs = wd.observer();
+    let start = Instant::now();
+    obs.collective_started(&CollectiveTicket {
+        comm: collectives::CommId(0),
+        generation: 0,
+        rank: RankId(0),
+        kind: collectives::CollKind::AllReduce,
+        entered_at: start,
+    });
+    while !fired.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    start.elapsed()
+}
+
+fn bench_watchdog(c: &mut Criterion) {
+    let mut group = c.benchmark_group("watchdog_detection_latency");
+    group.sample_size(10);
+    for timeout_ms in [5u64, 20, 50] {
+        group.bench_function(format!("timeout_{timeout_ms}ms"), |b| {
+            b.iter(|| detection_latency(timeout_ms))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_watchdog);
+criterion_main!(benches);

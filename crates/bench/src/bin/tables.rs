@@ -1,0 +1,52 @@
+//! Regenerates the paper's evaluation tables and figures.
+//!
+//! ```text
+//! tables            # everything
+//! tables 3          # only Table 3
+//! tables scaling    # the §6.5 scaling figure
+//! tables dollars    # the §5.1 dollar-cost estimates
+//! ```
+
+use bench::{
+    dollar_table, scaling_figure, table1, table2, table3, table4, table5, table6, table7, table8,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // With no arguments, regenerate the paper's tables/figures (the
+    // ablations are opt-in); otherwise run exactly the named sections.
+    let want = |key: &str| {
+        if args.is_empty() {
+            !key.starts_with("ablation")
+        } else {
+            args.iter().any(|a| a == key)
+        }
+    };
+    let mut printed = false;
+    let sections: Vec<(&str, fn() -> bench::Table)> = vec![
+        ("1", table1),
+        ("2", table2),
+        ("3", table3),
+        ("4", table4),
+        ("5", table5),
+        ("6", table6),
+        ("7", table7),
+        ("8", table8),
+        ("scaling", scaling_figure),
+        ("dollars", dollar_table),
+        ("ablation-watchdog", bench::ablation_watchdog),
+        ("ablation-logging", bench::ablation_logging),
+        ("ablation-recovery", bench::ablation_recovery_paths),
+    ];
+    for (key, f) in sections {
+        if want(key) {
+            eprintln!("[tables] generating table {key}...");
+            println!("{}", f().render());
+            printed = true;
+        }
+    }
+    if !printed {
+        eprintln!("usage: tables [1-8|scaling|dollars|ablation-watchdog|ablation-logging|ablation-recovery]...");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,90 @@
+//! CRIU-style worker-process checkpointing.
+//!
+//! Transparent hard-error recovery (§4.3) checkpoints the *CPU* state of
+//! every worker process with CRIU and restores it on replacement nodes, so
+//! the application resumes from the exact point of failure and never pays
+//! job re-initialization cost — this is what drives the fixed recovery
+//! cost `r` to ≈0 in eq. 8. Because the device proxy keeps all GPU/driver
+//! state out of the worker process, the worker image is plain serializable
+//! data.
+//!
+//! The simulated image is a framed, checksummed encoding of the worker's
+//! logical CPU state; the snapshot/restore *cost* comes from the cost
+//! model's CRIU bandwidth applied to the image's logical size.
+
+use bytes::Bytes;
+use simcore::codec::{decode_framed, encode_framed, Decode, Encode};
+use simcore::cost::CostModel;
+use simcore::{SimResult, SimTime};
+
+/// A CRIU process image: the serialized worker CPU state plus the logical
+/// size used for cost accounting (worker processes of large jobs carry
+/// multi-GB heaps even though our serialized state is small).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriuImage {
+    /// Serialized worker state.
+    pub payload: Bytes,
+    /// Logical process-image size in bytes for timing.
+    pub logical_bytes: u64,
+}
+
+/// Takes a CRIU snapshot of `state`. Returns the image and the virtual
+/// time the snapshot took.
+pub fn checkpoint<T: Encode>(
+    state: &T,
+    logical_bytes: u64,
+    cost: &CostModel,
+) -> (CriuImage, SimTime) {
+    let payload = encode_framed(state);
+    let t = cost.criu(logical_bytes);
+    (
+        CriuImage {
+            payload,
+            logical_bytes,
+        },
+        t,
+    )
+}
+
+/// Restores worker state from a CRIU image. Returns the state and the
+/// virtual restore time.
+pub fn restore<T: Decode>(image: &CriuImage, cost: &CostModel) -> SimResult<(T, SimTime)> {
+    let state = decode_framed(&image.payload)?;
+    Ok((state, cost.criu(image.logical_bytes)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let cost = CostModel::v100();
+        let state = (String::from("iteration"), vec![42u64, 7]);
+        let (img, t_ckpt) = checkpoint(&state, 1 << 30, &cost);
+        assert!(t_ckpt.as_secs() > cost.criu_base.as_secs());
+        let (back, t_rst): ((String, Vec<u64>), SimTime) = restore(&img, &cost).unwrap();
+        assert_eq!(back, state);
+        assert!(t_rst.as_secs() > 0.0);
+    }
+
+    #[test]
+    fn corrupt_image_is_rejected() {
+        let cost = CostModel::v100();
+        let (mut img, _) = checkpoint(&42u64, 1024, &cost);
+        let mut v = img.payload.to_vec();
+        let mid = v.len() / 2;
+        v[mid] ^= 0x55;
+        img.payload = Bytes::from(v);
+        let res: SimResult<(u64, SimTime)> = restore(&img, &cost);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn snapshot_time_scales_with_image_size() {
+        let cost = CostModel::v100();
+        let (_, small) = checkpoint(&1u64, 1 << 20, &cost);
+        let (_, large) = checkpoint(&1u64, 8 << 30, &cost);
+        assert!(large > small);
+    }
+}

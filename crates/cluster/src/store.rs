@@ -1,0 +1,187 @@
+//! The shared checkpoint store.
+//!
+//! Stands in for the "shared file system or object store" of §3.2/§4.3:
+//! rank-addressed paths, atomic-rename-style completion via metadata
+//! sidecars (written by the JIT layer), listing by prefix for checkpoint
+//! assembly, and fault hooks — a write can be truncated (simulating a rank
+//! dying mid-checkpoint) or a stored object corrupted (bit rot), both of
+//! which the metadata/CRC protocol must detect.
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use simcore::{SimError, SimResult};
+use std::collections::BTreeMap;
+
+/// In-memory shared object store with fault injection.
+#[derive(Debug, Default)]
+pub struct SharedStore {
+    objects: RwLock<BTreeMap<String, Bytes>>,
+    /// When set, the next `put` stores only this fraction of the payload
+    /// (simulates a writer crashing mid-write), then clears.
+    truncate_next: RwLock<Option<f64>>,
+}
+
+impl SharedStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        SharedStore::default()
+    }
+
+    /// Writes an object (replacing any previous version).
+    pub fn put(&self, path: &str, data: Bytes) -> SimResult<()> {
+        let data = {
+            let mut t = self.truncate_next.write();
+            match t.take() {
+                Some(frac) => {
+                    let keep = ((data.len() as f64) * frac) as usize;
+                    data.slice(..keep.min(data.len()))
+                }
+                None => data,
+            }
+        };
+        self.objects.write().insert(path.to_string(), data);
+        Ok(())
+    }
+
+    /// Reads an object.
+    pub fn get(&self, path: &str) -> SimResult<Bytes> {
+        self.objects
+            .read()
+            .get(path)
+            .cloned()
+            .ok_or_else(|| SimError::Storage(format!("no object at {path}")))
+    }
+
+    /// True if the object exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.objects.read().contains_key(path)
+    }
+
+    /// Deletes an object (idempotent).
+    pub fn delete(&self, path: &str) {
+        self.objects.write().remove(path);
+    }
+
+    /// Lists object paths with a prefix, sorted.
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        self.objects
+            .read()
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect()
+    }
+
+    /// Total object count.
+    pub fn len(&self) -> usize {
+        self.objects.read().len()
+    }
+
+    /// True when the store holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.read().is_empty()
+    }
+
+    /// Size in bytes of an object.
+    pub fn size_of(&self, path: &str) -> SimResult<usize> {
+        Ok(self.get(path)?.len())
+    }
+
+    /// Arms a one-shot fault: the next `put` keeps only `fraction` of its
+    /// payload (a writer crash mid-checkpoint).
+    pub fn fail_next_write(&self, fraction: f64) {
+        *self.truncate_next.write() = Some(fraction.clamp(0.0, 1.0));
+    }
+
+    /// Corrupts one byte of a stored object (bit rot / partial overwrite).
+    pub fn corrupt(&self, path: &str) -> SimResult<()> {
+        let mut objects = self.objects.write();
+        let data = objects
+            .get(path)
+            .ok_or_else(|| SimError::Storage(format!("no object at {path}")))?;
+        if data.is_empty() {
+            return Ok(());
+        }
+        let mut v = data.to_vec();
+        let mid = v.len() / 2;
+        v[mid] ^= 0xFF;
+        objects.insert(path.to_string(), Bytes::from(v));
+        Ok(())
+    }
+
+    /// Removes all objects under a prefix (garbage collection of stale
+    /// checkpoints).
+    pub fn delete_prefix(&self, prefix: &str) -> usize {
+        let mut objects = self.objects.write();
+        let victims: Vec<String> = objects
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect();
+        let n = victims.len();
+        for v in victims {
+            objects.remove(&v);
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_round_trip() {
+        let s = SharedStore::new();
+        s.put("ckpt/rank0/data", Bytes::from_static(b"hello")).unwrap();
+        assert_eq!(s.get("ckpt/rank0/data").unwrap(), Bytes::from_static(b"hello"));
+        assert!(s.exists("ckpt/rank0/data"));
+        assert!(!s.exists("ckpt/rank1/data"));
+    }
+
+    #[test]
+    fn missing_object_errors() {
+        let s = SharedStore::new();
+        assert!(matches!(s.get("nope"), Err(SimError::Storage(_))));
+    }
+
+    #[test]
+    fn list_by_prefix_sorted() {
+        let s = SharedStore::new();
+        s.put("ckpt/it5/rank1", Bytes::new()).unwrap();
+        s.put("ckpt/it5/rank0", Bytes::new()).unwrap();
+        s.put("ckpt/it6/rank0", Bytes::new()).unwrap();
+        let got = s.list("ckpt/it5/");
+        assert_eq!(got, vec!["ckpt/it5/rank0".to_string(), "ckpt/it5/rank1".to_string()]);
+    }
+
+    #[test]
+    fn truncated_write_loses_tail() {
+        let s = SharedStore::new();
+        s.fail_next_write(0.5);
+        s.put("x", Bytes::from(vec![1u8; 100])).unwrap();
+        assert_eq!(s.size_of("x").unwrap(), 50);
+        // One-shot: subsequent writes are whole.
+        s.put("y", Bytes::from(vec![1u8; 100])).unwrap();
+        assert_eq!(s.size_of("y").unwrap(), 100);
+    }
+
+    #[test]
+    fn corrupt_flips_a_byte() {
+        let s = SharedStore::new();
+        s.put("x", Bytes::from(vec![0u8; 10])).unwrap();
+        s.corrupt("x").unwrap();
+        let got = s.get("x").unwrap();
+        assert!(got.iter().any(|b| *b != 0));
+    }
+
+    #[test]
+    fn delete_prefix_collects_garbage() {
+        let s = SharedStore::new();
+        s.put("ckpt/it5/a", Bytes::new()).unwrap();
+        s.put("ckpt/it5/b", Bytes::new()).unwrap();
+        s.put("ckpt/it6/a", Bytes::new()).unwrap();
+        assert_eq!(s.delete_prefix("ckpt/it5/"), 2);
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,35 @@
+//! Collective communication — the NCCL substitute.
+//!
+//! The whole JIT-checkpointing design hinges on one property of collective
+//! operations in synchronous data-parallel training (§3.1, §4.2 of the
+//! paper):
+//!
+//! > *Each worker rank cannot exit from the collective operation till all
+//! > others have reached it (so it is a barrier synchronization across all
+//! > GPUs). In case of an error in any GPU, all other GPUs will be blocked
+//! > at the collective operation, thus ensuring that they have not
+//! > modified their parameter and optimizer state.*
+//!
+//! This crate reproduces those semantics with real blocking: a rank that
+//! never arrives leaves every peer parked on a condition variable until the
+//! communicator is aborted (the `ncclCommAbort` equivalent) — which is
+//! exactly the hang the watchdog thread detects. Completion advances every
+//! participant's virtual clock to `max(arrival) + α–β cost`.
+//!
+//! Modules:
+//!
+//! * [`comm`] — communicators, the collective operations, and p2p
+//!   send/recv for pipeline parallelism;
+//! * [`world`] — the process-wide registry ([`CommWorld`]) with communicator
+//!   lifecycle (create / abort / recreate-with-rendezvous) and fault
+//!   injection;
+//! * [`observer`] — the interception hook ([`CollectiveObserver`]) from
+//!   which the user-level watch-list / watchdog of §3.1 is built.
+
+pub mod comm;
+pub mod observer;
+pub mod world;
+
+pub use comm::{CollKind, Communicator, ReduceOp};
+pub use observer::{CollectiveObserver, CollectiveTicket, NullObserver};
+pub use world::{CommId, CommWorld};

@@ -1,0 +1,330 @@
+//! The process-wide communicator registry and point-to-point transport.
+//!
+//! [`CommWorld`] plays the role of the NCCL bootstrap service plus the
+//! framework's process group registry: it creates communicators (each
+//! creation is a costed rendezvous), tracks the live set (Table 7's
+//! "recreate NCCL communicators" step is `live_comms() × comm_init`), and
+//! provides the send/recv mailboxes that pipeline parallelism uses for
+//! activations and gradients.
+//!
+//! Job teardown during recovery calls [`CommWorld::abort_all`], which is
+//! the `ncclCommAbort`-on-everything step that releases every rank parked
+//! in a hung collective.
+
+use crate::comm::Communicator;
+use parking_lot::{Condvar, Mutex};
+use simcore::cost::CostModel;
+use simcore::time::ClockBoard;
+use simcore::{RankId, SimError, SimResult, SimTime};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Communicator handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CommId(pub u64);
+
+impl fmt::Display for CommId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "comm{}", self.0)
+    }
+}
+
+type MailKey = (RankId, RankId, u64, u64); // (src, dst, tag, seq)
+
+struct Message {
+    data: Vec<f32>,
+    /// Virtual time at which the message is available at the receiver.
+    available_at: SimTime,
+}
+
+#[derive(Default)]
+struct MailState {
+    inbox: HashMap<MailKey, Message>,
+}
+
+/// Registry of communicators plus p2p mailboxes for one job.
+pub struct CommWorld {
+    clock: Arc<ClockBoard>,
+    cost: CostModel,
+    ranks_per_node: usize,
+    next_comm: AtomicU64,
+    comms: Mutex<HashMap<CommId, Arc<Communicator>>>,
+    mail: Mutex<MailState>,
+    mail_cv: Condvar,
+    aborted: AtomicBool,
+}
+
+impl CommWorld {
+    /// Creates a world for a job whose ranks map 1:1 onto `clock` slots.
+    pub fn new(clock: Arc<ClockBoard>, cost: CostModel, ranks_per_node: usize) -> Arc<Self> {
+        Arc::new(CommWorld {
+            clock,
+            cost,
+            ranks_per_node,
+            next_comm: AtomicU64::new(1),
+            comms: Mutex::new(HashMap::new()),
+            mail: Mutex::new(MailState::default()),
+            mail_cv: Condvar::new(),
+            aborted: AtomicBool::new(false),
+        })
+    }
+
+    /// The shared clock board.
+    pub fn clock(&self) -> &Arc<ClockBoard> {
+        &self.clock
+    }
+
+    /// The cost model in effect.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Creates and registers a communicator over `ranks` whose clocks live
+    /// at `clock_idx`. Creation itself is free; charging the NCCL
+    /// bootstrap cost is done by having every member call
+    /// [`Communicator::rendezvous`].
+    pub fn create_comm(&self, ranks: Vec<RankId>, clock_idx: Vec<usize>) -> Arc<Communicator> {
+        let id = CommId(self.next_comm.fetch_add(1, Ordering::Relaxed));
+        let comm = Communicator::new(
+            id,
+            ranks,
+            clock_idx,
+            self.ranks_per_node,
+            self.clock.clone(),
+            self.cost.clone(),
+        );
+        self.comms.lock().insert(id, comm.clone());
+        comm
+    }
+
+    /// Looks up a live communicator.
+    pub fn comm(&self, id: CommId) -> SimResult<Arc<Communicator>> {
+        self.comms
+            .lock()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| SimError::InvalidHandle(id.to_string()))
+    }
+
+    /// Number of live communicators — the multiplier for the "recreate
+    /// NCCL communicators" recovery step (Table 7).
+    pub fn live_comms(&self) -> usize {
+        self.comms.lock().len()
+    }
+
+    /// Ids of all live communicators, sorted.
+    pub fn comm_ids(&self) -> Vec<CommId> {
+        let mut ids: Vec<CommId> = self.comms.lock().keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Removes a communicator from the registry (teardown during
+    /// recovery). The communicator should be aborted first.
+    pub fn drop_comm(&self, id: CommId) {
+        self.comms.lock().remove(&id);
+    }
+
+    /// Aborts every communicator and wakes all mailbox waiters: the
+    /// release-everything step of job teardown.
+    pub fn abort_all(&self) {
+        self.aborted.store(true, Ordering::Release);
+        for comm in self.comms.lock().values() {
+            comm.abort();
+        }
+        self.mail_cv.notify_all();
+    }
+
+    /// True after [`CommWorld::abort_all`] until [`CommWorld::reset`].
+    pub fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::Acquire)
+    }
+
+    /// Clears abort state and drops dead communicators; called by the
+    /// recovery engine before rebuilding the communication layer.
+    ///
+    /// Mailbox contents are deliberately KEPT: p2p messages are keyed by
+    /// `(src, dst, tag, seq)` where `seq` is the sender's minibatch
+    /// iteration, and delivery is idempotent (copy, not consume). During
+    /// recovery a pipeline stage that rolls back may legitimately replay a
+    /// receive whose producing stage has already advanced past that
+    /// iteration — the original message must still be findable.
+    pub fn reset(&self) {
+        self.comms.lock().clear();
+        self.aborted.store(false, Ordering::Release);
+    }
+
+    /// Garbage-collects mailbox messages with `seq < floor` (older than
+    /// any iteration recovery could still roll back to).
+    pub fn prune_mail_below(&self, floor: u64) {
+        self.mail.lock().inbox.retain(|k, _| k.3 >= floor);
+    }
+
+    /// Non-blocking (buffered) point-to-point send, used by pipeline
+    /// parallelism. `seq` is the sender's minibatch iteration: the message
+    /// key is fully deterministic, so a replayed send simply overwrites
+    /// the identical original (idempotent).
+    #[allow(clippy::too_many_arguments)]
+    pub fn send(
+        &self,
+        src: RankId,
+        src_clock_idx: usize,
+        dst: RankId,
+        tag: u64,
+        seq: u64,
+        data: Vec<f32>,
+        logical_bytes: u64,
+        same_node: bool,
+    ) -> SimResult<()> {
+        if self.is_aborted() {
+            return Err(SimError::CollectiveAborted);
+        }
+        let now = self.clock.now(src_clock_idx);
+        let cost = self.cost.p2p(logical_bytes, same_node);
+        let available_at = now + cost;
+        let mut mail = self.mail.lock();
+        mail.inbox.insert((src, dst, tag, seq), Message { data, available_at });
+        self.mail_cv.notify_all();
+        Ok(())
+    }
+
+    /// Blocking point-to-point receive of `(src, tag, seq)`. Delivery is
+    /// idempotent: the message is copied, not consumed, so a rolled-back
+    /// receiver can replay the receive. Raises the receiver's clock to
+    /// the message's availability time.
+    pub fn recv(
+        &self,
+        src: RankId,
+        dst: RankId,
+        dst_clock_idx: usize,
+        tag: u64,
+        seq: u64,
+    ) -> SimResult<Vec<f32>> {
+        let mut mail = self.mail.lock();
+        let key = (src, dst, tag, seq);
+        loop {
+            // Delivery wins over abort (see the collective wait loop).
+            if let Some(msg) = mail.inbox.get(&key) {
+                self.clock.raise_to(dst_clock_idx, msg.available_at);
+                return Ok(msg.data.clone());
+            }
+            if self.is_aborted() {
+                return Err(SimError::CollectiveAborted);
+            }
+            self.mail_cv.wait_for(&mut mail, Duration::from_millis(2));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::NullObserver;
+    use std::thread;
+
+    fn world(n: usize) -> (Arc<CommWorld>, Arc<ClockBoard>) {
+        let clock = Arc::new(ClockBoard::new(n));
+        let w = CommWorld::new(clock.clone(), CostModel::v100(), 8);
+        (w, clock)
+    }
+
+    #[test]
+    fn create_and_lookup_comms() {
+        let (w, _) = world(4);
+        let c = w.create_comm(vec![RankId(0), RankId(1)], vec![0, 1]);
+        assert_eq!(w.live_comms(), 1);
+        assert_eq!(w.comm(c.id).unwrap().size(), 2);
+        w.drop_comm(c.id);
+        assert_eq!(w.live_comms(), 0);
+        assert!(w.comm(c.id).is_err());
+    }
+
+    #[test]
+    fn send_recv_round_trip_with_clock_raise() {
+        let (w, clock) = world(2);
+        clock.raise_to(0, SimTime::from_secs(5.0));
+        w.send(RankId(0), 0, RankId(1), 7, 0, vec![1.0, 2.0], 1 << 20, true)
+            .unwrap();
+        let got = w.recv(RankId(0), RankId(1), 1, 7, 0).unwrap();
+        assert_eq!(got, vec![1.0, 2.0]);
+        // Receiver clock raised past sender's send time.
+        assert!(clock.now(1).as_secs() > 5.0);
+    }
+
+    #[test]
+    fn recv_blocks_until_send() {
+        let (w, _) = world(2);
+        let w2 = w.clone();
+        let h = thread::spawn(move || w2.recv(RankId(0), RankId(1), 1, 0, 0));
+        thread::sleep(Duration::from_millis(30));
+        assert!(!h.is_finished());
+        w.send(RankId(0), 0, RankId(1), 0, 0, vec![3.0], 4, true).unwrap();
+        assert_eq!(h.join().unwrap().unwrap(), vec![3.0]);
+    }
+
+    #[test]
+    fn messages_pair_by_sequence_and_are_idempotent() {
+        let (w, _) = world(2);
+        w.send(RankId(0), 0, RankId(1), 0, 0, vec![1.0], 4, true).unwrap();
+        w.send(RankId(0), 0, RankId(1), 0, 1, vec![2.0], 4, true).unwrap();
+        assert_eq!(w.recv(RankId(0), RankId(1), 1, 0, 1).unwrap(), vec![2.0]);
+        assert_eq!(w.recv(RankId(0), RankId(1), 1, 0, 0).unwrap(), vec![1.0]);
+        // Idempotent re-delivery (a rolled-back receiver replays).
+        assert_eq!(w.recv(RankId(0), RankId(1), 1, 0, 0).unwrap(), vec![1.0]);
+        // Replayed send overwrites with identical content, harmlessly.
+        w.send(RankId(0), 0, RankId(1), 0, 0, vec![1.0], 4, true).unwrap();
+        assert_eq!(w.recv(RankId(0), RankId(1), 1, 0, 0).unwrap(), vec![1.0]);
+        // GC drops old iterations.
+        w.prune_mail_below(1);
+        let w2 = w.clone();
+        let h = thread::spawn(move || w2.recv(RankId(0), RankId(1), 1, 0, 0));
+        thread::sleep(Duration::from_millis(20));
+        assert!(!h.is_finished(), "pruned message is gone");
+        w.abort_all();
+        assert!(h.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn abort_all_releases_comm_waiters_and_mail_waiters() {
+        let (w, _) = world(3);
+        let comm = w.create_comm(vec![RankId(0), RankId(1)], vec![0, 1]);
+        let c = comm.clone();
+        let h_coll = thread::spawn(move || c.barrier(RankId(0), 0, &NullObserver));
+        let w2 = w.clone();
+        let h_mail = thread::spawn(move || w2.recv(RankId(0), RankId(2), 2, 0, 0));
+        thread::sleep(Duration::from_millis(30));
+        assert!(!h_coll.is_finished());
+        assert!(!h_mail.is_finished());
+        w.abort_all();
+        assert_eq!(h_coll.join().unwrap().unwrap_err(), SimError::CollectiveAborted);
+        assert_eq!(h_mail.join().unwrap().unwrap_err(), SimError::CollectiveAborted);
+        // Reset restores service.
+        w.reset();
+        assert!(!w.is_aborted());
+        assert_eq!(w.live_comms(), 0);
+    }
+
+    #[test]
+    fn send_after_abort_is_rejected() {
+        let (w, _) = world(2);
+        w.abort_all();
+        let err = w
+            .send(RankId(0), 0, RankId(1), 0, 0, vec![1.0], 4, true)
+            .unwrap_err();
+        assert_eq!(err, SimError::CollectiveAborted);
+    }
+
+    #[test]
+    fn comm_ids_are_unique_and_sorted() {
+        let (w, _) = world(2);
+        let a = w.create_comm(vec![RankId(0)], vec![0]);
+        let b = w.create_comm(vec![RankId(1)], vec![1]);
+        assert_ne!(a.id, b.id);
+        let ids = w.comm_ids();
+        assert_eq!(ids.len(), 2);
+        assert!(ids[0] < ids[1]);
+    }
+}

@@ -1,0 +1,457 @@
+//! Checkpoint file format, naming scheme, and assembly.
+//!
+//! Implements §3.2–§3.3's persistence protocol:
+//!
+//! * each rank writes to a **rank-dependent path** so concurrent JIT
+//!   checkpoints never collide;
+//! * the payload is written first, then a **metadata sidecar** carrying
+//!   the payload checksum — a missing or mismatching sidecar marks an
+//!   incomplete/corrupt checkpoint (a rank may die *while* checkpointing);
+//! * on restore, [`jit_get_checkpoint_path`] finds a complete checkpoint
+//!   from **any data-parallel replica** of the reader's (pipeline stage,
+//!   tensor partition) cell, resolving the *i* vs *i+1* ambiguity by
+//!   choosing the newest iteration available for **every** cell.
+//!
+//! The same format is used by the periodic-checkpointing baselines, which
+//! is what makes JIT + low-frequency periodic checkpointing compose
+//! (§6.3): recovery just takes the newest complete checkpoint of either
+//! kind.
+
+use bytes::Bytes;
+use cluster::SharedStore;
+use dltrain::TrainState;
+use simcore::codec::{decode_framed, encode_framed, Decode, Encode};
+use simcore::layout::ParallelLayout;
+use simcore::{JobId, RankId, SimError, SimResult};
+use std::collections::BTreeMap;
+
+/// Checkpoint flavor (JIT-on-failure or periodic), part of the path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CkptKind {
+    /// Just-in-time checkpoint, written after failure detection.
+    Jit,
+    /// Periodic checkpoint, written on a schedule.
+    Periodic,
+}
+
+impl CkptKind {
+    fn dir(self) -> &'static str {
+        match self {
+            CkptKind::Jit => "jit",
+            CkptKind::Periodic => "periodic",
+        }
+    }
+}
+
+/// Metadata sidecar marking a complete, verifiable checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointMeta {
+    /// Iteration the checkpoint resumes at.
+    pub iteration: u64,
+    /// Writing rank.
+    pub rank: u32,
+    /// CRC-64 of the payload object.
+    pub payload_crc: u64,
+    /// Payload length in (stored) bytes.
+    pub payload_len: u64,
+    /// Logical checkpoint size (cost accounting on restore).
+    pub logical_bytes: u64,
+}
+
+impl Encode for CheckpointMeta {
+    fn encode(&self, buf: &mut bytes::BytesMut) {
+        self.iteration.encode(buf);
+        self.rank.encode(buf);
+        self.payload_crc.encode(buf);
+        self.payload_len.encode(buf);
+        self.logical_bytes.encode(buf);
+    }
+}
+
+impl Decode for CheckpointMeta {
+    fn decode(buf: &mut Bytes) -> SimResult<Self> {
+        Ok(CheckpointMeta {
+            iteration: u64::decode(buf)?,
+            rank: u32::decode(buf)?,
+            payload_crc: u64::decode(buf)?,
+            payload_len: u64::decode(buf)?,
+            logical_bytes: u64::decode(buf)?,
+        })
+    }
+}
+
+/// Path of a checkpoint payload object.
+pub fn data_path(job: JobId, kind: CkptKind, iteration: u64, stage: usize, part: usize, dp: usize) -> String {
+    format!(
+        "ckpt/{job}/{}/it{iteration:010}/s{stage}p{part}/dp{dp}/data",
+        kind.dir()
+    )
+}
+
+/// Path of a checkpoint metadata sidecar.
+pub fn meta_path(job: JobId, kind: CkptKind, iteration: u64, stage: usize, part: usize, dp: usize) -> String {
+    format!(
+        "ckpt/{job}/{}/it{iteration:010}/s{stage}p{part}/dp{dp}/meta",
+        kind.dir()
+    )
+}
+
+/// Writes a rank's checkpoint: payload first, then the metadata sidecar
+/// (the completion marker). The caller charges the write cost to the
+/// rank's clock.
+pub fn write_checkpoint(
+    store: &SharedStore,
+    job: JobId,
+    kind: CkptKind,
+    rank: RankId,
+    stage: usize,
+    part: usize,
+    dp: usize,
+    state: &TrainState,
+) -> SimResult<()> {
+    let payload = encode_framed(state);
+    let crc = simcore::codec::crc64(&payload);
+    let len = payload.len() as u64;
+    store.put(
+        &data_path(job, kind, state.iteration, stage, part, dp),
+        payload,
+    )?;
+    let meta = CheckpointMeta {
+        iteration: state.iteration,
+        rank: rank.0,
+        payload_crc: crc,
+        payload_len: len,
+        logical_bytes: state.logical_bytes,
+    };
+    store.put(
+        &meta_path(job, kind, state.iteration, stage, part, dp),
+        encode_framed(&meta),
+    )?;
+    Ok(())
+}
+
+/// Reads and fully validates one checkpoint object (metadata present,
+/// lengths match, CRC matches, payload decodes).
+pub fn read_checkpoint(
+    store: &SharedStore,
+    job: JobId,
+    kind: CkptKind,
+    iteration: u64,
+    stage: usize,
+    part: usize,
+    dp: usize,
+) -> SimResult<(TrainState, CheckpointMeta)> {
+    let mpath = meta_path(job, kind, iteration, stage, part, dp);
+    let meta: CheckpointMeta = decode_framed(&store.get(&mpath)?)
+        .map_err(|e| SimError::CorruptCheckpoint(format!("{mpath}: {e}")))?;
+    let dpath = data_path(job, kind, iteration, stage, part, dp);
+    let payload = store.get(&dpath)?;
+    if payload.len() as u64 != meta.payload_len {
+        return Err(SimError::CorruptCheckpoint(format!(
+            "{dpath}: truncated ({} of {} bytes)",
+            payload.len(),
+            meta.payload_len
+        )));
+    }
+    if simcore::codec::crc64(&payload) != meta.payload_crc {
+        return Err(SimError::CorruptCheckpoint(format!("{dpath}: checksum mismatch")));
+    }
+    let state: TrainState =
+        decode_framed(&payload).map_err(|e| SimError::CorruptCheckpoint(format!("{dpath}: {e}")))?;
+    if state.iteration != meta.iteration {
+        return Err(SimError::CorruptCheckpoint(format!(
+            "{dpath}: iteration mismatch ({} vs {})",
+            state.iteration, meta.iteration
+        )));
+    }
+    Ok((state, meta))
+}
+
+/// A resolved checkpoint choice for one cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellChoice {
+    /// Iteration chosen.
+    pub iteration: u64,
+    /// Which data-parallel replica's file to read.
+    pub dp: usize,
+    /// Checkpoint flavor found.
+    pub kind: CkptKind,
+}
+
+fn complete_iterations_for_cell(
+    store: &SharedStore,
+    job: JobId,
+    kind: CkptKind,
+    layout: &ParallelLayout,
+    stage: usize,
+    part: usize,
+) -> BTreeMap<u64, usize> {
+    // iteration → a dp replica with a *valid* checkpoint.
+    let mut out = BTreeMap::new();
+    let prefix = format!("ckpt/{job}/{}/", kind.dir());
+    for path in store.list(&prefix) {
+        if !path.ends_with("/meta") {
+            continue;
+        }
+        // Parse it{N}/s{stage}p{part}/dp{d}/meta.
+        let Some(rest) = path.strip_prefix(&prefix) else {
+            continue;
+        };
+        let mut parts = rest.split('/');
+        let (Some(it), Some(cell), Some(dp_s), Some(_)) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            continue;
+        };
+        let Ok(iteration) = it.trim_start_matches("it").parse::<u64>() else {
+            continue;
+        };
+        if cell != format!("s{stage}p{part}") {
+            continue;
+        }
+        let Ok(dp) = dp_s.trim_start_matches("dp").parse::<usize>() else {
+            continue;
+        };
+        if dp >= layout.dp {
+            continue;
+        }
+        if out.contains_key(&iteration) {
+            continue;
+        }
+        // Validate before accepting: a torn write must not count.
+        if read_checkpoint(store, job, kind, iteration, stage, part, dp).is_ok() {
+            out.insert(iteration, dp);
+        }
+    }
+    out
+}
+
+/// Resolves, for every (stage, partition) cell, the newest checkpoint
+/// iteration available for **all** cells — discarding corrupt or
+/// incomplete files — and which replica to read it from. Searches both
+/// JIT and periodic checkpoints and takes the newest (the combined
+/// JIT + PC mode of §6.3).
+pub fn assemble(
+    store: &SharedStore,
+    job: JobId,
+    layout: &ParallelLayout,
+) -> SimResult<BTreeMap<(usize, usize), CellChoice>> {
+    let cells = layout.cells();
+    // For each cell, map iteration → (dp, kind), preferring JIT files
+    // (either is valid; JIT files are what failure recovery wrote).
+    let mut per_cell: Vec<BTreeMap<u64, (usize, CkptKind)>> = Vec::with_capacity(cells.len());
+    for &(stage, part) in &cells {
+        let mut m: BTreeMap<u64, (usize, CkptKind)> = BTreeMap::new();
+        for kind in [CkptKind::Jit, CkptKind::Periodic] {
+            for (it, dp) in complete_iterations_for_cell(store, job, kind, layout, stage, part) {
+                m.entry(it).or_insert((dp, kind));
+            }
+        }
+        per_cell.push(m);
+    }
+    // Intersect iteration sets across cells; take the max.
+    let mut common: Option<Vec<u64>> = None;
+    for m in &per_cell {
+        let its: Vec<u64> = m.keys().copied().collect();
+        common = Some(match common {
+            None => its,
+            Some(prev) => prev.into_iter().filter(|i| its.contains(i)).collect(),
+        });
+    }
+    let best = common
+        .unwrap_or_default()
+        .into_iter()
+        .max()
+        .ok_or_else(|| {
+            SimError::NoCheckpointAvailable(format!(
+                "no iteration has a complete checkpoint for every cell of {job}"
+            ))
+        })?;
+    let mut out = BTreeMap::new();
+    for (idx, &(stage, part)) in cells.iter().enumerate() {
+        let (dp, kind) = per_cell[idx][&best];
+        out.insert(
+            (stage, part),
+            CellChoice {
+                iteration: best,
+                dp,
+                kind,
+            },
+        );
+    }
+    Ok(out)
+}
+
+/// §3.3's `jit_get_checkpoint_path`: the payload path a restoring rank
+/// should load — a complete checkpoint from any data-parallel replica of
+/// its own cell, at an iteration consistent across the whole job.
+pub fn jit_get_checkpoint_path(
+    store: &SharedStore,
+    job: JobId,
+    layout: &ParallelLayout,
+    rank: RankId,
+) -> SimResult<String> {
+    let coord = layout.coord(rank);
+    let plan = assemble(store, job, layout)?;
+    let choice = plan[&(coord.stage, coord.part)];
+    Ok(data_path(
+        job,
+        choice.kind,
+        choice.iteration,
+        coord.stage,
+        coord.part,
+        choice.dp,
+    ))
+}
+
+/// Loads the resolved checkpoint for `rank` (validated).
+pub fn load_for_rank(
+    store: &SharedStore,
+    job: JobId,
+    layout: &ParallelLayout,
+    rank: RankId,
+) -> SimResult<(TrainState, CheckpointMeta)> {
+    let coord = layout.coord(rank);
+    let plan = assemble(store, job, layout)?;
+    let choice = plan[&(coord.stage, coord.part)];
+    read_checkpoint(
+        store,
+        job,
+        choice.kind,
+        choice.iteration,
+        coord.stage,
+        coord.part,
+        choice.dp,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simgpu::BufferTag;
+
+    fn state(it: u64, v: f32) -> TrainState {
+        TrainState {
+            iteration: it,
+            opt_t: it as u32,
+            buffers: vec![("w".into(), BufferTag::Param, vec![v; 4])],
+            logical_bytes: 16,
+        }
+    }
+
+    fn job() -> JobId {
+        JobId(0)
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let store = SharedStore::new();
+        let s = state(7, 1.5);
+        write_checkpoint(&store, job(), CkptKind::Jit, RankId(0), 0, 0, 0, &s).unwrap();
+        let (back, meta) =
+            read_checkpoint(&store, job(), CkptKind::Jit, 7, 0, 0, 0).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(meta.iteration, 7);
+        assert_eq!(meta.logical_bytes, 16);
+    }
+
+    #[test]
+    fn torn_write_is_rejected_and_skipped() {
+        let store = SharedStore::new();
+        let layout = ParallelLayout::data_parallel(2);
+        // Replica 0 writes a good checkpoint at it 5.
+        write_checkpoint(&store, job(), CkptKind::Jit, RankId(0), 0, 0, 0, &state(5, 1.0)).unwrap();
+        // Replica 1 dies mid-write at it 6: payload truncated, then (to
+        // be adversarial) the metadata still lands.
+        store.fail_next_write(0.5);
+        write_checkpoint(&store, job(), CkptKind::Jit, RankId(1), 0, 0, 1, &state(6, 2.0)).unwrap();
+        // Assembly must fall back to iteration 5 from replica 0.
+        let plan = assemble(&store, job(), &layout).unwrap();
+        let choice = plan[&(0, 0)];
+        assert_eq!(choice.iteration, 5);
+        assert_eq!(choice.dp, 0);
+    }
+
+    #[test]
+    fn corrupted_payload_is_rejected() {
+        let store = SharedStore::new();
+        write_checkpoint(&store, job(), CkptKind::Jit, RankId(0), 0, 0, 0, &state(5, 1.0)).unwrap();
+        store
+            .corrupt(&data_path(job(), CkptKind::Jit, 5, 0, 0, 0))
+            .unwrap();
+        let err = read_checkpoint(&store, job(), CkptKind::Jit, 5, 0, 0, 0).unwrap_err();
+        assert!(matches!(err, SimError::CorruptCheckpoint(_)));
+    }
+
+    #[test]
+    fn missing_meta_means_incomplete() {
+        let store = SharedStore::new();
+        let layout = ParallelLayout::data_parallel(1);
+        write_checkpoint(&store, job(), CkptKind::Jit, RankId(0), 0, 0, 0, &state(5, 1.0)).unwrap();
+        store.delete(&meta_path(job(), CkptKind::Jit, 5, 0, 0, 0));
+        assert!(assemble(&store, job(), &layout).is_err());
+    }
+
+    #[test]
+    fn i_vs_i_plus_1_resolved_to_common_max() {
+        // §3.3: with pipeline stages, one cell may have saved i+1 while
+        // another only has i; the job must resume from the newest
+        // iteration complete for EVERY cell.
+        let store = SharedStore::new();
+        let layout = ParallelLayout::three_d(2, 2, 1);
+        // Stage 0 has it 10 and 11; stage 1 only it 10.
+        write_checkpoint(&store, job(), CkptKind::Jit, RankId(0), 0, 0, 0, &state(10, 1.0)).unwrap();
+        write_checkpoint(&store, job(), CkptKind::Jit, RankId(0), 0, 0, 0, &state(11, 1.1)).unwrap();
+        write_checkpoint(&store, job(), CkptKind::Jit, RankId(1), 1, 0, 0, &state(10, 2.0)).unwrap();
+        let plan = assemble(&store, job(), &layout).unwrap();
+        assert_eq!(plan[&(0, 0)].iteration, 10);
+        assert_eq!(plan[&(1, 0)].iteration, 10);
+        // Once stage 1 also has 11, assembly moves forward.
+        write_checkpoint(&store, job(), CkptKind::Jit, RankId(1), 1, 0, 1, &state(11, 2.1)).unwrap();
+        let plan = assemble(&store, job(), &layout).unwrap();
+        assert_eq!(plan[&(0, 0)].iteration, 11);
+        assert_eq!(plan[&(1, 0)].iteration, 11);
+        assert_eq!(plan[&(1, 0)].dp, 1, "reads the replica that has it");
+    }
+
+    #[test]
+    fn jit_get_checkpoint_path_points_at_own_cell() {
+        let store = SharedStore::new();
+        let layout = ParallelLayout::three_d(2, 2, 1);
+        for (stage, part) in layout.cells() {
+            write_checkpoint(
+                &store,
+                job(),
+                CkptKind::Jit,
+                RankId(0),
+                stage,
+                part,
+                0,
+                &state(3, 1.0),
+            )
+            .unwrap();
+        }
+        // Rank 3 in a 2dp×2pp layout: dp=1, stage=1.
+        let p = jit_get_checkpoint_path(&store, job(), &layout, RankId(3)).unwrap();
+        assert!(p.contains("s1p0"), "{p}");
+        assert!(p.contains("it0000000003"), "{p}");
+    }
+
+    #[test]
+    fn combined_mode_prefers_newest_of_either_kind() {
+        let store = SharedStore::new();
+        let layout = ParallelLayout::data_parallel(1);
+        write_checkpoint(&store, job(), CkptKind::Periodic, RankId(0), 0, 0, 0, &state(20, 1.0))
+            .unwrap();
+        write_checkpoint(&store, job(), CkptKind::Jit, RankId(0), 0, 0, 0, &state(25, 2.0)).unwrap();
+        let plan = assemble(&store, job(), &layout).unwrap();
+        assert_eq!(plan[&(0, 0)].iteration, 25);
+        assert_eq!(plan[&(0, 0)].kind, CkptKind::Jit);
+        // A newer periodic checkpoint wins in turn.
+        write_checkpoint(&store, job(), CkptKind::Periodic, RankId(0), 0, 0, 0, &state(30, 3.0))
+            .unwrap();
+        let plan = assemble(&store, job(), &layout).unwrap();
+        assert_eq!(plan[&(0, 0)].kind, CkptKind::Periodic);
+        assert_eq!(plan[&(0, 0)].iteration, 30);
+    }
+}

@@ -1,0 +1,44 @@
+//! **Just-In-Time Checkpointing** — the paper's primary contribution.
+//!
+//! Instead of checkpointing periodically, checkpoint *after a failure is
+//! detected*, exploiting two domain properties of synchronous distributed
+//! DNN training: (1) model/optimizer state mutates only inside the short
+//! optimizer step, behind a gradient all-reduce that acts as a barrier,
+//! so when any rank fails every healthy rank is parked with unmodified
+//! state; and (2) data parallelism replicates that state, so a failed
+//! GPU's state is always recoverable from a replica. Recovery then costs
+//! at most one minibatch of redone work instead of half a checkpoint
+//! interval across every GPU.
+//!
+//! Two designs, as in the paper:
+//!
+//! * [`user_level`] (§3) — a library jobs link against: a watchdog
+//!   detects collective hangs, calls the job's `save_checkpoint` while
+//!   the training thread is parked, writes rank-dependent checkpoint
+//!   files with completion metadata, notifies the scheduler, and on
+//!   restart [`checkpoint::jit_get_checkpoint_path`] assembles a
+//!   consistent checkpoint from any healthy data-parallel replica.
+//! * [`transparent`] (§4) — a recovery engine plugged into the device
+//!   proxy's interception layer: errors never reach the framework;
+//!   recovery resets GPU state to minibatch start (in place, via proxy
+//!   restart, from a replica, or by migrating to a fresh GPU under a
+//!   CRIU-preserved worker) and replays the logged device APIs.
+//!
+//! Plus:
+//!
+//! * [`checkpoint`] — the shared checkpoint format/naming/assembly
+//!   protocol (§3.2–§3.3), also used by the periodic baselines;
+//! * [`analysis`] — the §5 wasted-work model (optimal frequency,
+//!   eq. 1–10, dollar costs);
+//! * [`workloads`] — the Table 2 workload catalog with calibration.
+
+pub mod analysis;
+pub mod checkpoint;
+pub mod transparent;
+pub mod user_level;
+pub mod workloads;
+
+pub use checkpoint::{jit_get_checkpoint_path, CkptKind};
+pub use transparent::{RecoveryReport, TransparentEngine};
+pub use user_level::{JitUserClient, JitUserConfig};
+pub use workloads::{catalog, Workload};

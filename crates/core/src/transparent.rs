@@ -1,0 +1,831 @@
+//! Transparent just-in-time error recovery (§4).
+//!
+//! [`TransparentEngine`] is the [`proxy::RecoveryHandler`] plugged into
+//! every rank's interception client. When any intercepted operation
+//! fails, the failing rank enters the engine; the engine aborts the
+//! communication world so every peer parked in a hung collective surfaces
+//! too (the per-rank watchdogs do the same for hangs the engine hasn't
+//! seen yet). Once **all** ranks have arrived, the last arrival plans the
+//! round:
+//!
+//! * **Minibatch replay** (§4.2.1) — failure before the optimizer
+//!   mutated state. Every rank resets to minibatch start — in place if
+//!   its GPU is clean (case 1), via host round-trip + proxy restart if
+//!   the driver is suspect (case 2), via proxy restart + replica copy if
+//!   the context is poisoned (case 3) — then all ranks replay their
+//!   logged device APIs (replayed collectives rendezvous across ranks)
+//!   and retry the failed operation.
+//! * **Roll forward** (§4.2.2) — failure inside the optimizer step.
+//!   Healthy ranks have already advanced to minibatch *i+1* (they are
+//!   parked at its first collective); the victim copies parameter and
+//!   optimizer state *of the start of i+1* from a replica and skips the
+//!   rest of its optimizer-step device calls. No replay is needed.
+//! * **Hard error** (§4.3) — the victim's GPU is dead. Healthy ranks JIT
+//!   checkpoint their GPU state through the §4.3 allocation-site naming
+//!   scheme; every worker takes a CRIU checkpoint of its CPU state; the
+//!   victim migrates to a replacement GPU and reads the buffer files its
+//!   replicas wrote; then recovery proceeds as minibatch replay.
+//!
+//! Every step's duration is charged to the rank's virtual clock and
+//! recorded in a [`RecoveryReport`] — the raw data behind Tables 5–7.
+
+use cluster::SharedStore;
+use dltrain::{build_comms, JobComms};
+use parking_lot::{Condvar, Mutex};
+use proxy::{
+    CommToken, Executor, MinibatchPosition, PendingOp, ProxyClient, RecoveryHandler,
+    RecoveryOutcome, Watchdog,
+};
+use simcore::cost::StorageTier;
+use simcore::layout::ParallelLayout;
+use simcore::{GpuId, RankId, SimError, SimResult, SimTime};
+use simgpu::{Gpu, GpuHealth};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// What one rank reported on entering a recovery round.
+#[derive(Debug, Clone, Copy)]
+struct RankStatus {
+    health: GpuHealth,
+    /// The rank's own fault was the trigger (device error or transient
+    /// network fault on its NCCL call) — as opposed to surfacing via an
+    /// abort while parked behind someone else's failure.
+    is_victim: bool,
+    position: MinibatchPosition,
+    iteration: u64,
+}
+
+/// The planned recovery mode for a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryMode {
+    /// §4.2.1: reset all ranks to minibatch start and replay.
+    MinibatchReplay,
+    /// §4.2.2: victim rolls forward to the next minibatch; healthy ranks
+    /// simply retry.
+    RollForward,
+}
+
+/// One step of a recovery, with its virtual duration (Table 7 rows).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryStep {
+    /// Step label (matches the paper's breakdown).
+    pub name: String,
+    /// Virtual duration.
+    pub time: SimTime,
+}
+
+/// Timing report for one rank's recovery (Tables 5–7).
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// The recovering rank.
+    pub rank: RankId,
+    /// Recovery mode of the round.
+    pub mode: RecoveryMode,
+    /// Whether this rank's GPU was the failed one.
+    pub was_victim: bool,
+    /// Whether a hard (migration) path ran.
+    pub hard: bool,
+    /// Per-step durations.
+    pub steps: Vec<RecoveryStep>,
+    /// Total recovery time for this rank.
+    pub total: SimTime,
+}
+
+struct RoundPlan {
+    mode: RecoveryMode,
+    /// Per-cell replica-copy roots: (stage, part) → broadcast root rank.
+    cell_sync: HashMap<(usize, usize), RankId>,
+    /// Fresh communicator bundles (per rank).
+    new_comms: Vec<JobComms>,
+    /// Ranks whose GPU is hard-failed.
+    hard_victims: Vec<RankId>,
+}
+
+struct CoordState {
+    round: u64,
+    arrived: HashMap<RankId, RankStatus>,
+    plan: Option<Arc<RoundPlan>>,
+    finished: usize,
+}
+
+/// Per-job transparent recovery engine (shared by all rank clients).
+pub struct TransparentEngine {
+    layout: ParallelLayout,
+    world: Arc<collectives::CommWorld>,
+    state: Mutex<CoordState>,
+    cv: Condvar,
+    arrive_timeout: Duration,
+    watchdog_timeout: Duration,
+    watchdogs: Mutex<HashMap<RankId, Watchdog>>,
+    reports: Mutex<Vec<RecoveryReport>>,
+    /// Store used for the §4.3 hard-error buffer files.
+    store: Arc<SharedStore>,
+    /// Replacement-GPU allocator for hard errors (returns a fresh device
+    /// on a healthy node, as the scheduler would).
+    gpu_allocator: Mutex<Box<dyn FnMut(RankId) -> Gpu + Send>>,
+    /// Framework extra process groups per rank (must match the job
+    /// setup's `extra_comms` so recovery rebuilds the same set).
+    extra_comms: usize,
+    rounds_run: Mutex<u64>,
+}
+
+impl TransparentEngine {
+    /// Creates the engine for a job.
+    pub fn new(
+        layout: ParallelLayout,
+        world: Arc<collectives::CommWorld>,
+        store: Arc<SharedStore>,
+        gpu_allocator: impl FnMut(RankId) -> Gpu + Send + 'static,
+    ) -> Arc<Self> {
+        Self::with_extra_comms(layout, world, store, gpu_allocator, 0)
+    }
+
+    /// [`TransparentEngine::new`] for jobs whose setup registered
+    /// `extra_comms` additional framework process groups.
+    pub fn with_extra_comms(
+        layout: ParallelLayout,
+        world: Arc<collectives::CommWorld>,
+        store: Arc<SharedStore>,
+        gpu_allocator: impl FnMut(RankId) -> Gpu + Send + 'static,
+        extra_comms: usize,
+    ) -> Arc<Self> {
+        Arc::new(TransparentEngine {
+            layout,
+            world,
+            state: Mutex::new(CoordState {
+                round: 0,
+                arrived: HashMap::new(),
+                plan: None,
+                finished: 0,
+            }),
+            cv: Condvar::new(),
+            arrive_timeout: Duration::from_secs(30),
+            // Generous real-time hang threshold: on an oversubscribed
+            // host a healthy collective can easily stall for hundreds of
+            // milliseconds, and the paper excludes detection latency from
+            // its recovery measurements anyway (§6.4).
+            watchdog_timeout: Duration::from_millis(1500),
+            watchdogs: Mutex::new(HashMap::new()),
+            reports: Mutex::new(Vec::new()),
+            store,
+            gpu_allocator: Mutex::new(Box::new(gpu_allocator)),
+            extra_comms,
+            rounds_run: Mutex::new(0),
+        })
+    }
+
+    /// Attaches the engine to a rank's client: installs the recovery
+    /// handler and arms this rank's hang watchdog.
+    pub fn attach(self: &Arc<Self>, client: &mut ProxyClient) {
+        client.set_handler(self.clone());
+        self.arm_watchdog(client);
+    }
+
+    fn arm_watchdog(&self, client: &mut ProxyClient) {
+        let world = self.world.clone();
+        let wd = Watchdog::spawn(self.watchdog_timeout, move || {
+            // A hang means some peer failed: abort everything so all
+            // parked ranks surface into the recovery engine.
+            world.abort_all();
+        });
+        client.set_observer(wd.observer());
+        self.watchdogs.lock().insert(client.rank(), wd);
+    }
+
+    /// Recovery rounds completed so far.
+    pub fn rounds(&self) -> u64 {
+        *self.rounds_run.lock()
+    }
+
+    /// All per-rank recovery reports recorded so far.
+    pub fn reports(&self) -> Vec<RecoveryReport> {
+        self.reports.lock().clone()
+    }
+
+    /// The §4.3 buffer-file path for a (cell, storage key) pair: identical
+    /// on every data-parallel replica of the cell.
+    fn hard_path(round: u64, stage: usize, part: usize, key: &str) -> String {
+        format!("hard/r{round}/s{stage}p{part}/{key}")
+    }
+
+    /// Rank-enter protocol: register status, make sure everyone else will
+    /// surface, wait for the full quorum, and have the last arrival plan
+    /// the round.
+    fn rank_enter(&self, rank: RankId, status: RankStatus) -> SimResult<(u64, Arc<RoundPlan>)> {
+        // Ensure every peer surfaces (idempotent with watchdog aborts).
+        self.world.abort_all();
+        let n = self.layout.world_size();
+        let mut st = self.state.lock();
+        let round = st.round;
+        st.arrived.insert(rank, status);
+        if st.arrived.len() == n {
+            // Last arrival: plan the round.
+            let plan = self.plan_round(&st.arrived)?;
+            st.plan = Some(Arc::new(plan));
+            self.cv.notify_all();
+        } else {
+            let deadline = Instant::now() + self.arrive_timeout;
+            while st.plan.is_none() {
+                if Instant::now() > deadline {
+                    return Err(SimError::Protocol(format!(
+                        "recovery quorum timeout: {}/{} ranks arrived in round {round}",
+                        st.arrived.len(),
+                        n
+                    )));
+                }
+                self.cv.wait_for(&mut st, Duration::from_millis(2));
+            }
+        }
+        let plan = st.plan.clone().expect("plan just set");
+        Ok((round, plan))
+    }
+
+    /// Marks a rank done with the round; the last one resets round state.
+    fn rank_finish(&self, _rank: RankId) {
+        let n = self.layout.world_size();
+        let mut st = self.state.lock();
+        st.finished += 1;
+        if st.finished == n {
+            st.round += 1;
+            st.arrived.clear();
+            st.plan = None;
+            st.finished = 0;
+            *self.rounds_run.lock() += 1;
+            self.cv.notify_all();
+        } else {
+            // Wait for the round to fully close before returning, so a
+            // rank cannot race ahead and trip a new round against
+            // stragglers of this one.
+            let round_now = st.round;
+            let deadline = Instant::now() + self.arrive_timeout;
+            while st.round == round_now {
+                if Instant::now() > deadline {
+                    return;
+                }
+                self.cv.wait_for(&mut st, Duration::from_millis(2));
+            }
+        }
+    }
+
+    fn plan_round(&self, arrived: &HashMap<RankId, RankStatus>) -> SimResult<RoundPlan> {
+        // Victims: ranks whose device is not healthy.
+        let mut hard_victims = Vec::new();
+        let mut soft_victims = Vec::new();
+        let mut victim_past_optimizer = false;
+        for (r, s) in arrived {
+            match s.health {
+                GpuHealth::Healthy => {}
+                GpuHealth::HardwareFailed => hard_victims.push(*r),
+                GpuHealth::DriverSuspect | GpuHealth::Sticky => soft_victims.push(*r),
+            }
+            if s.is_victim && s.position != MinibatchPosition::FwdBwd {
+                victim_past_optimizer = true;
+            }
+        }
+        // Roll forward exactly when the victim's fault struck at or past
+        // the optimizer step (§4.2.2): its replicas' state is already the
+        // start of the *next* minibatch. Iteration numbers are NOT used —
+        // pipeline stages legitimately sit at different iterations.
+        let mode = if victim_past_optimizer {
+            RecoveryMode::RollForward
+        } else {
+            RecoveryMode::MinibatchReplay
+        };
+        // Cells that need a replica copy: those containing a victim whose
+        // memory is gone (sticky/hard). The root is the lowest healthy
+        // replica in the cell. In roll-forward mode, every victim needs a
+        // replica copy regardless of memory readability (its state is
+        // torn mid-update).
+        let mut cell_sync: HashMap<(usize, usize), RankId> = HashMap::new();
+        let needs_copy = |r: &RankId| {
+            let s = &arrived[r];
+            match mode {
+                RecoveryMode::RollForward => true,
+                RecoveryMode::MinibatchReplay => !s.health.memory_readable(),
+            }
+        };
+        // Hard victims restore from the §4.3 buffer files instead of a
+        // broadcast, so only soft victims drive cell syncs.
+        for victim in soft_victims.iter() {
+            if !needs_copy(victim) {
+                continue;
+            }
+            let coord = self.layout.coord(*victim);
+            let cell = (coord.stage, coord.part);
+            let root = self
+                .layout
+                .dp_group_of(*victim)
+                .into_iter()
+                .find(|r| r != victim && arrived[r].health == GpuHealth::Healthy)
+                .ok_or_else(|| {
+                    SimError::NoCheckpointAvailable(format!(
+                        "no healthy data-parallel replica for {victim} (dp = {})",
+                        self.layout.dp
+                    ))
+                })?;
+            cell_sync.insert(cell, root);
+        }
+        // Rebuild the communication layer on a clean world, including
+        // the framework's extra process groups. Recreated communicators
+        // adopt their predecessors' completed-slot caches so replayed
+        // operations are served without re-participation (the old arcs
+        // are swapped in per-rank during rebind).
+        self.world.reset();
+        let mut new_comms = build_comms(&self.layout, &self.world);
+        let n = self.layout.world_size();
+        let all: Vec<RankId> = (0..n).map(|i| RankId(i as u32)).collect();
+        let idx: Vec<usize> = (0..n).collect();
+        for _ in 0..self.extra_comms {
+            let c = self.world.create_comm(all.clone(), idx.clone());
+            for bundle in &mut new_comms {
+                bundle.extras.push(c.clone());
+            }
+        }
+        Ok(RoundPlan {
+            mode,
+            cell_sync,
+            new_comms,
+            hard_victims,
+        })
+    }
+
+    /// Swaps the client's registered communicators for the freshly built
+    /// ones, matching by member set (tokens stay stable, like virtual
+    /// handles).
+    fn rebind_comms(&self, client: &mut ProxyClient, bundle: &JobComms) -> SimResult<Vec<CommToken>> {
+        let world_ranks: Vec<RankId> = (0..self.layout.world_size())
+            .map(|i| RankId(i as u32))
+            .collect();
+        let tokens = client.comm_tokens();
+        // World-spanning tokens map, in token order, onto [global,
+        // extras...] — token numbering is SPMD-identical across ranks, so
+        // every rank pairs the same token with the same instance.
+        let mut world_pool: Vec<Arc<collectives::Communicator>> =
+            std::iter::once(bundle.global.clone())
+                .chain(bundle.extras.iter().cloned())
+                .collect();
+        world_pool.reverse(); // pop() yields global first
+        for token in &tokens {
+            let old_arc = client.comm(*token)?;
+            let old = old_arc.ranks().to_vec();
+            // Specific groups first: in pure data parallelism the dp
+            // group's member set equals the world group's, and the dp
+            // token must keep its own (cache-bearing) instance.
+            let replacement = if bundle.dp.as_ref().map(|c| c.ranks() == old).unwrap_or(false) {
+                bundle.dp.clone().expect("checked")
+            } else if bundle.tp.as_ref().map(|c| c.ranks() == old).unwrap_or(false) {
+                bundle.tp.clone().expect("checked")
+            } else if old == world_ranks {
+                world_pool.pop().ok_or_else(|| {
+                    SimError::Protocol("more world-group tokens than rebuilt comms".into())
+                })?
+            } else {
+                return Err(SimError::Protocol(format!(
+                    "no rebuilt communicator matches member set {old:?}"
+                )));
+            };
+            // Carry the completed-slot cache forward so replayed
+            // operations can be served without re-participation.
+            replacement.adopt_completed_from(&old_arc);
+            client.replace_comm(*token, replacement);
+        }
+        Ok(tokens)
+    }
+
+    /// The hard-error path for a *healthy* rank: write every persistent
+    /// buffer to the shared store under the cross-rank-stable key, and
+    /// take a CRIU checkpoint of the worker CPU state (§4.3).
+    fn hard_healthy_side(
+        &self,
+        client: &mut ProxyClient,
+        round: u64,
+        steps: &mut Vec<RecoveryStep>,
+    ) -> SimResult<()> {
+        let coord = self.layout.coord(client.rank());
+        let t0 = client.now();
+        let (snap, bytes) = client.snapshot_persistent_to_host()?;
+        let cost = client.server().gpu().cost_model().clone();
+        for (key, _tag, data) in &snap {
+            let framed = simcore::codec::encode_framed(data);
+            self.store
+                .put(&Self::hard_path(round, coord.stage, coord.part, key), framed)?;
+        }
+        client.charge(cost.checkpoint_write(bytes, StorageTier::Disk, cost.gpu.gpus_per_node()));
+        // CRIU checkpoint + restore of the worker CPU process. The image
+        // really carries the interception state (replay log, iteration,
+        // communicator generations); the worker heap's logical size is a
+        // fixed multi-GB footprint for cost purposes.
+        let image = client.worker_cpu_state();
+        let criu_bytes = 2 << 30;
+        client.charge(cost.criu(criu_bytes));
+        client.restore_worker_cpu_state(&image)?;
+        client.charge(cost.criu(criu_bytes)); // restore on the new node
+        // Read the GPU state back on the restored side.
+        client.charge(cost.checkpoint_read(bytes, StorageTier::Disk, cost.gpu.gpus_per_node()));
+        steps.push(RecoveryStep {
+            name: "JIT checkpoint + CRIU + restore".into(),
+            time: client.now().saturating_sub(t0),
+        });
+        Ok(())
+    }
+
+    /// The hard-error path for the *victim*: migrate to a replacement GPU
+    /// under the CRIU-preserved worker, re-create persistent objects, and
+    /// fill them from the buffer files the replicas wrote.
+    fn hard_victim_side(
+        &self,
+        client: &mut ProxyClient,
+        round: u64,
+        steps: &mut Vec<RecoveryStep>,
+    ) -> SimResult<()> {
+        let coord = self.layout.coord(client.rank());
+        let t0 = client.now();
+        let new_gpu = (self.gpu_allocator.lock())(client.rank());
+        let cost = new_gpu.cost_model().clone();
+        // CRIU image taken before migration, restored on the new node —
+        // the replay log and interception state survive the move.
+        let image = client.worker_cpu_state();
+        client.migrate_to_gpu(new_gpu)?;
+        client.restore_worker_cpu_state(&image)?;
+        client.charge(cost.criu(2 << 30));
+        // Read every persistent buffer from a replica's files, matched by
+        // the allocation-site storage key (§4.3's naming scheme).
+        let (local, bytes) = client.server().gpu().snapshot_persistent();
+        let mut restored = Vec::with_capacity(local.len());
+        for (key, tag, data) in local {
+            let path = Self::hard_path(round, coord.stage, coord.part, &key);
+            // Replicas write these files concurrently with this rank's
+            // migration; wait (bounded) for them to land.
+            let deadline = Instant::now() + Duration::from_secs(5);
+            let framed = loop {
+                match self.store.get(&path) {
+                    Ok(f) => break f,
+                    Err(_) if Instant::now() < deadline => {
+                        std::thread::sleep(Duration::from_millis(2))
+                    }
+                    Err(_) => {
+                        return Err(SimError::NoCheckpointAvailable(format!(
+                            "no replica wrote {path}"
+                        )))
+                    }
+                }
+            };
+            let replica_data: Vec<f32> = simcore::codec::decode_framed(&framed)?;
+            if replica_data.len() != data.len() {
+                return Err(SimError::CorruptCheckpoint(format!(
+                    "{path}: length {} vs local layout {}",
+                    replica_data.len(),
+                    data.len()
+                )));
+            }
+            restored.push((key, tag, replica_data));
+        }
+        client
+            .server_mut()
+            .gpu_mut()
+            .restore_persistent(&restored)?;
+        client.charge(cost.checkpoint_read(bytes, StorageTier::Disk, cost.gpu.gpus_per_node()));
+        steps.push(RecoveryStep {
+            name: "migrate + CRIU restore + read replica buffers".into(),
+            time: client.now().saturating_sub(t0),
+        });
+        Ok(())
+    }
+}
+
+impl RecoveryHandler for TransparentEngine {
+    fn handle(
+        &self,
+        client: &mut ProxyClient,
+        _op: &PendingOp,
+        err: &SimError,
+    ) -> SimResult<RecoveryOutcome> {
+        let rank = client.rank();
+        let my_health = client.health();
+        let i_am_victim =
+            my_health != GpuHealth::Healthy || matches!(err, SimError::NetworkTransient);
+        let status = RankStatus {
+            health: my_health,
+            is_victim: i_am_victim,
+            position: client.position(),
+            iteration: client.iteration(),
+        };
+        // Silence this rank's watchdog for the duration of recovery: the
+        // recovery collectives (rendezvous, replica sync, replay) run at
+        // coordination pace and must not be mistaken for hangs.
+        client.set_observer(Arc::new(collectives::NullObserver));
+        if std::env::var("JIT_DEBUG").is_ok() {
+            eprintln!(
+                "[debug] {rank} enters recovery: err={err}, health={:?}, it={}, pos={:?}",
+                status.health, status.iteration, status.position
+            );
+        }
+        let (round, plan) = self.rank_enter(rank, status)?;
+        let coord = self.layout.coord(rank);
+        let i_am_hard = plan.hard_victims.contains(&rank);
+        let recovery_start = client.now();
+        let mut steps: Vec<RecoveryStep> = Vec::new();
+
+        // Step 1: delete communicators and GPU handles.
+        let t0 = client.now();
+        let cost = client.server().gpu().cost_model().clone();
+        client.charge(cost.comm_teardown);
+        steps.push(RecoveryStep {
+            name: "Delete communicators and GPU handles".into(),
+            time: client.now().saturating_sub(t0),
+        });
+
+        // Step 2 (ordering): per-rank state reset BEFORE the collective
+        // rendezvous, so every rank arrives at the rendezvous ready.
+        let t0 = client.now();
+        match plan.mode {
+            RecoveryMode::MinibatchReplay => match my_health {
+                GpuHealth::Healthy => {
+                    client.reset_in_place()?;
+                    client.charge(SimTime::from_millis(1.0));
+                }
+                GpuHealth::DriverSuspect => {
+                    let (snap, bytes) = client.snapshot_persistent_to_host()?;
+                    client.reset_with_restart()?;
+                    client.restore_persistent_from_host(&snap, bytes)?;
+                }
+                GpuHealth::Sticky => {
+                    client.reset_with_restart()?;
+                    // Contents come from the replica sync below.
+                }
+                GpuHealth::HardwareFailed => {
+                    self.hard_healthy_side_or_victim(client, round, i_am_hard, &mut steps)?;
+                }
+            },
+            RecoveryMode::RollForward => {
+                if i_am_victim {
+                    match my_health {
+                        GpuHealth::HardwareFailed => {
+                            self.hard_healthy_side_or_victim(client, round, true, &mut steps)?;
+                        }
+                        GpuHealth::Sticky | GpuHealth::DriverSuspect => {
+                            client.reset_with_restart()?;
+                        }
+                        GpuHealth::Healthy => {
+                            client.reset_in_place()?;
+                        }
+                    }
+                }
+                // Healthy non-victims keep their in-flight minibatch state.
+            }
+        }
+        // Healthy ranks in a hard round contribute their buffer files +
+        // CRIU images (all workers migrate together to the new node set).
+        if !plan.hard_victims.is_empty() && !i_am_hard {
+            self.hard_healthy_side(client, round, &mut steps)?;
+            if plan.mode == RecoveryMode::MinibatchReplay && my_health == GpuHealth::Healthy {
+                // Their GPU state was re-read after migration; reset to
+                // minibatch start for the replay below.
+                client.reset_in_place()?;
+            }
+        }
+        steps.push(RecoveryStep {
+            name: "Reset GPU buffers".into(),
+            time: client.now().saturating_sub(t0),
+        });
+
+        // Step 3: recreate communicators (rendezvous per group — the
+        // dominant cost, Table 7). The step is reported at its intrinsic
+        // cost (bootstrap time × groups); the virtual clock additionally
+        // absorbs barrier waits for straggling peers, which the paper's
+        // per-rank measurements exclude.
+        let bundle = plan.new_comms[rank.index()].clone();
+        let tokens = self.rebind_comms(client, &bundle)?;
+        for token in &tokens {
+            client.rendezvous_comm(*token)?;
+        }
+        let comm_init = client.server().gpu().cost_model().comm_init;
+        steps.push(RecoveryStep {
+            name: "Recreate NCCL communicators".into(),
+            time: SimTime::from_secs(comm_init.as_secs() * tokens.len() as f64),
+        });
+
+        // Step 4: replica state sync for cells that lost state.
+        if let Some(root) = plan.cell_sync.get(&(coord.stage, coord.part)) {
+            let t0 = client.now();
+            // Use the data-parallel communicator for the copy.
+            let dp_token = tokens
+                .iter()
+                .find(|t| {
+                    client
+                        .comm_ranks(**t)
+                        .map(|rs| rs == self.layout.dp_group_of(rank))
+                        .unwrap_or(false)
+                })
+                .copied()
+                .ok_or_else(|| {
+                    SimError::Protocol("no data-parallel communicator for replica sync".into())
+                })?;
+            client.sync_persistent_from_replica(dp_token, *root)?;
+            steps.push(RecoveryStep {
+                name: "Copy state from replica".into(),
+                time: client.now().saturating_sub(t0),
+            });
+        }
+
+        // Step 5: recreate GPU handles happened inside reset_with_restart;
+        // charge a nominal entry for the in-place case to keep reports
+        // uniform.
+        steps.push(RecoveryStep {
+            name: "Recreate GPU handles".into(),
+            time: SimTime::from_millis(5.0),
+        });
+        client.charge(SimTime::from_millis(5.0));
+
+        // Step 6: replay the minibatch device APIs.
+        let outcome = match plan.mode {
+            RecoveryMode::MinibatchReplay => {
+                let t0 = client.now();
+                client.replay()?;
+                steps.push(RecoveryStep {
+                    name: "Replay minibatch APIs".into(),
+                    time: client.now().saturating_sub(t0),
+                });
+                RecoveryOutcome::Retry
+            }
+            RecoveryMode::RollForward => {
+                steps.push(RecoveryStep {
+                    name: "Replay minibatch APIs".into(),
+                    time: SimTime::ZERO,
+                });
+                if i_am_victim {
+                    RecoveryOutcome::SkipToNextMinibatch
+                } else {
+                    RecoveryOutcome::Retry
+                }
+            }
+        };
+
+        // Per-rank recovery time = this rank's own work (Σ steps), the
+        // paper's Table 5/6 metric; `recovery_start` brackets are kept on
+        // the virtual clock for job-level wall time.
+        let _ = recovery_start;
+        let total = steps
+            .iter()
+            .fold(SimTime::ZERO, |acc, s| acc + s.time);
+        self.reports.lock().push(RecoveryReport {
+            rank,
+            mode: plan.mode,
+            was_victim: i_am_victim,
+            hard: !plan.hard_victims.is_empty(),
+            steps,
+            total,
+        });
+        // Re-arm this rank's watchdog for the next failure.
+        self.arm_watchdog(client);
+        self.rank_finish(rank);
+        Ok(outcome)
+    }
+}
+
+impl TransparentEngine {
+    fn hard_healthy_side_or_victim(
+        &self,
+        client: &mut ProxyClient,
+        round: u64,
+        is_victim: bool,
+        steps: &mut Vec<RecoveryStep>,
+    ) -> SimResult<()> {
+        if is_victim {
+            self.hard_victim_side(client, round, steps)
+        } else {
+            self.hard_healthy_side(client, round, steps)
+        }
+    }
+
+    /// Helper used by harnesses that allocate replacement GPUs from a
+    /// simple counter.
+    pub fn counter_gpu_allocator(
+        start_id: u32,
+        cost: simcore::cost::CostModel,
+    ) -> impl FnMut(RankId) -> Gpu + Send {
+        let mut next = start_id;
+        move |_rank| {
+            let g = Gpu::new(GpuId(next), cost.clone());
+            next += 1;
+            g
+        }
+    }
+}
+
+/// Result of a complete transparent-JIT job run.
+#[derive(Debug)]
+pub struct TransparentOutcome {
+    /// Per-rank loss trajectories (NaN on ranks that never see the loss).
+    pub losses: Vec<Vec<f32>>,
+    /// Recovery rounds performed.
+    pub rounds: u64,
+    /// Per-rank recovery reports (Tables 5–7 raw data).
+    pub reports: Vec<RecoveryReport>,
+    /// Per-rank virtual completion time.
+    pub finish_times: Vec<SimTime>,
+    /// Per-rank logged device-API counts (steady-state overhead metric).
+    pub logged_calls: Vec<u64>,
+}
+
+/// Runs a training job under transparent JIT: every rank trains through a
+/// [`ProxyClient`] with the engine attached; injected failures are
+/// recovered without the "application" (the trainer) ever seeing an
+/// error. The launcher loop of the user-level design disappears — that is
+/// the point of §4.
+pub fn run_transparent_job(
+    cfg: dltrain::TrainConfig,
+    cost: simcore::cost::CostModel,
+    injector: Arc<cluster::FailureInjector>,
+    store: Arc<SharedStore>,
+    target_iters: u64,
+) -> SimResult<TransparentOutcome> {
+    run_transparent_job_with(cfg, cost, injector, store, target_iters, 0)
+}
+
+/// [`run_transparent_job`] with `extra_comms` additional framework
+/// process groups per rank (Megatron/DeepSpeed-style), which recovery
+/// must rebuild — the Table 7 communicator-count knob.
+pub fn run_transparent_job_with(
+    cfg: dltrain::TrainConfig,
+    cost: simcore::cost::CostModel,
+    injector: Arc<cluster::FailureInjector>,
+    store: Arc<SharedStore>,
+    target_iters: u64,
+    extra_comms: usize,
+) -> SimResult<TransparentOutcome> {
+    use dltrain::{JobSetup, RankTrainer};
+    let layout = cfg.layout;
+    let n = layout.world_size();
+    let setup = JobSetup::build_with_extras(layout, cost.clone(), cfg.ranks_per_node, extra_comms);
+    let world = setup.world.clone();
+    let per_rank = setup.per_rank.clone();
+    let engine = TransparentEngine::with_extra_comms(
+        layout,
+        world.clone(),
+        store,
+        TransparentEngine::counter_gpu_allocator(10_000, cost.clone()),
+        extra_comms,
+    );
+    let engine2 = engine.clone();
+    let clock = setup.clock.clone();
+    let results = dltrain::run_ranks(n, move |i| {
+        let rank = RankId(i as u32);
+        let gpu = Gpu::new(GpuId(i as u32), cost.clone());
+        let mut client = ProxyClient::new(rank, i, gpu, world.clone());
+        engine2.attach(&mut client);
+        let mut tr = RankTrainer::new(client, cfg.clone(), &per_rank[i], injector.clone())?;
+        let losses = tr.train(target_iters)?;
+        Ok::<_, SimError>((losses, tr.exec.logged_calls()))
+    });
+    let mut losses = Vec::with_capacity(n);
+    let mut logged = Vec::with_capacity(n);
+    for r in results {
+        let (l, c) = r?;
+        losses.push(l);
+        logged.push(c);
+    }
+    Ok(TransparentOutcome {
+        losses,
+        rounds: engine.rounds(),
+        reports: engine.reports(),
+        finish_times: (0..n).map(|i| clock.now(i)).collect(),
+        logged_calls: logged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::cost::CostModel;
+
+    #[test]
+    fn hard_paths_are_cell_scoped_and_round_scoped() {
+        let a = TransparentEngine::hard_path(0, 1, 2, "model.w-abc-s0-n16");
+        let b = TransparentEngine::hard_path(0, 1, 3, "model.w-abc-s0-n16");
+        let c = TransparentEngine::hard_path(1, 1, 2, "model.w-abc-s0-n16");
+        assert_ne!(a, b, "different partitions never collide");
+        assert_ne!(a, c, "different rounds never collide");
+        assert!(a.contains("s1p2"));
+    }
+
+    #[test]
+    fn counter_allocator_hands_out_fresh_gpus() {
+        let mut alloc = TransparentEngine::counter_gpu_allocator(100, CostModel::v100());
+        let a = alloc(RankId(0));
+        let b = alloc(RankId(0));
+        assert_eq!(a.id, GpuId(100));
+        assert_eq!(b.id, GpuId(101));
+    }
+
+    #[test]
+    fn recovery_mode_labels() {
+        assert_ne!(RecoveryMode::MinibatchReplay, RecoveryMode::RollForward);
+        let s = RecoveryStep {
+            name: "Recreate NCCL communicators".into(),
+            time: SimTime::from_secs(1.0),
+        };
+        assert!(format!("{s:?}").contains("Recreate"));
+    }
+}

@@ -1,0 +1,487 @@
+//! User-level just-in-time checkpointing (§3).
+//!
+//! The job links a small library and provides a `save_checkpoint`
+//! function; everything else is automatic:
+//!
+//! 1. the interception layer watches the `cudaEventRecord` /
+//!    `cudaStreamWaitEvent` traffic around collectives (here: collective
+//!    tickets) and a **watchdog thread** detects hangs (§3.1);
+//! 2. on a hang, the watchdog calls `save_checkpoint` *from its own
+//!    thread* while the training thread stays parked in the hung
+//!    collective — the simulation analogue of the paper's
+//!    release-the-GIL + new-CUDA-stream dance (§3.2);
+//! 3. the checkpoint goes to a rank-dependent path with a metadata
+//!    completion marker, the scheduler is acked, and the job is torn down;
+//! 4. on restart, each rank loads the checkpoint of *any* data-parallel
+//!    replica of its cell via [`crate::checkpoint::jit_get_checkpoint_path`]
+//!    (§3.3).
+//!
+//! [`run_user_level_job`] is the full launcher loop (submit → train →
+//! fail → JIT checkpoint → quorum → reschedule → restore → continue)
+//! used by tests, examples, and the Table 4 bench.
+
+use crate::checkpoint::{self, CkptKind};
+use cluster::scheduler::CheckpointAck;
+use cluster::{FailureInjector, Scheduler, SharedStore};
+use dltrain::{JobSetup, RankTrainer, TrainConfig, TrainState};
+use parking_lot::Mutex;
+use parking_lot::Mutex as PlMutex;
+use proxy::{DirectExecutor, Executor, Watchdog};
+use simcore::cost::{CostModel, StorageTier};
+use simcore::time::ClockBoard;
+use simcore::{GpuId, JobId, RankId, SimError, SimResult, SimTime};
+use simgpu::Gpu;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Configuration of the user-level JIT library.
+#[derive(Debug, Clone)]
+pub struct JitUserConfig {
+    /// Watchdog hang timeout (real time; a hang is a real hang).
+    pub watchdog_timeout: Duration,
+    /// Storage tier JIT checkpoints are written to.
+    pub tier: StorageTier,
+}
+
+impl Default for JitUserConfig {
+    fn default() -> Self {
+        JitUserConfig {
+            watchdog_timeout: Duration::from_millis(1500),
+            tier: StorageTier::Disk,
+        }
+    }
+}
+
+/// Timing record of one JIT checkpoint or restore event (Table 4 data).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryEvent {
+    /// Rank involved.
+    pub rank: RankId,
+    /// Virtual seconds spent writing the JIT checkpoint (0 for restores).
+    pub checkpoint_time: SimTime,
+    /// Virtual seconds spent restoring (0 for checkpoint events).
+    pub restore_time: SimTime,
+    /// Iteration the event refers to.
+    pub iteration: u64,
+}
+
+/// Shared cell the trainer thread updates at each minibatch start so the
+/// watchdog knows which iteration a checkpoint represents (the library's
+/// equivalent of the user script passing the step counter).
+#[derive(Debug, Default)]
+pub struct IterationCell {
+    it: AtomicU64,
+    opt_t: AtomicU64,
+}
+
+impl IterationCell {
+    /// Records the (iteration, optimizer timestep) at minibatch start.
+    pub fn note(&self, iteration: u64, opt_t: u32) {
+        self.it.store(iteration, Ordering::Release);
+        self.opt_t.store(opt_t as u64, Ordering::Release);
+    }
+
+    /// Reads the current coordinates.
+    pub fn get(&self) -> (u64, u32) {
+        (
+            self.it.load(Ordering::Acquire),
+            self.opt_t.load(Ordering::Acquire) as u32,
+        )
+    }
+}
+
+/// The per-rank user-level JIT client: owns the armed watchdog.
+pub struct JitUserClient {
+    /// Iteration cell the training loop must update each minibatch.
+    pub cell: Arc<IterationCell>,
+    watchdog: Watchdog,
+}
+
+impl JitUserClient {
+    /// Arms user-level JIT checkpointing on a rank: installs the
+    /// collective observer on `exec` and spawns the watchdog whose hang
+    /// action snapshots GPU state, writes the checkpoint + metadata, acks
+    /// the scheduler, and aborts the job's communicators.
+    #[allow(clippy::too_many_arguments)]
+    pub fn arm(
+        exec: &mut DirectExecutor,
+        cfg: &JitUserConfig,
+        job: JobId,
+        layout: simcore::layout::ParallelLayout,
+        store: Arc<SharedStore>,
+        scheduler: Arc<Scheduler>,
+        world: Arc<collectives::CommWorld>,
+        events: Arc<Mutex<Vec<RecoveryEvent>>>,
+    ) -> JitUserClient {
+        let rank = exec.rank();
+        let clock_idx = exec.clock_idx();
+        let clock = exec.clock();
+        let gpu = exec.shared_gpu();
+        let cell = Arc::new(IterationCell::default());
+        let cell_w = cell.clone();
+        let coord = layout.coord(rank);
+        let cost = exec.with_gpu(|g| g.cost_model().clone());
+        let tier = cfg.tier;
+        let watchdog = Watchdog::spawn(cfg.watchdog_timeout, move || {
+            // The hang action — the library's call into the user's
+            // save_checkpoint, running while the trainer thread is parked.
+            let result = save_checkpoint_from_watchdog(
+                &gpu,
+                &cell_w,
+                &store,
+                job,
+                rank,
+                coord.stage,
+                coord.part,
+                coord.dp,
+                &cost,
+                tier,
+                &clock,
+                clock_idx,
+                &events,
+            );
+            if let Ok(ack) = result {
+                let _ = scheduler.ack_checkpoint(job, ack);
+            }
+            // NOTE: the watchdog does NOT kill the job — §3 step 3 has
+            // the *scheduler* kill it only after the checkpoint quorum,
+            // so that every healthy rank gets to save first. The `world`
+            // handle is kept for symmetry with the transparent design.
+            let _ = &world;
+        });
+        exec.set_observer(watchdog.observer());
+        JitUserClient { cell, watchdog }
+    }
+
+    /// True once the watchdog detected a hang and checkpointed.
+    pub fn fired(&self) -> bool {
+        self.watchdog.fired()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn save_checkpoint_from_watchdog(
+    gpu: &Arc<Mutex<Gpu>>,
+    cell: &IterationCell,
+    store: &SharedStore,
+    job: JobId,
+    rank: RankId,
+    stage: usize,
+    part: usize,
+    dp: usize,
+    cost: &CostModel,
+    tier: StorageTier,
+    clock: &ClockBoard,
+    clock_idx: usize,
+    events: &Mutex<Vec<RecoveryEvent>>,
+) -> SimResult<CheckpointAck> {
+    let (buffers, logical_bytes) = {
+        let g = gpu.lock();
+        if !g.health().memory_readable() {
+            // This rank is itself broken; it cannot contribute a
+            // checkpoint (a replica will).
+            return Err(SimError::CudaSticky(g.id));
+        }
+        g.snapshot_persistent()
+    };
+    let (iteration, opt_t) = cell.get();
+    let state = TrainState {
+        iteration,
+        opt_t,
+        buffers,
+        logical_bytes,
+    };
+    let t = cost.checkpoint_write(logical_bytes, tier, cost.gpu.gpus_per_node());
+    clock.advance(clock_idx, t);
+    checkpoint::write_checkpoint(store, job, CkptKind::Jit, rank, stage, part, dp, &state)?;
+    events.lock().push(RecoveryEvent {
+        rank,
+        checkpoint_time: t,
+        restore_time: SimTime::ZERO,
+        iteration,
+    });
+    Ok(CheckpointAck {
+        rank,
+        iteration,
+        stage,
+        part,
+    })
+}
+
+/// Result of a complete user-level job run.
+#[derive(Debug)]
+pub struct UserLevelOutcome {
+    /// Final per-rank loss trajectories, indexed `[rank][iteration]`
+    /// (`NaN` on ranks that never see the loss).
+    pub losses: Vec<Vec<f32>>,
+    /// Number of restarts (failure recoveries) performed.
+    pub restarts: u32,
+    /// Checkpoint/restore timing events.
+    pub events: Vec<RecoveryEvent>,
+}
+
+/// The launcher loop for a user-level JIT job: runs `target_iters`
+/// iterations to completion, recovering from every injected failure by
+/// JIT checkpoint → quorum → reschedule → restore.
+pub fn run_user_level_job(
+    cfg: TrainConfig,
+    cost: CostModel,
+    injector: Arc<FailureInjector>,
+    scheduler: Arc<Scheduler>,
+    store: Arc<SharedStore>,
+    jit: JitUserConfig,
+    target_iters: u64,
+) -> SimResult<UserLevelOutcome> {
+    let layout = cfg.layout;
+    let n = layout.world_size();
+    let (job, mut assignment) = scheduler.submit(layout)?;
+    let events: Arc<PlMutex<Vec<RecoveryEvent>>> = Arc::new(PlMutex::new(Vec::new()));
+    let mut final_losses: Vec<Vec<f32>> = vec![vec![f32::NAN; target_iters as usize]; n];
+    let mut restarts = 0u32;
+    let max_generations = injector.pending_count() as u32 + 2;
+    loop {
+        let setup = JobSetup::build(layout, cost.clone(), cfg.ranks_per_node);
+        let world = setup.world.clone();
+        let per_rank = setup.per_rank.clone();
+        let resume = checkpoint::assemble(&store, job, &layout).ok();
+        let failure_seen = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let gen_results = {
+            let cfg = cfg.clone();
+            let cost = cost.clone();
+            let injector = injector.clone();
+            let scheduler2 = scheduler.clone();
+            let store = store.clone();
+            let events = events.clone();
+            let jit = jit.clone();
+            let assignment_now = assignment.clone();
+            let world = world.clone();
+            let failure_seen = failure_seen.clone();
+            spawn_and_monitor(n, world.clone(), scheduler.clone(), job, failure_seen.clone(), move |i| {
+                let rank = RankId(i as u32);
+                let gpu = Gpu::new(assignment_now[i], cost.clone());
+                let mut exec = DirectExecutor::new(rank, i, gpu, world.clone());
+                let client = JitUserClient::arm(
+                    &mut exec,
+                    &jit,
+                    job,
+                    layout,
+                    store.clone(),
+                    scheduler2.clone(),
+                    world.clone(),
+                    events.clone(),
+                );
+                let mut tr = RankTrainer::new(exec, cfg.clone(), &per_rank[i], injector.clone())?;
+                // Resume from an assembled checkpoint if one exists,
+                // paying the fixed restart + read costs (the `r` of §5).
+                if resume.is_some() {
+                    let (state, meta) = checkpoint::load_for_rank(&store, job, &layout, rank)?;
+                    let t_restore = cost.process_restart
+                        + cost.checkpoint_read(meta.logical_bytes, jit.tier, cfg.ranks_per_node);
+                    tr.exec.clock().advance(i, t_restore);
+                    tr.restore(&state)?;
+                    events.lock().push(RecoveryEvent {
+                        rank,
+                        checkpoint_time: SimTime::ZERO,
+                        restore_time: t_restore,
+                        iteration: state.iteration,
+                    });
+                }
+                let start = tr.iteration();
+                let mut losses: Vec<(u64, f32)> = Vec::new();
+                let mut failure: Option<SimError> = None;
+                for it in start..target_iters {
+                    client.cell.note(tr.iteration(), tr.opt_t());
+                    match tr.train_step() {
+                        Ok(l) => losses.push((it, l.unwrap_or(f32::NAN))),
+                        Err(e) => {
+                            if std::env::var("JIT_DEBUG").is_ok() {
+                                eprintln!("[debug] {rank} failed at it {it}: {e}");
+                            }
+                            failure = Some(e);
+                            failure_seen.store(true, std::sync::atomic::Ordering::Release);
+                            break;
+                        }
+                    }
+                }
+                Ok::<_, SimError>((losses, failure, assignment_now[i]))
+            })
+        };
+        let mut any_failure = false;
+        for (i, res) in gen_results.into_iter().enumerate() {
+            let (losses, failure, gpu_id) = res?;
+            for (it, l) in losses {
+                final_losses[i][it as usize] = l;
+            }
+            if let Some(err) = failure {
+                any_failure = true;
+                if err.is_hard() {
+                    scheduler.report_gpu_failure(job, gpu_id)?;
+                }
+            }
+        }
+        if !any_failure {
+            break;
+        }
+        restarts += 1;
+        if restarts > max_generations {
+            return Err(SimError::Protocol(format!(
+                "job did not converge after {restarts} restarts"
+            )));
+        }
+        assignment = scheduler.reschedule(job)?;
+    }
+    let events = events.lock().clone();
+    Ok(UserLevelOutcome {
+        losses: final_losses,
+        restarts,
+        events,
+    })
+}
+
+/// Spawns rank threads and plays the scheduler's monitoring role: once a
+/// rank reports a failure, wait for the checkpoint quorum (§3, step 3 —
+/// at least one data-parallel replica of every pipeline stage and tensor
+/// partition acknowledged), then kill the job by aborting its
+/// communicators so parked ranks release, and join everyone.
+fn spawn_and_monitor<T, F>(
+    n: usize,
+    world: Arc<collectives::CommWorld>,
+    scheduler: Arc<Scheduler>,
+    job: JobId,
+    failure_seen: Arc<std::sync::atomic::AtomicBool>,
+    f: F,
+) -> Vec<SimResult<T>>
+where
+    T: Send + 'static,
+    F: Fn(usize) -> SimResult<T> + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let handles: Vec<_> = (0..n)
+        .map(|i| {
+            let f = f.clone();
+            std::thread::Builder::new()
+                .name(format!("rank{i}"))
+                .spawn(move || f(i))
+                .expect("spawn rank thread")
+        })
+        .collect();
+    // Monitoring loop.
+    let mut kill_at: Option<std::time::Instant> = None;
+    loop {
+        if handles.iter().all(|h| h.is_finished()) {
+            break;
+        }
+        if failure_seen.load(std::sync::atomic::Ordering::Acquire) {
+            let deadline = *kill_at
+                .get_or_insert_with(|| std::time::Instant::now() + Duration::from_secs(10));
+            let quorum = scheduler.checkpoint_quorum(job).ok().flatten().is_some();
+            if quorum || std::time::Instant::now() > deadline {
+                world.abort_all();
+            }
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    handles
+        .into_iter()
+        .map(|h| match h.join() {
+            Ok(r) => r,
+            Err(_) => Err(SimError::Protocol("rank thread panicked".into())),
+        })
+        .collect()
+}
+
+/// Allocates simulated GPUs for an assignment (helper for harnesses).
+pub fn gpus_for(assignment: &[GpuId], cost: &CostModel) -> Vec<Gpu> {
+    assignment.iter().map(|g| Gpu::new(*g, cost.clone())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::Cluster;
+    use simcore::cost::GpuGeneration;
+    use simcore::failure::{FailureKind, FailureSpec, Phase};
+
+    #[test]
+    fn iteration_cell_is_a_simple_register() {
+        let c = IterationCell::default();
+        assert_eq!(c.get(), (0, 0));
+        c.note(7, 7);
+        assert_eq!(c.get(), (7, 7));
+        c.note(8, 8);
+        assert_eq!(c.get(), (8, 8));
+    }
+
+    #[test]
+    fn default_config_uses_disk_tier() {
+        let cfg = JitUserConfig::default();
+        assert_eq!(cfg.tier, StorageTier::Disk);
+        assert!(cfg.watchdog_timeout.as_millis() >= 100);
+    }
+
+    #[test]
+    fn gpus_for_builds_devices_with_assignment_ids() {
+        let cost = CostModel::v100();
+        let gpus = gpus_for(&[GpuId(3), GpuId(9)], &cost);
+        assert_eq!(gpus.len(), 2);
+        assert_eq!(gpus[0].id, GpuId(3));
+        assert_eq!(gpus[1].id, GpuId(9));
+    }
+
+    #[test]
+    fn failure_free_job_never_restarts_or_checkpoints() {
+        let cfg = dltrain::TrainConfig::tiny_dp(2);
+        let scheduler = Arc::new(cluster::Scheduler::new(Cluster::new(
+            GpuGeneration::V100_32G,
+            1,
+        )));
+        let store = Arc::new(SharedStore::new());
+        let out = run_user_level_job(
+            cfg,
+            CostModel::v100(),
+            FailureInjector::none(),
+            scheduler,
+            store.clone(),
+            JitUserConfig::default(),
+            5,
+        )
+        .unwrap();
+        assert_eq!(out.restarts, 0);
+        assert!(out.events.is_empty());
+        assert!(store.is_empty(), "no JIT checkpoints without failures");
+        assert!(out.losses[0].iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn jit_checkpoint_files_follow_rank_dependent_paths() {
+        let cfg = dltrain::TrainConfig::tiny_dp(2);
+        let scheduler = Arc::new(cluster::Scheduler::new(Cluster::new(
+            GpuGeneration::V100_32G,
+            2,
+        )));
+        let store = Arc::new(SharedStore::new());
+        let injector = FailureInjector::with_specs(vec![FailureSpec::new(
+            2,
+            Phase::Backward,
+            RankId(0),
+            FailureKind::StickyCuda,
+        )]);
+        run_user_level_job(
+            cfg,
+            CostModel::v100(),
+            injector,
+            scheduler,
+            store.clone(),
+            JitUserConfig::default(),
+            5,
+        )
+        .unwrap();
+        // The healthy replica (rank 1 → dp1) wrote under its own path.
+        let paths = store.list("ckpt/");
+        assert!(
+            paths.iter().any(|p| p.contains("/dp1/")),
+            "rank-dependent directory expected: {paths:?}"
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! Deterministic synthetic data loading.
+//!
+//! The loader is *stateless-deterministic*: the minibatch for
+//! `(seed, iteration, dp_replica)` is a pure function, so resuming from a
+//! checkpointed iteration number reproduces exactly the data stream a
+//! failure-free run would have seen — the data-side half of the paper's
+//! semantics-preservation guarantee. Each data-parallel replica reads a
+//! disjoint shard (different samples per replica, identical across reruns).
+
+use simcore::rng::DetRng;
+
+/// A synthetic classification minibatch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Minibatch {
+    /// Inputs, row-major `[batch × input_dim]`.
+    pub inputs: Vec<f32>,
+    /// Class labels as `f32` indices, `[batch]`.
+    pub labels: Vec<f32>,
+}
+
+/// Deterministic synthetic data loader for one data-parallel replica.
+#[derive(Debug, Clone)]
+pub struct DataLoader {
+    seed: u64,
+    dp_replica: u64,
+    batch: usize,
+    input_dim: usize,
+    classes: usize,
+}
+
+impl DataLoader {
+    /// Creates a loader for one replica.
+    pub fn new(seed: u64, dp_replica: usize, batch: usize, input_dim: usize, classes: usize) -> Self {
+        DataLoader {
+            seed,
+            dp_replica: dp_replica as u64,
+            batch,
+            input_dim,
+            classes,
+        }
+    }
+
+    /// Batch size.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// The minibatch for `iteration` — a pure function of
+    /// `(seed, iteration, replica)`.
+    pub fn minibatch(&self, iteration: u64) -> Minibatch {
+        // Separable stream per (replica, iteration).
+        let root = DetRng::new(self.seed);
+        let mut rng = root.derive(self.dp_replica.wrapping_mul(0x9E37_79B9) ^ iteration);
+        let mut inputs = Vec::with_capacity(self.batch * self.input_dim);
+        let mut labels = Vec::with_capacity(self.batch);
+        for _ in 0..self.batch {
+            // Inputs carry a weak class signal so training actually
+            // reduces the loss (useful for "loss goes down" sanity tests).
+            let label = rng.below(self.classes as u64) as usize;
+            for d in 0..self.input_dim {
+                let noise = rng.uniform_symmetric(1.0);
+                let signal = if d % self.classes == label { 0.75 } else { 0.0 };
+                inputs.push(noise + signal);
+            }
+            labels.push(label as f32);
+        }
+        Minibatch { inputs, labels }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_coordinates_same_batch() {
+        let l = DataLoader::new(7, 0, 4, 8, 3);
+        assert_eq!(l.minibatch(5), l.minibatch(5));
+    }
+
+    #[test]
+    fn different_iterations_differ() {
+        let l = DataLoader::new(7, 0, 4, 8, 3);
+        assert_ne!(l.minibatch(5), l.minibatch(6));
+    }
+
+    #[test]
+    fn replicas_read_disjoint_shards() {
+        let a = DataLoader::new(7, 0, 4, 8, 3);
+        let b = DataLoader::new(7, 1, 4, 8, 3);
+        assert_ne!(a.minibatch(0), b.minibatch(0));
+    }
+
+    #[test]
+    fn shapes_are_correct() {
+        let l = DataLoader::new(1, 0, 6, 10, 4);
+        let mb = l.minibatch(0);
+        assert_eq!(mb.inputs.len(), 60);
+        assert_eq!(mb.labels.len(), 6);
+        assert!(mb.labels.iter().all(|&y| y >= 0.0 && y < 4.0));
+    }
+
+    #[test]
+    fn resume_reproduces_future_batches() {
+        // Checkpoint semantics: knowing only (seed, iteration) reproduces
+        // the stream.
+        let l1 = DataLoader::new(42, 2, 4, 8, 3);
+        let ahead: Vec<Minibatch> = (10..15).map(|i| l1.minibatch(i)).collect();
+        let l2 = DataLoader::new(42, 2, 4, 8, 3);
+        let resumed: Vec<Minibatch> = (10..15).map(|i| l2.minibatch(i)).collect();
+        assert_eq!(ahead, resumed);
+    }
+}

@@ -1,0 +1,221 @@
+//! Job setup: building the communicator structure for a parallel layout.
+//!
+//! The orchestrator (job launcher) creates one communicator per distinct
+//! process group — the world group, one data-parallel group per
+//! (stage, partition) cell, and one tensor-parallel group per
+//! (replica, stage) — and hands each rank its bundle. The number of
+//! groups a rank participates in is what recovery must tear down and
+//! rebuild (the dominant cost in Table 7).
+
+use collectives::{CommWorld, Communicator};
+use simcore::cost::CostModel;
+use simcore::layout::ParallelLayout;
+use simcore::time::ClockBoard;
+use simcore::RankId;
+use std::sync::Arc;
+
+/// The communicator bundle for one rank.
+#[derive(Clone)]
+pub struct JobComms {
+    /// World group (all ranks): used for job-wide barriers.
+    pub global: Arc<Communicator>,
+    /// Additional framework process groups (Megatron/DeepSpeed create
+    /// many specialized groups — embedding, grad-norm, … — that recovery
+    /// must also tear down and re-create; they dominate Table 7).
+    pub extras: Vec<Arc<Communicator>>,
+    /// Data-parallel group of this rank's (stage, partition) cell, when
+    /// `dp > 1`.
+    pub dp: Option<Arc<Communicator>>,
+    /// Tensor-parallel (or FSDP shard) group, when `tp > 1`.
+    pub tp: Option<Arc<Communicator>>,
+    /// Previous pipeline stage peer (same replica & partition).
+    pub prev: Option<RankId>,
+    /// Next pipeline stage peer.
+    pub next: Option<RankId>,
+}
+
+/// Everything the launcher builds before spawning rank threads.
+pub struct JobSetup {
+    /// The parallelism layout.
+    pub layout: ParallelLayout,
+    /// Shared clock board (one slot per rank).
+    pub clock: Arc<ClockBoard>,
+    /// The communication world.
+    pub world: Arc<CommWorld>,
+    /// Per-rank communicator bundles, indexed by rank.
+    pub per_rank: Vec<JobComms>,
+    /// GPUs per node (for same-node routing of p2p transfers).
+    pub ranks_per_node: usize,
+}
+
+impl JobSetup {
+    /// Builds the communicator structure for `layout`.
+    pub fn build(layout: ParallelLayout, cost: CostModel, ranks_per_node: usize) -> JobSetup {
+        Self::build_with_extras(layout, cost, ranks_per_node, 0)
+    }
+
+    /// Builds the communicator structure with `extras` additional
+    /// framework process groups per rank (spanning the world group).
+    pub fn build_with_extras(
+        layout: ParallelLayout,
+        cost: CostModel,
+        ranks_per_node: usize,
+        extras: usize,
+    ) -> JobSetup {
+        let n = layout.world_size();
+        let clock = Arc::new(ClockBoard::new(n));
+        let world = CommWorld::new(clock.clone(), cost, ranks_per_node);
+        let mut per_rank = build_comms(&layout, &world);
+        let all: Vec<RankId> = (0..n).map(RankId::from).collect();
+        let idx: Vec<usize> = (0..n).collect();
+        for _ in 0..extras {
+            let c = world.create_comm(all.clone(), idx.clone());
+            for bundle in &mut per_rank {
+                bundle.extras.push(c.clone());
+            }
+        }
+        JobSetup {
+            layout,
+            clock,
+            world,
+            per_rank,
+            ranks_per_node,
+        }
+    }
+
+    /// True when two ranks share a node under contiguous rank→GPU
+    /// placement.
+    pub fn same_node(&self, a: RankId, b: RankId) -> bool {
+        a.index() / self.ranks_per_node == b.index() / self.ranks_per_node
+    }
+
+    /// Total number of communicators a single rank participates in
+    /// (world + dp + tp) — the per-rank "recreate NCCL communicators"
+    /// multiplier.
+    pub fn comms_per_rank(&self, rank: RankId) -> usize {
+        let c = &self.per_rank[rank.index()];
+        1 + c.dp.is_some() as usize + c.tp.is_some() as usize
+    }
+}
+
+/// (Re)builds all communicators for `layout` on `world` and returns the
+/// per-rank bundles. Also used by the recovery engine when rebuilding the
+/// communication layer after `CommWorld::reset`.
+pub fn build_comms(layout: &ParallelLayout, world: &Arc<CommWorld>) -> Vec<JobComms> {
+    let n = layout.world_size();
+    let all: Vec<RankId> = (0..n).map(RankId::from).collect();
+    let idx: Vec<usize> = (0..n).collect();
+    let global = world.create_comm(all, idx);
+    // One dp communicator per (stage, part) cell.
+    let mut dp_of: Vec<Option<Arc<Communicator>>> = vec![None; n];
+    if layout.dp > 1 {
+        for (stage, part) in layout.cells() {
+            let members: Vec<RankId> = (0..layout.dp)
+                .map(|dp| {
+                    layout.rank_at(simcore::layout::GridCoord { dp, stage, part })
+                })
+                .collect();
+            let idxs: Vec<usize> = members.iter().map(|r| r.index()).collect();
+            let comm = world.create_comm(members.clone(), idxs);
+            for r in members {
+                dp_of[r.index()] = Some(comm.clone());
+            }
+        }
+    }
+    // One tp communicator per (replica, stage).
+    let mut tp_of: Vec<Option<Arc<Communicator>>> = vec![None; n];
+    if layout.tp > 1 {
+        for dp in 0..layout.dp {
+            for stage in 0..layout.pp {
+                let members: Vec<RankId> = (0..layout.tp)
+                    .map(|part| {
+                        layout.rank_at(simcore::layout::GridCoord { dp, stage, part })
+                    })
+                    .collect();
+                let idxs: Vec<usize> = members.iter().map(|r| r.index()).collect();
+                let comm = world.create_comm(members.clone(), idxs);
+                for r in members {
+                    tp_of[r.index()] = Some(comm.clone());
+                }
+            }
+        }
+    }
+    (0..n)
+        .map(|r| {
+            let rank = RankId::from(r);
+            let c = layout.coord(rank);
+            let prev = (c.stage > 0).then(|| {
+                layout.rank_at(simcore::layout::GridCoord {
+                    dp: c.dp,
+                    stage: c.stage - 1,
+                    part: c.part,
+                })
+            });
+            let next = (c.stage + 1 < layout.pp).then(|| {
+                layout.rank_at(simcore::layout::GridCoord {
+                    dp: c.dp,
+                    stage: c.stage + 1,
+                    part: c.part,
+                })
+            });
+            JobComms {
+                global: global.clone(),
+                extras: Vec::new(),
+                dp: dp_of[r].clone(),
+                tp: tp_of[r].clone(),
+                prev,
+                next,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_dp_has_one_dp_group_no_tp() {
+        let s = JobSetup::build(ParallelLayout::data_parallel(4), CostModel::v100(), 8);
+        assert_eq!(s.world.live_comms(), 2); // world + 1 dp group
+        for r in 0..4 {
+            let c = &s.per_rank[r];
+            assert!(c.dp.is_some());
+            assert!(c.tp.is_none());
+            assert!(c.prev.is_none() && c.next.is_none());
+            assert_eq!(s.comms_per_rank(RankId(r as u32)), 2);
+        }
+    }
+
+    #[test]
+    fn three_d_builds_cells_and_chains() {
+        let layout = ParallelLayout::three_d(2, 2, 2);
+        let s = JobSetup::build(layout, CostModel::v100(), 8);
+        // world + 4 dp cells + 4 tp groups.
+        assert_eq!(s.world.live_comms(), 9);
+        // Rank 0: dp=0, stage=0, part=0.
+        let c = &s.per_rank[0];
+        assert!(c.dp.is_some() && c.tp.is_some());
+        assert!(c.prev.is_none());
+        assert_eq!(c.next, Some(RankId(2))); // stage 1, part 0, dp 0
+        // Rank 2 (stage 1) has prev and no next.
+        let c2 = &s.per_rank[2];
+        assert_eq!(c2.prev, Some(RankId(0)));
+        assert!(c2.next.is_none());
+    }
+
+    #[test]
+    fn dp_groups_contain_exactly_the_cell_replicas() {
+        let layout = ParallelLayout::three_d(2, 2, 1);
+        let s = JobSetup::build(layout, CostModel::v100(), 8);
+        let dp = s.per_rank[0].dp.as_ref().unwrap();
+        assert_eq!(dp.ranks(), &[RankId(0), RankId(2)]);
+    }
+
+    #[test]
+    fn same_node_uses_contiguous_placement() {
+        let s = JobSetup::build(ParallelLayout::data_parallel(16), CostModel::v100(), 8);
+        assert!(s.same_node(RankId(0), RankId(7)));
+        assert!(!s.same_node(RankId(7), RankId(8)));
+    }
+}

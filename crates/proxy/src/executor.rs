@@ -1,0 +1,501 @@
+//! The [`Executor`] trait — the seam between the training framework and
+//! the device, and its direct (non-intercepting) implementation.
+//!
+//! The training framework (`dltrain`) is generic over `Executor`, so the
+//! *same* training code runs either directly against the device (baseline
+//! and user-level JIT, where failures surface to "user code") or through
+//! the [`crate::ProxyClient`] interception layer (transparent JIT, where
+//! they do not). This mirrors the paper's claim that transparent JIT
+//! requires no application change: swapping the executor is a deployment
+//! choice, not a code change.
+
+use collectives::{CollectiveObserver, Communicator, NullObserver, ReduceOp};
+use parking_lot::Mutex;
+use simcore::failure::FailureKind;
+use simcore::time::ClockBoard;
+use simcore::{RankId, SimError, SimResult};
+use simgpu::{BufferId, BufferTag, CallResult, DeviceCall, Gpu, GpuHealth};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Token for a registered communicator (virtualized: survives communicator
+/// re-creation during recovery).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CommToken(pub u64);
+
+/// Description of an in-flight operation, given to recovery handlers.
+#[derive(Debug, Clone)]
+pub enum PendingOp {
+    /// A device API call.
+    Device(DeviceCall),
+    /// A collective operation on a registered communicator.
+    Collective {
+        /// Communicator token.
+        comm: CommToken,
+        /// Human-readable op name.
+        op: &'static str,
+    },
+    /// A point-to-point transfer.
+    P2p {
+        /// Peer rank.
+        peer: RankId,
+        /// Message tag.
+        tag: u64,
+    },
+}
+
+/// Device + communication interface the training framework runs against.
+///
+/// All buffer/stream/event ids a caller sees may be virtual; they remain
+/// stable across recovery.
+pub trait Executor: Send {
+    /// This executor's global rank.
+    fn rank(&self) -> RankId;
+    /// Clock-board slot of this rank.
+    fn clock_idx(&self) -> usize;
+    /// The shared virtual clock board.
+    fn clock(&self) -> Arc<ClockBoard>;
+
+    /// Issues a device API call.
+    fn call(&mut self, call: DeviceCall) -> SimResult<CallResult>;
+
+    /// Registers a communicator, returning a stable token.
+    fn register_comm(&mut self, comm: Arc<Communicator>) -> CommToken;
+
+    /// All-reduce the contents of `buf` in place across the group.
+    fn all_reduce(&mut self, comm: CommToken, buf: BufferId, op: ReduceOp) -> SimResult<()>;
+
+    /// All-gather `src` (equal shards) into `dst` on every rank.
+    fn all_gather_into(&mut self, comm: CommToken, src: BufferId, dst: BufferId) -> SimResult<()>;
+
+    /// Reduce-scatter `src` into this rank's shard `dst`.
+    fn reduce_scatter_into(
+        &mut self,
+        comm: CommToken,
+        src: BufferId,
+        dst: BufferId,
+        op: ReduceOp,
+    ) -> SimResult<()>;
+
+    /// Broadcast `buf` from `root` (contents overwritten on non-roots).
+    fn broadcast(&mut self, comm: CommToken, root: RankId, buf: BufferId) -> SimResult<()>;
+
+    /// Barrier across the group.
+    fn barrier(&mut self, comm: CommToken) -> SimResult<()>;
+
+    /// Sends `buf` to `dst` (pipeline activations/gradients). `seq` is
+    /// the sender's minibatch iteration: p2p pairing is by deterministic
+    /// key, making replays idempotent.
+    fn send(&mut self, dst: RankId, tag: u64, seq: u64, buf: BufferId, same_node: bool)
+        -> SimResult<()>;
+
+    /// Receives `(src, tag, seq)` into `buf`.
+    fn recv_into(&mut self, src: RankId, tag: u64, seq: u64, buf: BufferId) -> SimResult<()>;
+
+    /// Marks the start of minibatch `iteration`: commits deferred frees
+    /// and (under interception) clears the replay log (§4.1).
+    fn begin_minibatch(&mut self, iteration: u64) -> SimResult<()>;
+
+    /// Pre-optimizer-step hook (§4.2.2's framework callback).
+    fn pre_optimizer(&mut self) -> SimResult<()>;
+
+    /// Post-optimizer-step hook.
+    fn post_optimizer(&mut self) -> SimResult<()>;
+
+    /// Snapshot of persistent (param/optimizer) state with its logical
+    /// byte size — the payload of a JIT checkpoint.
+    fn persistent_snapshot(&mut self) -> SimResult<(Vec<(String, BufferTag, Vec<f32>)>, u64)>;
+
+    /// Restores persistent state from a snapshot (by storage key).
+    fn restore_persistent(&mut self, snap: &[(String, BufferTag, Vec<f32>)]) -> SimResult<()>;
+
+    /// Applies an injected fault to this rank's device.
+    fn inject(&mut self, kind: FailureKind);
+
+    /// Arms a one-shot transient network fault on a communicator.
+    fn inject_transient(&mut self, comm: CommToken) -> SimResult<()>;
+
+    /// Device health as seen by this rank.
+    fn health(&self) -> GpuHealth;
+
+    /// Current iteration number (as tracked by `begin_minibatch`).
+    fn iteration(&self) -> u64;
+}
+
+/// Direct executor: no interception, no logging. Failures surface to the
+/// caller ("user code"), which is exactly the failure model the
+/// user-level JIT solution (§3) and the periodic-checkpointing baselines
+/// operate under.
+pub struct DirectExecutor {
+    rank: RankId,
+    clock_idx: usize,
+    clock: Arc<ClockBoard>,
+    gpu: Arc<Mutex<Gpu>>,
+    world: Arc<collectives::CommWorld>,
+    comms: HashMap<CommToken, Arc<Communicator>>,
+    next_token: u64,
+    observer: Arc<dyn CollectiveObserver>,
+    iteration: u64,
+    p2p_seq: u64,
+    comm_gens: HashMap<CommToken, u64>,
+}
+
+impl DirectExecutor {
+    /// Creates a direct executor for `rank` over `gpu`.
+    pub fn new(
+        rank: RankId,
+        clock_idx: usize,
+        gpu: Gpu,
+        world: Arc<collectives::CommWorld>,
+    ) -> Self {
+        let clock = world.clock().clone();
+        DirectExecutor {
+            rank,
+            clock_idx,
+            clock,
+            gpu: Arc::new(Mutex::new(gpu)),
+            world,
+            comms: HashMap::new(),
+            next_token: 1,
+            observer: Arc::new(NullObserver),
+            iteration: 0,
+            p2p_seq: 0,
+            comm_gens: HashMap::new(),
+        }
+    }
+
+    /// Installs a collective observer (the user-level JIT watch-list hook).
+    pub fn set_observer(&mut self, obs: Arc<dyn CollectiveObserver>) {
+        self.observer = obs;
+    }
+
+    /// Shared handle to the device. The user-level JIT watchdog holds a
+    /// clone so it can snapshot GPU state from its own thread while the
+    /// rank thread is parked in a hung collective — the analogue of the
+    /// paper's checkpoint-on-a-new-CUDA-stream trick (§3.2). The lock is
+    /// never held across a blocking collective wait.
+    pub fn shared_gpu(&self) -> Arc<Mutex<Gpu>> {
+        self.gpu.clone()
+    }
+
+    /// Runs a closure with exclusive device access.
+    pub fn with_gpu<R>(&self, f: impl FnOnce(&mut Gpu) -> R) -> R {
+        f(&mut self.gpu.lock())
+    }
+
+    /// The communicator behind a token.
+    pub fn comm(&self, token: CommToken) -> SimResult<Arc<Communicator>> {
+        self.comms
+            .get(&token)
+            .cloned()
+            .ok_or_else(|| SimError::InvalidHandle(format!("comm token {token:?}")))
+    }
+
+    fn fetch(&mut self, buf: BufferId) -> SimResult<(Vec<f32>, u64)> {
+        let gpu = self.gpu.lock();
+        let b = gpu.buffer(buf)?;
+        Ok((b.data.clone(), b.logical_bytes))
+    }
+
+    /// Current operation sequence number for a communicator token. The
+    /// counter advances only on success, so a failed or aborted attempt
+    /// is retried at the same generation (idempotent pairing).
+    fn gen_of(&self, token: CommToken) -> u64 {
+        self.comm_gens.get(&token).copied().unwrap_or(0)
+    }
+
+    fn bump_gen(&mut self, token: CommToken) {
+        *self.comm_gens.entry(token).or_insert(0) += 1;
+    }
+
+    fn check_comm_health(&self) -> SimResult<()> {
+        let gpu = self.gpu.lock();
+        match gpu.health() {
+            // Driver corruption surfaces at network operations even though
+            // plain device calls still appear to succeed (§4.2.1 case 2).
+            GpuHealth::DriverSuspect => Err(SimError::DriverCorrupted(gpu.id)),
+            h => h.check_api(gpu.id),
+        }
+    }
+}
+
+impl Executor for DirectExecutor {
+    fn rank(&self) -> RankId {
+        self.rank
+    }
+
+    fn clock_idx(&self) -> usize {
+        self.clock_idx
+    }
+
+    fn clock(&self) -> Arc<ClockBoard> {
+        self.clock.clone()
+    }
+
+    fn call(&mut self, call: DeviceCall) -> SimResult<CallResult> {
+        let (res, cost) = self.gpu.lock().exec(&call)?;
+        self.clock.advance(self.clock_idx, cost);
+        Ok(res)
+    }
+
+    fn register_comm(&mut self, comm: Arc<Communicator>) -> CommToken {
+        let token = CommToken(self.next_token);
+        self.next_token += 1;
+        self.comms.insert(token, comm);
+        token
+    }
+
+    fn all_reduce(&mut self, comm: CommToken, buf: BufferId, op: ReduceOp) -> SimResult<()> {
+        self.check_comm_health()?;
+        let (data, logical) = self.fetch(buf)?;
+        let arc = self.comm(comm)?;
+        let gen = self.gen_of(comm);
+        let out = arc.all_reduce(self.rank, gen, data, op, logical, self.observer.as_ref())?;
+        self.bump_gen(comm);
+        self.gpu.lock().load_buffer(buf, &out)
+    }
+
+    fn all_gather_into(&mut self, comm: CommToken, src: BufferId, dst: BufferId) -> SimResult<()> {
+        self.check_comm_health()?;
+        let (data, logical) = self.fetch(src)?;
+        let arc = self.comm(comm)?;
+        let gen = self.gen_of(comm);
+        let out = arc.all_gather(self.rank, gen, data, logical, self.observer.as_ref())?;
+        self.bump_gen(comm);
+        self.gpu.lock().load_buffer(dst, &out)
+    }
+
+    fn reduce_scatter_into(
+        &mut self,
+        comm: CommToken,
+        src: BufferId,
+        dst: BufferId,
+        op: ReduceOp,
+    ) -> SimResult<()> {
+        self.check_comm_health()?;
+        let (data, logical) = self.fetch(src)?;
+        let arc = self.comm(comm)?;
+        let gen = self.gen_of(comm);
+        let out =
+            arc.reduce_scatter(self.rank, gen, data, op, logical, self.observer.as_ref())?;
+        self.bump_gen(comm);
+        self.gpu.lock().load_buffer(dst, &out)
+    }
+
+    fn broadcast(&mut self, comm: CommToken, root: RankId, buf: BufferId) -> SimResult<()> {
+        self.check_comm_health()?;
+        let comm_arc = self.comm(comm)?;
+        let (data, logical) = self.fetch(buf)?;
+        let contribution = if self.rank == root { Some(data) } else { None };
+        let gen = self.gen_of(comm);
+        let out = comm_arc.broadcast(
+            self.rank,
+            gen,
+            root,
+            contribution,
+            logical,
+            self.observer.as_ref(),
+        )?;
+        self.bump_gen(comm);
+        self.gpu.lock().load_buffer(buf, &out)
+    }
+
+    fn barrier(&mut self, comm: CommToken) -> SimResult<()> {
+        let arc = self.comm(comm)?;
+        let gen = self.gen_of(comm);
+        arc.barrier(self.rank, gen, self.observer.as_ref())?;
+        self.bump_gen(comm);
+        Ok(())
+    }
+
+    fn send(
+        &mut self,
+        dst: RankId,
+        tag: u64,
+        seq: u64,
+        buf: BufferId,
+        same_node: bool,
+    ) -> SimResult<()> {
+        self.check_comm_health()?;
+        let (data, logical) = self.fetch(buf)?;
+        self.world
+            .send(self.rank, self.clock_idx, dst, tag, seq, data, logical, same_node)
+    }
+
+    fn recv_into(&mut self, src: RankId, tag: u64, seq: u64, buf: BufferId) -> SimResult<()> {
+        self.check_comm_health()?;
+        // A pipeline recv blocks exactly like a collective when the peer
+        // stage has failed; register it with the hang watch-list.
+        self.p2p_seq += 1;
+        let ticket = collectives::CollectiveTicket {
+            comm: collectives::CommId(u64::MAX),
+            generation: self.p2p_seq,
+            rank: self.rank,
+            kind: collectives::CollKind::Barrier,
+            entered_at: std::time::Instant::now(),
+        };
+        self.observer.collective_started(&ticket);
+        let result = self.world.recv(src, self.rank, self.clock_idx, tag, seq);
+        self.observer.collective_finished(&ticket);
+        let data = result?;
+        self.gpu.lock().load_buffer(buf, &data)
+    }
+
+    fn begin_minibatch(&mut self, iteration: u64) -> SimResult<()> {
+        self.iteration = iteration;
+        self.gpu.lock().commit_frees();
+        Ok(())
+    }
+
+    fn pre_optimizer(&mut self) -> SimResult<()> {
+        Ok(())
+    }
+
+    fn post_optimizer(&mut self) -> SimResult<()> {
+        Ok(())
+    }
+
+    fn persistent_snapshot(&mut self) -> SimResult<(Vec<(String, BufferTag, Vec<f32>)>, u64)> {
+        let gpu = self.gpu.lock();
+        if !gpu.health().memory_readable() {
+            return Err(SimError::CudaSticky(gpu.id));
+        }
+        Ok(gpu.snapshot_persistent())
+    }
+
+    fn restore_persistent(&mut self, snap: &[(String, BufferTag, Vec<f32>)]) -> SimResult<()> {
+        self.gpu.lock().restore_persistent(snap)
+    }
+
+    fn inject(&mut self, kind: FailureKind) {
+        self.gpu.lock().inject(kind);
+    }
+
+    fn inject_transient(&mut self, comm: CommToken) -> SimResult<()> {
+        self.comm(comm)?.inject_transient_fault(self.rank);
+        Ok(())
+    }
+
+    fn health(&self) -> GpuHealth {
+        self.gpu.lock().health()
+    }
+
+    fn iteration(&self) -> u64 {
+        self.iteration
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use collectives::CommWorld;
+    use simcore::cost::CostModel;
+    use simgpu::AllocSite;
+    use std::thread;
+
+    fn setup(n: usize) -> (Arc<CommWorld>, Vec<DirectExecutor>) {
+        let clock = Arc::new(ClockBoard::new(n));
+        let world = CommWorld::new(clock, CostModel::v100(), 8);
+        let execs = (0..n)
+            .map(|i| {
+                let gpu = Gpu::new(simcore::GpuId(i as u32), CostModel::v100());
+                DirectExecutor::new(RankId(i as u32), i, gpu, world.clone())
+            })
+            .collect();
+        (world, execs)
+    }
+
+    fn alloc(e: &mut DirectExecutor, path: &str, data: Vec<f32>, tag: BufferTag) -> BufferId {
+        let n = data.len() as u64;
+        let b = e
+            .call(DeviceCall::Malloc {
+                site: AllocSite::new(path, n),
+                elems: n,
+                logical_bytes: n * 4,
+                tag,
+            })
+            .unwrap()
+            .buffer()
+            .unwrap();
+        e.call(DeviceCall::Upload { buf: b, data }).unwrap();
+        b
+    }
+
+    #[test]
+    fn device_calls_advance_the_clock() {
+        let (_, mut execs) = setup(1);
+        let e = &mut execs[0];
+        let before = e.clock().now(0);
+        alloc(e, "x", vec![1.0; 64], BufferTag::Param);
+        assert!(e.clock().now(0) > before);
+    }
+
+    #[test]
+    fn all_reduce_through_executors() {
+        let (world, mut execs) = setup(2);
+        let comm = world.create_comm(vec![RankId(0), RankId(1)], vec![0, 1]);
+        let handles: Vec<_> = execs
+            .drain(..)
+            .enumerate()
+            .map(|(i, mut e)| {
+                let comm = comm.clone();
+                thread::spawn(move || {
+                    let t = e.register_comm(comm);
+                    let b = alloc(&mut e, "g", vec![(i + 1) as f32; 4], BufferTag::Gradient);
+                    e.all_reduce(t, b, ReduceOp::Sum).unwrap();
+                    e.call(DeviceCall::Download { buf: b }).unwrap().data().unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), vec![3.0; 4]);
+        }
+    }
+
+    #[test]
+    fn failed_device_refuses_collectives() {
+        let (world, mut execs) = setup(1);
+        let comm = world.create_comm(vec![RankId(0)], vec![0]);
+        let e = &mut execs[0];
+        let t = e.register_comm(comm);
+        let b = alloc(e, "g", vec![1.0], BufferTag::Gradient);
+        e.inject(FailureKind::StickyCuda);
+        let err = e.all_reduce(t, b, ReduceOp::Sum).unwrap_err();
+        assert!(matches!(err, SimError::CudaSticky(_)));
+    }
+
+    #[test]
+    fn send_recv_between_executors() {
+        let (_, mut execs) = setup(2);
+        let mut e1 = execs.pop().unwrap();
+        let mut e0 = execs.pop().unwrap();
+        let src = alloc(&mut e0, "act", vec![5.0, 6.0], BufferTag::Activation);
+        let dst = alloc(&mut e1, "act_in", vec![0.0, 0.0], BufferTag::Activation);
+        e0.send(RankId(1), 0, 0, src, true).unwrap();
+        e1.recv_into(RankId(0), 0, 0, dst).unwrap();
+        assert_eq!(
+            e1.call(DeviceCall::Download { buf: dst }).unwrap().data().unwrap(),
+            vec![5.0, 6.0]
+        );
+    }
+
+    #[test]
+    fn persistent_snapshot_excludes_activations() {
+        let (_, mut execs) = setup(1);
+        let e = &mut execs[0];
+        alloc(e, "w", vec![1.0; 4], BufferTag::Param);
+        alloc(e, "act", vec![2.0; 4], BufferTag::Activation);
+        let (snap, bytes) = e.persistent_snapshot().unwrap();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(bytes, 16);
+    }
+
+    #[test]
+    fn snapshot_fails_when_memory_unreadable() {
+        let (_, mut execs) = setup(1);
+        let e = &mut execs[0];
+        alloc(e, "w", vec![1.0; 4], BufferTag::Param);
+        e.inject(FailureKind::StickyCuda);
+        assert!(e.persistent_snapshot().is_err());
+    }
+}

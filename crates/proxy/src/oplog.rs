@@ -1,0 +1,748 @@
+//! Logged operations and the virtual-handle map.
+//!
+//! The interception layer hands the application **virtual** buffer,
+//! stream, and event handles; the [`VirtualMap`] translates them to the
+//! physical handles of the current proxy-server epoch. When recovery
+//! restarts the server, physical handles change — but "we cannot change
+//! the handles already held in application variables", so recovery
+//! re-creates the objects and *rebinds* the same virtual ids (§4.2.1).
+//!
+//! A [`LoggedOp`] is one entry in the replay or creation log: the call
+//! with its (virtual) ids, its input values, and — for object-creating
+//! calls — the virtual id that was handed out, so replay can rebind it.
+
+use crate::executor::CommToken;
+use collectives::ReduceOp;
+use simcore::{RankId, SimError, SimResult};
+use simgpu::{BufferId, DeviceCall, EventId, StreamId};
+use std::collections::HashMap;
+
+/// A collective operation as recorded in the replay log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoggedColl {
+    /// In-place all-reduce of a buffer.
+    AllReduce {
+        /// Communicator token.
+        comm: CommToken,
+        /// Operation sequence number on the communicator.
+        gen: u64,
+        /// Buffer (virtual).
+        buf: BufferId,
+        /// Reduction op.
+        op: ReduceOp,
+    },
+    /// All-gather from `src` into `dst`.
+    AllGather {
+        /// Communicator token.
+        comm: CommToken,
+        /// Operation sequence number on the communicator.
+        gen: u64,
+        /// Source shard (virtual).
+        src: BufferId,
+        /// Gathered destination (virtual).
+        dst: BufferId,
+    },
+    /// Reduce-scatter from `src` into shard `dst`.
+    ReduceScatter {
+        /// Communicator token.
+        comm: CommToken,
+        /// Operation sequence number on the communicator.
+        gen: u64,
+        /// Full-size source (virtual).
+        src: BufferId,
+        /// Shard destination (virtual).
+        dst: BufferId,
+        /// Reduction op.
+        op: ReduceOp,
+    },
+    /// Broadcast of `buf` from `root`.
+    Broadcast {
+        /// Communicator token.
+        comm: CommToken,
+        /// Operation sequence number on the communicator.
+        gen: u64,
+        /// Root rank.
+        root: RankId,
+        /// Buffer (virtual).
+        buf: BufferId,
+    },
+    /// Barrier.
+    Barrier {
+        /// Communicator token.
+        comm: CommToken,
+        /// Operation sequence number on the communicator.
+        gen: u64,
+    },
+}
+
+/// One logged operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoggedOp {
+    /// A device API call (ids are virtual). `result_vid` is the virtual id
+    /// handed to the application for object-creating calls.
+    Device {
+        /// The call with virtual ids.
+        call: DeviceCall,
+        /// Virtual id returned to the application, if any.
+        result_vid: Option<u64>,
+    },
+    /// A collective operation.
+    Collective(LoggedColl),
+    /// A p2p send.
+    Send {
+        /// Destination rank.
+        dst: RankId,
+        /// Tag.
+        tag: u64,
+        /// Sender's minibatch iteration (deterministic pairing key).
+        seq: u64,
+        /// Buffer sent (virtual).
+        buf: BufferId,
+        /// Intra-node transfer.
+        same_node: bool,
+    },
+    /// A p2p receive.
+    Recv {
+        /// Source rank.
+        src: RankId,
+        /// Tag.
+        tag: u64,
+        /// Sender's minibatch iteration.
+        seq: u64,
+        /// Destination buffer (virtual).
+        buf: BufferId,
+    },
+}
+
+/// Virtual→physical handle translation for one rank.
+#[derive(Debug, Default)]
+pub struct VirtualMap {
+    buf: HashMap<u64, BufferId>,
+    stream: HashMap<u64, StreamId>,
+    event: HashMap<u64, EventId>,
+    next: u64,
+}
+
+impl VirtualMap {
+    /// Creates an empty map. Virtual ids start at a high base so that
+    /// accidentally passing a physical id through translation fails fast.
+    pub fn new() -> Self {
+        VirtualMap {
+            buf: HashMap::new(),
+            stream: HashMap::new(),
+            event: HashMap::new(),
+            next: 1 << 32,
+        }
+    }
+
+    fn fresh(&mut self) -> u64 {
+        let v = self.next;
+        self.next += 1;
+        v
+    }
+
+    /// Registers a new physical buffer, returning its virtual handle.
+    pub fn bind_buffer(&mut self, phys: BufferId) -> BufferId {
+        let v = self.fresh();
+        self.buf.insert(v, phys);
+        BufferId(v)
+    }
+
+    /// Registers a new physical stream.
+    pub fn bind_stream(&mut self, phys: StreamId) -> StreamId {
+        let v = self.fresh();
+        self.stream.insert(v, phys);
+        StreamId(v)
+    }
+
+    /// Registers a new physical event.
+    pub fn bind_event(&mut self, phys: EventId) -> EventId {
+        let v = self.fresh();
+        self.event.insert(v, phys);
+        EventId(v)
+    }
+
+    /// Rebinds an existing virtual buffer to a new physical one (after
+    /// server restart + object recreation).
+    pub fn rebind_buffer(&mut self, virt: BufferId, phys: BufferId) {
+        self.buf.insert(virt.0, phys);
+    }
+
+    /// Rebinds an existing virtual stream.
+    pub fn rebind_stream(&mut self, virt: StreamId, phys: StreamId) {
+        self.stream.insert(virt.0, phys);
+    }
+
+    /// Rebinds an existing virtual event.
+    pub fn rebind_event(&mut self, virt: EventId, phys: EventId) {
+        self.event.insert(virt.0, phys);
+    }
+
+    /// Resolves a virtual buffer handle.
+    pub fn buffer(&self, virt: BufferId) -> SimResult<BufferId> {
+        self.buf
+            .get(&virt.0)
+            .copied()
+            .ok_or_else(|| SimError::InvalidHandle(format!("virtual {virt}")))
+    }
+
+    /// Resolves a virtual stream handle.
+    pub fn stream(&self, virt: StreamId) -> SimResult<StreamId> {
+        self.stream
+            .get(&virt.0)
+            .copied()
+            .ok_or_else(|| SimError::InvalidHandle(format!("virtual {virt}")))
+    }
+
+    /// Resolves a virtual event handle.
+    pub fn event(&self, virt: EventId) -> SimResult<EventId> {
+        self.event
+            .get(&virt.0)
+            .copied()
+            .ok_or_else(|| SimError::InvalidHandle(format!("virtual {virt}")))
+    }
+
+    /// Forgets a virtual buffer (after Free commits).
+    pub fn unbind_buffer(&mut self, virt: BufferId) {
+        self.buf.remove(&virt.0);
+    }
+
+    /// Forgets a virtual stream.
+    pub fn unbind_stream(&mut self, virt: StreamId) {
+        self.stream.remove(&virt.0);
+    }
+
+    /// Forgets a virtual event.
+    pub fn unbind_event(&mut self, virt: EventId) {
+        self.event.remove(&virt.0);
+    }
+
+    /// Translates a call with virtual ids into one with physical ids.
+    pub fn to_physical(&self, call: &DeviceCall) -> SimResult<DeviceCall> {
+        use simgpu::KernelKind as K;
+        Ok(match call {
+            DeviceCall::Malloc { .. } | DeviceCall::StreamCreate | DeviceCall::EventCreate => {
+                call.clone()
+            }
+            DeviceCall::Free { buf } => DeviceCall::Free {
+                buf: self.buffer(*buf)?,
+            },
+            DeviceCall::Upload { buf, data } => DeviceCall::Upload {
+                buf: self.buffer(*buf)?,
+                data: data.clone(),
+            },
+            DeviceCall::Download { buf } => DeviceCall::Download {
+                buf: self.buffer(*buf)?,
+            },
+            DeviceCall::CopyD2D { src, dst } => DeviceCall::CopyD2D {
+                src: self.buffer(*src)?,
+                dst: self.buffer(*dst)?,
+            },
+            DeviceCall::Launch { stream, kernel } => {
+                let b = |id: &BufferId| self.buffer(*id);
+                let kernel = match kernel {
+                    K::MatMul {
+                        a,
+                        b: bb,
+                        out,
+                        m,
+                        k,
+                        n,
+                        trans_a,
+                        trans_b,
+                    } => K::MatMul {
+                        a: b(a)?,
+                        b: b(bb)?,
+                        out: b(out)?,
+                        m: *m,
+                        k: *k,
+                        n: *n,
+                        trans_a: *trans_a,
+                        trans_b: *trans_b,
+                    },
+                    K::BiasAdd { x, bias, rows, cols } => K::BiasAdd {
+                        x: b(x)?,
+                        bias: b(bias)?,
+                        rows: *rows,
+                        cols: *cols,
+                    },
+                    K::BiasGrad { dy, dbias, rows, cols } => K::BiasGrad {
+                        dy: b(dy)?,
+                        dbias: b(dbias)?,
+                        rows: *rows,
+                        cols: *cols,
+                    },
+                    K::Relu { x, out } => K::Relu { x: b(x)?, out: b(out)? },
+                    K::ReluBwd { x, dy, dx } => K::ReluBwd {
+                        x: b(x)?,
+                        dy: b(dy)?,
+                        dx: b(dx)?,
+                    },
+                    K::SoftmaxXentFwd {
+                        logits,
+                        labels,
+                        probs,
+                        loss,
+                        rows,
+                        cols,
+                    } => K::SoftmaxXentFwd {
+                        logits: b(logits)?,
+                        labels: b(labels)?,
+                        probs: b(probs)?,
+                        loss: b(loss)?,
+                        rows: *rows,
+                        cols: *cols,
+                    },
+                    K::SoftmaxXentBwd {
+                        probs,
+                        labels,
+                        dlogits,
+                        rows,
+                        cols,
+                    } => K::SoftmaxXentBwd {
+                        probs: b(probs)?,
+                        labels: b(labels)?,
+                        dlogits: b(dlogits)?,
+                        rows: *rows,
+                        cols: *cols,
+                    },
+                    K::LayerNormFwd {
+                        x,
+                        gamma,
+                        beta,
+                        out,
+                        mean,
+                        rstd,
+                        rows,
+                        cols,
+                    } => K::LayerNormFwd {
+                        x: b(x)?,
+                        gamma: b(gamma)?,
+                        beta: b(beta)?,
+                        out: b(out)?,
+                        mean: b(mean)?,
+                        rstd: b(rstd)?,
+                        rows: *rows,
+                        cols: *cols,
+                    },
+                    K::LayerNormBwd {
+                        x,
+                        gamma,
+                        dy,
+                        mean,
+                        rstd,
+                        dx,
+                        dgamma,
+                        dbeta,
+                        rows,
+                        cols,
+                    } => K::LayerNormBwd {
+                        x: b(x)?,
+                        gamma: b(gamma)?,
+                        dy: b(dy)?,
+                        mean: b(mean)?,
+                        rstd: b(rstd)?,
+                        dx: b(dx)?,
+                        dgamma: b(dgamma)?,
+                        dbeta: b(dbeta)?,
+                        rows: *rows,
+                        cols: *cols,
+                    },
+                    K::Zero { buf } => K::Zero { buf: b(buf)? },
+                    K::Fill { buf, value } => K::Fill {
+                        buf: b(buf)?,
+                        value: *value,
+                    },
+                    K::Axpy { alpha, x, y } => K::Axpy {
+                        alpha: *alpha,
+                        x: b(x)?,
+                        y: b(y)?,
+                    },
+                    K::Scale { alpha, x } => K::Scale {
+                        alpha: *alpha,
+                        x: b(x)?,
+                    },
+                    K::SgdStep {
+                        param,
+                        grad,
+                        momentum,
+                        lr,
+                        mu,
+                        weight_decay,
+                    } => K::SgdStep {
+                        param: b(param)?,
+                        grad: b(grad)?,
+                        momentum: b(momentum)?,
+                        lr: *lr,
+                        mu: *mu,
+                        weight_decay: *weight_decay,
+                    },
+                    K::AdamStep {
+                        param,
+                        grad,
+                        m,
+                        v,
+                        lr,
+                        beta1,
+                        beta2,
+                        eps,
+                        t,
+                        weight_decay,
+                    } => K::AdamStep {
+                        param: b(param)?,
+                        grad: b(grad)?,
+                        m: b(m)?,
+                        v: b(v)?,
+                        lr: *lr,
+                        beta1: *beta1,
+                        beta2: *beta2,
+                        eps: *eps,
+                        t: *t,
+                        weight_decay: *weight_decay,
+                    },
+                };
+                DeviceCall::Launch {
+                    stream: self.stream(*stream)?,
+                    kernel,
+                }
+            }
+            DeviceCall::StreamDestroy { stream } => DeviceCall::StreamDestroy {
+                stream: self.stream(*stream)?,
+            },
+            DeviceCall::EventDestroy { event } => DeviceCall::EventDestroy {
+                event: self.event(*event)?,
+            },
+            DeviceCall::EventRecord { stream, event } => DeviceCall::EventRecord {
+                stream: self.stream(*stream)?,
+                event: self.event(*event)?,
+            },
+            DeviceCall::StreamWaitEvent { stream, event } => DeviceCall::StreamWaitEvent {
+                stream: self.stream(*stream)?,
+                event: self.event(*event)?,
+            },
+            DeviceCall::EventQuery { event } => DeviceCall::EventQuery {
+                event: self.event(*event)?,
+            },
+            DeviceCall::StreamSync { stream } => DeviceCall::StreamSync {
+                stream: self.stream(*stream)?,
+            },
+            DeviceCall::DeviceSync => DeviceCall::DeviceSync,
+        })
+    }
+
+    /// Number of live virtual bindings (diagnostics).
+    pub fn bindings(&self) -> (usize, usize, usize) {
+        (self.buf.len(), self.stream.len(), self.event.len())
+    }
+
+    /// Drops every binding whose virtual id is not in `keep` — called
+    /// after a proxy-server restart or GPU migration, when all physical
+    /// objects died with the context and only the re-created persistent
+    /// objects have valid bindings (replay re-binds the rest as it
+    /// re-executes their creation calls).
+    pub fn retain_vids(&mut self, keep: &std::collections::HashSet<u64>) {
+        self.buf.retain(|v, _| keep.contains(v));
+        self.stream.retain(|v, _| keep.contains(v));
+        self.event.retain(|v, _| keep.contains(v));
+    }
+
+    /// All live virtual buffer ids, sorted (used to key state checksums by
+    /// virtual identity, which is stable across replay).
+    pub fn buffer_vids(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.buf.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simgpu::KernelKind;
+
+    #[test]
+    fn bind_and_translate_buffer_calls() {
+        let mut m = VirtualMap::new();
+        let v = m.bind_buffer(BufferId(7));
+        assert!(v.0 >= 1 << 32, "virtual ids live in a distinct range");
+        let call = DeviceCall::Download { buf: v };
+        let phys = m.to_physical(&call).unwrap();
+        assert_eq!(phys, DeviceCall::Download { buf: BufferId(7) });
+    }
+
+    #[test]
+    fn rebinding_redirects_without_changing_virtual_id() {
+        let mut m = VirtualMap::new();
+        let v = m.bind_buffer(BufferId(1));
+        m.rebind_buffer(v, BufferId(99));
+        assert_eq!(m.buffer(v).unwrap(), BufferId(99));
+    }
+
+    #[test]
+    fn unknown_virtual_handle_errors() {
+        let m = VirtualMap::new();
+        assert!(m.buffer(BufferId(12345)).is_err());
+        assert!(m.stream(StreamId(1)).is_err());
+        assert!(m.event(EventId(1)).is_err());
+    }
+
+    #[test]
+    fn kernel_translation_maps_every_buffer() {
+        let mut m = VirtualMap::new();
+        let va = m.bind_buffer(BufferId(1));
+        let vb = m.bind_buffer(BufferId(2));
+        let vo = m.bind_buffer(BufferId(3));
+        let vs = m.bind_stream(StreamId(10));
+        let call = DeviceCall::Launch {
+            stream: vs,
+            kernel: KernelKind::MatMul {
+                a: va,
+                b: vb,
+                out: vo,
+                m: 2,
+                k: 2,
+                n: 2,
+                trans_a: false,
+                trans_b: false,
+            },
+        };
+        match m.to_physical(&call).unwrap() {
+            DeviceCall::Launch { stream, kernel } => {
+                assert_eq!(stream, StreamId(10));
+                assert_eq!(
+                    kernel.buffers(),
+                    vec![BufferId(1), BufferId(2), BufferId(3)]
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbind_removes_bindings() {
+        let mut m = VirtualMap::new();
+        let v = m.bind_buffer(BufferId(1));
+        m.unbind_buffer(v);
+        assert!(m.buffer(v).is_err());
+        assert_eq!(m.bindings(), (0, 0, 0));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire format: the replay log is part of the worker's CPU state, so a
+// CRIU image must serialize it (§4.3 — the restored worker resumes with
+// its interception state intact).
+// ---------------------------------------------------------------------
+
+use simcore::codec::{Decode, Encode};
+
+impl Encode for LoggedColl {
+    fn encode(&self, buf: &mut bytes::BytesMut) {
+        match self {
+            LoggedColl::AllReduce { comm, gen, buf: b, op } => {
+                0u8.encode(buf);
+                comm.0.encode(buf);
+                gen.encode(buf);
+                b.encode(buf);
+                encode_reduce_op(*op, buf);
+            }
+            LoggedColl::AllGather { comm, gen, src, dst } => {
+                1u8.encode(buf);
+                comm.0.encode(buf);
+                gen.encode(buf);
+                src.encode(buf);
+                dst.encode(buf);
+            }
+            LoggedColl::ReduceScatter { comm, gen, src, dst, op } => {
+                2u8.encode(buf);
+                comm.0.encode(buf);
+                gen.encode(buf);
+                src.encode(buf);
+                dst.encode(buf);
+                encode_reduce_op(*op, buf);
+            }
+            LoggedColl::Broadcast { comm, gen, root, buf: b } => {
+                3u8.encode(buf);
+                comm.0.encode(buf);
+                gen.encode(buf);
+                root.0.encode(buf);
+                b.encode(buf);
+            }
+            LoggedColl::Barrier { comm, gen } => {
+                4u8.encode(buf);
+                comm.0.encode(buf);
+                gen.encode(buf);
+            }
+        }
+    }
+}
+
+fn encode_reduce_op(op: ReduceOp, buf: &mut bytes::BytesMut) {
+    let v: u8 = match op {
+        ReduceOp::Sum => 0,
+        ReduceOp::Avg => 1,
+        ReduceOp::Max => 2,
+    };
+    v.encode(buf);
+}
+
+fn decode_reduce_op(buf: &mut bytes::Bytes) -> SimResult<ReduceOp> {
+    Ok(match u8::decode(buf)? {
+        0 => ReduceOp::Sum,
+        1 => ReduceOp::Avg,
+        2 => ReduceOp::Max,
+        other => return Err(SimError::Codec(format!("bad ReduceOp {other}"))),
+    })
+}
+
+impl Decode for LoggedColl {
+    fn decode(buf: &mut bytes::Bytes) -> SimResult<Self> {
+        Ok(match u8::decode(buf)? {
+            0 => LoggedColl::AllReduce {
+                comm: CommToken(u64::decode(buf)?),
+                gen: u64::decode(buf)?,
+                buf: BufferId::decode(buf)?,
+                op: decode_reduce_op(buf)?,
+            },
+            1 => LoggedColl::AllGather {
+                comm: CommToken(u64::decode(buf)?),
+                gen: u64::decode(buf)?,
+                src: BufferId::decode(buf)?,
+                dst: BufferId::decode(buf)?,
+            },
+            2 => LoggedColl::ReduceScatter {
+                comm: CommToken(u64::decode(buf)?),
+                gen: u64::decode(buf)?,
+                src: BufferId::decode(buf)?,
+                dst: BufferId::decode(buf)?,
+                op: decode_reduce_op(buf)?,
+            },
+            3 => LoggedColl::Broadcast {
+                comm: CommToken(u64::decode(buf)?),
+                gen: u64::decode(buf)?,
+                root: simcore::RankId(u32::decode(buf)?),
+                buf: BufferId::decode(buf)?,
+            },
+            4 => LoggedColl::Barrier {
+                comm: CommToken(u64::decode(buf)?),
+                gen: u64::decode(buf)?,
+            },
+            other => return Err(SimError::Codec(format!("bad LoggedColl tag {other}"))),
+        })
+    }
+}
+
+impl Encode for LoggedOp {
+    fn encode(&self, buf: &mut bytes::BytesMut) {
+        match self {
+            LoggedOp::Device { call, result_vid } => {
+                0u8.encode(buf);
+                call.encode(buf);
+                result_vid.encode(buf);
+            }
+            LoggedOp::Collective(c) => {
+                1u8.encode(buf);
+                c.encode(buf);
+            }
+            LoggedOp::Send {
+                dst,
+                tag,
+                seq,
+                buf: b,
+                same_node,
+            } => {
+                2u8.encode(buf);
+                dst.0.encode(buf);
+                tag.encode(buf);
+                seq.encode(buf);
+                b.encode(buf);
+                same_node.encode(buf);
+            }
+            LoggedOp::Recv { src, tag, seq, buf: b } => {
+                3u8.encode(buf);
+                src.0.encode(buf);
+                tag.encode(buf);
+                seq.encode(buf);
+                b.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for LoggedOp {
+    fn decode(buf: &mut bytes::Bytes) -> SimResult<Self> {
+        Ok(match u8::decode(buf)? {
+            0 => LoggedOp::Device {
+                call: DeviceCall::decode(buf)?,
+                result_vid: Option::<u64>::decode(buf)?,
+            },
+            1 => LoggedOp::Collective(LoggedColl::decode(buf)?),
+            2 => LoggedOp::Send {
+                dst: simcore::RankId(u32::decode(buf)?),
+                tag: u64::decode(buf)?,
+                seq: u64::decode(buf)?,
+                buf: BufferId::decode(buf)?,
+                same_node: bool::decode(buf)?,
+            },
+            3 => LoggedOp::Recv {
+                src: simcore::RankId(u32::decode(buf)?),
+                tag: u64::decode(buf)?,
+                seq: u64::decode(buf)?,
+                buf: BufferId::decode(buf)?,
+            },
+            other => return Err(SimError::Codec(format!("bad LoggedOp tag {other}"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod wire_tests {
+    use super::*;
+    use simcore::codec::{decode_framed, encode_framed};
+    use simcore::RankId;
+    use simgpu::{AllocSite, BufferTag};
+
+    #[test]
+    fn logged_op_wire_round_trip() {
+        let ops = vec![
+            LoggedOp::Device {
+                call: DeviceCall::Malloc {
+                    site: AllocSite::new("w", 8),
+                    elems: 8,
+                    logical_bytes: 32,
+                    tag: BufferTag::Param,
+                },
+                result_vid: Some(1 << 32),
+            },
+            LoggedOp::Collective(LoggedColl::AllReduce {
+                comm: CommToken(2),
+                gen: 17,
+                buf: BufferId(9),
+                op: ReduceOp::Avg,
+            }),
+            LoggedOp::Collective(LoggedColl::ReduceScatter {
+                comm: CommToken(3),
+                gen: 4,
+                src: BufferId(1),
+                dst: BufferId(2),
+                op: ReduceOp::Sum,
+            }),
+            LoggedOp::Send {
+                dst: RankId(3),
+                tag: 1,
+                seq: 12,
+                buf: BufferId(5),
+                same_node: false,
+            },
+            LoggedOp::Recv {
+                src: RankId(2),
+                tag: 2,
+                seq: 12,
+                buf: BufferId(6),
+            },
+        ];
+        let framed = encode_framed(&ops);
+        let back: Vec<LoggedOp> = decode_framed(&framed).unwrap();
+        assert_eq!(back, ops);
+    }
+}

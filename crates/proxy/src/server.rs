@@ -1,0 +1,113 @@
+//! The restartable device proxy server.
+//!
+//! In the real system (Figure 2) the proxy server is a separate OS process
+//! holding the CUDA context, NCCL communicators, and all driver state;
+//! the worker process talks to it over shared memory. Its one superpower
+//! is being *disposable*: killing and restarting it clears corrupted
+//! GPU/driver software state without perturbing the worker (§4.2.1 cases
+//! 2–3), and keeps the worker CPU image CRIU-friendly (§4.3).
+//!
+//! In the simulation the "process" is a restartable state machine around
+//! the device: [`ProxyServer::restart`] tears down the context (dropping
+//! every buffer, stream, and event — exactly what a context teardown does)
+//! and bumps the epoch so stale physical handles are detectable.
+
+use simcore::{SimResult, SimTime};
+use simgpu::{CallResult, DeviceCall, Gpu};
+
+/// The device proxy server: owns the GPU context for one rank.
+#[derive(Debug)]
+pub struct ProxyServer {
+    gpu: Gpu,
+    epoch: u32,
+}
+
+impl ProxyServer {
+    /// Starts a server over a freshly attached device.
+    pub fn new(gpu: Gpu) -> Self {
+        ProxyServer { gpu, epoch: 0 }
+    }
+
+    /// Executes one device call, returning the result and its virtual
+    /// duration.
+    pub fn exec(&mut self, call: &DeviceCall) -> SimResult<(CallResult, SimTime)> {
+        self.gpu.exec(call)
+    }
+
+    /// Restarts the server process: clears all driver/GPU state (including
+    /// sticky errors and driver corruption) and invalidates every physical
+    /// handle. Fails if the GPU hardware itself is dead. Returns the
+    /// restart cost.
+    pub fn restart(&mut self) -> SimResult<SimTime> {
+        self.gpu.reset_context()?;
+        self.epoch += 1;
+        Ok(self.gpu.cost_model().proxy_restart)
+    }
+
+    /// Replaces the attached device (hard-error migration to a new GPU):
+    /// the worker keeps its proxy client; the server comes back over a
+    /// replacement device on the new node.
+    pub fn attach_new_gpu(&mut self, gpu: Gpu) {
+        self.gpu = gpu;
+        self.epoch += 1;
+    }
+
+    /// Restart epoch (increments on every restart / re-attach).
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// The device, read-only.
+    pub fn gpu(&self) -> &Gpu {
+        &self.gpu
+    }
+
+    /// The device, mutable (recovery resets, fault injection).
+    pub fn gpu_mut(&mut self) -> &mut Gpu {
+        &mut self.gpu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::cost::CostModel;
+    use simcore::failure::FailureKind;
+    use simcore::GpuId;
+    use simgpu::{AllocSite, BufferTag, GpuHealth};
+
+    fn server() -> ProxyServer {
+        ProxyServer::new(Gpu::new(GpuId(0), CostModel::v100()))
+    }
+
+    #[test]
+    fn restart_clears_sticky_state_and_bumps_epoch() {
+        let mut s = server();
+        s.exec(&DeviceCall::Malloc {
+            site: AllocSite::new("w", 4),
+            elems: 4,
+            logical_bytes: 16,
+            tag: BufferTag::Param,
+        })
+        .unwrap();
+        s.gpu_mut().inject(FailureKind::StickyCuda);
+        assert!(s.exec(&DeviceCall::DeviceSync).is_err());
+        let t = s.restart().unwrap();
+        assert!(t.as_secs() > 0.0);
+        assert_eq!(s.epoch(), 1);
+        assert_eq!(s.gpu().health(), GpuHealth::Healthy);
+        assert_eq!(s.gpu().buffer_count(), 0, "context teardown drops buffers");
+        assert!(s.exec(&DeviceCall::DeviceSync).is_ok());
+    }
+
+    #[test]
+    fn restart_cannot_fix_dead_hardware() {
+        let mut s = server();
+        s.gpu_mut().inject(FailureKind::GpuHardware);
+        assert!(s.restart().is_err());
+        // Migration to a new device does.
+        s.attach_new_gpu(Gpu::new(GpuId(9), CostModel::v100()));
+        assert_eq!(s.epoch(), 1);
+        assert!(s.exec(&DeviceCall::DeviceSync).is_ok());
+    }
+}

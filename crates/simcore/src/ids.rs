@@ -1,0 +1,84 @@
+//! Strongly-typed identifiers used throughout the simulation.
+//!
+//! Every distributed entity (rank, GPU, node, job) gets its own newtype so
+//! that e.g. a [`RankId`] can never be accidentally used where a [`GpuId`]
+//! is expected — the classic source of off-by-one-world bugs in cluster
+//! software.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(v: usize) -> Self {
+                $name(v as u32)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A worker rank in a distributed training job (one rank per GPU).
+    RankId,
+    "rank"
+);
+id_type!(
+    /// A physical (simulated) GPU device in the cluster inventory.
+    GpuId,
+    "gpu"
+);
+id_type!(
+    /// A host node containing one or more GPUs.
+    NodeId,
+    "node"
+);
+id_type!(
+    /// A training job admitted to the cluster scheduler.
+    JobId,
+    "job"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_prefix() {
+        assert_eq!(RankId(3).to_string(), "rank3");
+        assert_eq!(GpuId(0).to_string(), "gpu0");
+        assert_eq!(NodeId(7).to_string(), "node7");
+        assert_eq!(JobId(42).to_string(), "job42");
+    }
+
+    #[test]
+    fn index_round_trips() {
+        let r: RankId = 9usize.into();
+        assert_eq!(r.index(), 9);
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(RankId(1) < RankId(2));
+        assert_eq!(GpuId(5), GpuId(5));
+    }
+}

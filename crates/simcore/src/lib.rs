@@ -1,0 +1,30 @@
+//! Core simulation primitives shared by every crate in the workspace.
+//!
+//! The reproduction of *Just-In-Time Checkpointing* (EuroSys '24) runs
+//! distributed training functionally (real threads, real numerics, real
+//! hangs) while accounting for time on per-rank **virtual clocks** driven
+//! by a calibrated [`cost::CostModel`]. This crate provides:
+//!
+//! * [`time`] — virtual time and the shared per-rank clock board,
+//! * [`cost`] — bandwidth/latency/flop cost models for V100/A100-class
+//!   simulated hardware,
+//! * [`failure`] — failure kinds, injection specifications, and Poisson
+//!   failure-trace generation,
+//! * [`codec`] — a hand-rolled length-prefixed binary codec used for
+//!   checkpoint files and CRIU images (no external format crate needed),
+//! * [`rng`] — deterministic seeded RNG helpers,
+//! * [`error`] — the common error type,
+//! * [`ids`] — strongly-typed identifiers for ranks, GPUs, nodes, jobs.
+
+pub mod codec;
+pub mod cost;
+pub mod error;
+pub mod failure;
+pub mod ids;
+pub mod layout;
+pub mod rng;
+pub mod time;
+
+pub use error::{SimError, SimResult};
+pub use ids::{GpuId, JobId, NodeId, RankId};
+pub use time::SimTime;

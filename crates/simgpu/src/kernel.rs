@@ -1,0 +1,1379 @@
+//! Executable compute kernels.
+//!
+//! Kernels really compute on `f32` device buffers, which is what makes the
+//! reproduction's correctness claims checkable: after any failure/recovery
+//! sequence the training loss trajectory must match the failure-free run
+//! bit-for-bit (§6.2 of the paper validates "exact floating point match").
+//! Every kernel is deterministic (fixed iteration order, no atomics).
+//!
+//! Each kernel also reports a FLOP count so the cost model can time it at
+//! the *logical* (paper-scale) size independent of the actual payload.
+
+use crate::buffer::BufferId;
+use simcore::codec::{Decode, Encode};
+use simcore::{SimError, SimResult};
+
+/// A compute kernel launch, as recorded in the device-API replay log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelKind {
+    /// `out[m×n] = op(a)[m×k] · op(b)[k×n]`, with optional transposes.
+    MatMul {
+        /// Left operand.
+        a: BufferId,
+        /// Right operand.
+        b: BufferId,
+        /// Output buffer.
+        out: BufferId,
+        /// Rows of the output.
+        m: u32,
+        /// Inner dimension.
+        k: u32,
+        /// Columns of the output.
+        n: u32,
+        /// Interpret `a` as transposed (stored `k×m`).
+        trans_a: bool,
+        /// Interpret `b` as transposed (stored `n×k`).
+        trans_b: bool,
+    },
+    /// `x[r×c] += bias[c]` broadcast over rows, in place.
+    BiasAdd {
+        /// Activations, modified in place.
+        x: BufferId,
+        /// Bias vector.
+        bias: BufferId,
+        /// Rows.
+        rows: u32,
+        /// Columns.
+        cols: u32,
+    },
+    /// `dbias[c] = Σ_r dy[r×c]` (bias gradient; overwrites).
+    BiasGrad {
+        /// Upstream gradient.
+        dy: BufferId,
+        /// Output bias gradient.
+        dbias: BufferId,
+        /// Rows.
+        rows: u32,
+        /// Columns.
+        cols: u32,
+    },
+    /// `out = max(x, 0)`.
+    Relu {
+        /// Input.
+        x: BufferId,
+        /// Output.
+        out: BufferId,
+    },
+    /// `dx = dy ⊙ (x > 0)`.
+    ReluBwd {
+        /// Forward input.
+        x: BufferId,
+        /// Upstream gradient.
+        dy: BufferId,
+        /// Output gradient.
+        dx: BufferId,
+    },
+    /// Fused softmax + cross-entropy forward: writes per-row probabilities
+    /// and the scalar mean loss.
+    SoftmaxXentFwd {
+        /// Logits `[rows × cols]`.
+        logits: BufferId,
+        /// Labels as class indices stored in `f32` (`[rows]`).
+        labels: BufferId,
+        /// Output probabilities `[rows × cols]`.
+        probs: BufferId,
+        /// Output scalar mean loss (`[1]`).
+        loss: BufferId,
+        /// Rows (batch).
+        rows: u32,
+        /// Columns (classes).
+        cols: u32,
+    },
+    /// Softmax cross-entropy backward: `dlogits = (probs − onehot) / rows`.
+    SoftmaxXentBwd {
+        /// Probabilities from the forward pass.
+        probs: BufferId,
+        /// Labels.
+        labels: BufferId,
+        /// Output logit gradients.
+        dlogits: BufferId,
+        /// Rows.
+        rows: u32,
+        /// Columns.
+        cols: u32,
+    },
+    /// Layer normalization forward (per row): saves the row means and
+    /// reciprocal standard deviations for the backward pass.
+    LayerNormFwd {
+        /// Input `[rows × cols]`.
+        x: BufferId,
+        /// Scale `γ` `[cols]`.
+        gamma: BufferId,
+        /// Shift `β` `[cols]`.
+        beta: BufferId,
+        /// Output `[rows × cols]`.
+        out: BufferId,
+        /// Saved row means `[rows]`.
+        mean: BufferId,
+        /// Saved row reciprocal standard deviations `[rows]`.
+        rstd: BufferId,
+        /// Rows.
+        rows: u32,
+        /// Columns.
+        cols: u32,
+    },
+    /// Layer normalization backward: writes `dx`, `dγ`, `dβ`.
+    LayerNormBwd {
+        /// Forward input.
+        x: BufferId,
+        /// Scale `γ`.
+        gamma: BufferId,
+        /// Upstream gradient.
+        dy: BufferId,
+        /// Saved row means.
+        mean: BufferId,
+        /// Saved row reciprocal standard deviations.
+        rstd: BufferId,
+        /// Output input-gradient.
+        dx: BufferId,
+        /// Output `γ` gradient (overwrites).
+        dgamma: BufferId,
+        /// Output `β` gradient (overwrites).
+        dbeta: BufferId,
+        /// Rows.
+        rows: u32,
+        /// Columns.
+        cols: u32,
+    },
+    /// `buf = 0`.
+    Zero {
+        /// Buffer to clear.
+        buf: BufferId,
+    },
+    /// `buf = value` elementwise.
+    Fill {
+        /// Buffer to fill.
+        buf: BufferId,
+        /// Fill value.
+        value: f32,
+    },
+    /// `y += alpha · x`.
+    Axpy {
+        /// Scale factor.
+        alpha: f32,
+        /// Source.
+        x: BufferId,
+        /// Destination (accumulated in place).
+        y: BufferId,
+    },
+    /// `x *= alpha`.
+    Scale {
+        /// Scale factor.
+        alpha: f32,
+        /// Buffer scaled in place.
+        x: BufferId,
+    },
+    /// SGD with momentum:
+    /// `mom = mu·mom + grad + wd·param; param −= lr·mom`.
+    SgdStep {
+        /// Parameters (updated in place).
+        param: BufferId,
+        /// Gradients.
+        grad: BufferId,
+        /// Momentum state (updated in place).
+        momentum: BufferId,
+        /// Learning rate.
+        lr: f32,
+        /// Momentum coefficient.
+        mu: f32,
+        /// Weight decay.
+        weight_decay: f32,
+    },
+    /// Adam step with bias correction (`t` is the 1-based step count).
+    AdamStep {
+        /// Parameters (updated in place).
+        param: BufferId,
+        /// Gradients.
+        grad: BufferId,
+        /// First-moment state.
+        m: BufferId,
+        /// Second-moment state.
+        v: BufferId,
+        /// Learning rate.
+        lr: f32,
+        /// β₁.
+        beta1: f32,
+        /// β₂.
+        beta2: f32,
+        /// ε.
+        eps: f32,
+        /// 1-based timestep for bias correction.
+        t: u32,
+        /// Weight decay (decoupled, AdamW-style).
+        weight_decay: f32,
+    },
+}
+
+impl KernelKind {
+    /// FLOP count for the cost model, computed at logical scale via
+    /// `scale`: the ratio of logical elements to actual payload elements
+    /// (1.0 for unscaled buffers).
+    pub fn flops(&self, scale: f64) -> f64 {
+        let raw = match self {
+            KernelKind::MatMul { m, k, n, .. } => 2.0 * *m as f64 * *k as f64 * *n as f64,
+            KernelKind::BiasAdd { rows, cols, .. } => (*rows as f64) * (*cols as f64),
+            KernelKind::BiasGrad { rows, cols, .. } => (*rows as f64) * (*cols as f64),
+            KernelKind::Relu { .. } | KernelKind::ReluBwd { .. } => 1.0,
+            KernelKind::SoftmaxXentFwd { rows, cols, .. } => 5.0 * (*rows as f64) * (*cols as f64),
+            KernelKind::SoftmaxXentBwd { rows, cols, .. } => 2.0 * (*rows as f64) * (*cols as f64),
+            KernelKind::LayerNormFwd { rows, cols, .. } => 8.0 * (*rows as f64) * (*cols as f64),
+            KernelKind::LayerNormBwd { rows, cols, .. } => 14.0 * (*rows as f64) * (*cols as f64),
+            KernelKind::Zero { .. } | KernelKind::Fill { .. } => 1.0,
+            KernelKind::Axpy { .. } | KernelKind::Scale { .. } => 2.0,
+            KernelKind::SgdStep { .. } => 6.0,
+            KernelKind::AdamStep { .. } => 12.0,
+        };
+        raw * scale
+    }
+
+    /// All buffers this kernel reads or writes (used by replay validation
+    /// and by tests asserting the log captures complete inputs).
+    pub fn buffers(&self) -> Vec<BufferId> {
+        match *self {
+            KernelKind::MatMul { a, b, out, .. } => vec![a, b, out],
+            KernelKind::BiasAdd { x, bias, .. } => vec![x, bias],
+            KernelKind::BiasGrad { dy, dbias, .. } => vec![dy, dbias],
+            KernelKind::Relu { x, out } => vec![x, out],
+            KernelKind::ReluBwd { x, dy, dx } => vec![x, dy, dx],
+            KernelKind::SoftmaxXentFwd {
+                logits,
+                labels,
+                probs,
+                loss,
+                ..
+            } => vec![logits, labels, probs, loss],
+            KernelKind::SoftmaxXentBwd {
+                probs,
+                labels,
+                dlogits,
+                ..
+            } => vec![probs, labels, dlogits],
+            KernelKind::LayerNormFwd {
+                x,
+                gamma,
+                beta,
+                out,
+                mean,
+                rstd,
+                ..
+            } => vec![x, gamma, beta, out, mean, rstd],
+            KernelKind::LayerNormBwd {
+                x,
+                gamma,
+                dy,
+                mean,
+                rstd,
+                dx,
+                dgamma,
+                dbeta,
+                ..
+            } => vec![x, gamma, dy, mean, rstd, dx, dgamma, dbeta],
+            KernelKind::Zero { buf } | KernelKind::Fill { buf, .. } => vec![buf],
+            KernelKind::Axpy { x, y, .. } => vec![x, y],
+            KernelKind::Scale { x, .. } => vec![x],
+            KernelKind::SgdStep {
+                param,
+                grad,
+                momentum,
+                ..
+            } => vec![param, grad, momentum],
+            KernelKind::AdamStep {
+                param, grad, m, v, ..
+            } => vec![param, grad, m, v],
+        }
+    }
+
+    /// Executes the kernel against device memory.
+    ///
+    /// `fetch` clones a buffer's payload; `store` writes one back. The
+    /// clone-based protocol keeps borrow handling trivial; payloads are
+    /// laptop-sized by design (phantom scaling handles paper-scale sizes).
+    pub fn execute(
+        &self,
+        fetch: &mut dyn FnMut(BufferId) -> SimResult<Vec<f32>>,
+        store: &mut dyn FnMut(BufferId, Vec<f32>) -> SimResult<()>,
+    ) -> SimResult<()> {
+        match *self {
+            KernelKind::MatMul {
+                a,
+                b,
+                out,
+                m,
+                k,
+                n,
+                trans_a,
+                trans_b,
+            } => {
+                let (m, k, n) = (m as usize, k as usize, n as usize);
+                let av = fetch(a)?;
+                let bv = fetch(b)?;
+                if av.len() != m * k || bv.len() != k * n {
+                    return Err(SimError::Protocol(format!(
+                        "matmul shape mismatch: a={} (want {}), b={} (want {})",
+                        av.len(),
+                        m * k,
+                        bv.len(),
+                        k * n
+                    )));
+                }
+                let mut o = vec![0f32; m * n];
+                for i in 0..m {
+                    for j in 0..n {
+                        let mut acc = 0f32;
+                        for p in 0..k {
+                            let x = if trans_a { av[p * m + i] } else { av[i * k + p] };
+                            let y = if trans_b { bv[j * k + p] } else { bv[p * n + j] };
+                            acc += x * y;
+                        }
+                        o[i * n + j] = acc;
+                    }
+                }
+                store(out, o)
+            }
+            KernelKind::BiasAdd { x, bias, rows, cols } => {
+                let mut xv = fetch(x)?;
+                let bv = fetch(bias)?;
+                let (rows, cols) = (rows as usize, cols as usize);
+                if xv.len() != rows * cols || bv.len() != cols {
+                    return Err(SimError::Protocol("bias_add shape mismatch".into()));
+                }
+                for r in 0..rows {
+                    for c in 0..cols {
+                        xv[r * cols + c] += bv[c];
+                    }
+                }
+                store(x, xv)
+            }
+            KernelKind::BiasGrad { dy, dbias, rows, cols } => {
+                let dyv = fetch(dy)?;
+                let (rows, cols) = (rows as usize, cols as usize);
+                if dyv.len() != rows * cols {
+                    return Err(SimError::Protocol("bias_grad shape mismatch".into()));
+                }
+                let mut db = vec![0f32; cols];
+                for r in 0..rows {
+                    for c in 0..cols {
+                        db[c] += dyv[r * cols + c];
+                    }
+                }
+                store(dbias, db)
+            }
+            KernelKind::Relu { x, out } => {
+                let xv = fetch(x)?;
+                let o: Vec<f32> = xv.iter().map(|&v| v.max(0.0)).collect();
+                store(out, o)
+            }
+            KernelKind::ReluBwd { x, dy, dx } => {
+                let xv = fetch(x)?;
+                let dyv = fetch(dy)?;
+                if xv.len() != dyv.len() {
+                    return Err(SimError::Protocol("relu_bwd shape mismatch".into()));
+                }
+                let o: Vec<f32> = xv
+                    .iter()
+                    .zip(&dyv)
+                    .map(|(&xi, &gi)| if xi > 0.0 { gi } else { 0.0 })
+                    .collect();
+                store(dx, o)
+            }
+            KernelKind::SoftmaxXentFwd {
+                logits,
+                labels,
+                probs,
+                loss,
+                rows,
+                cols,
+            } => {
+                let lv = fetch(logits)?;
+                let yv = fetch(labels)?;
+                let (rows, cols) = (rows as usize, cols as usize);
+                if lv.len() != rows * cols || yv.len() != rows {
+                    return Err(SimError::Protocol("softmax_xent shape mismatch".into()));
+                }
+                let mut pv = vec![0f32; rows * cols];
+                let mut total = 0f32;
+                for r in 0..rows {
+                    let row = &lv[r * cols..(r + 1) * cols];
+                    let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                    let mut denom = 0f32;
+                    for c in 0..cols {
+                        let e = (row[c] - mx).exp();
+                        pv[r * cols + c] = e;
+                        denom += e;
+                    }
+                    for c in 0..cols {
+                        pv[r * cols + c] /= denom;
+                    }
+                    let label = yv[r] as usize;
+                    if label >= cols {
+                        return Err(SimError::Protocol(format!("label {label} out of range")));
+                    }
+                    total += -(pv[r * cols + label].max(1e-30)).ln();
+                }
+                store(probs, pv)?;
+                store(loss, vec![total / rows as f32])
+            }
+            KernelKind::SoftmaxXentBwd {
+                probs,
+                labels,
+                dlogits,
+                rows,
+                cols,
+            } => {
+                let pv = fetch(probs)?;
+                let yv = fetch(labels)?;
+                let (rows, cols) = (rows as usize, cols as usize);
+                let mut dv = pv.clone();
+                for r in 0..rows {
+                    let label = yv[r] as usize;
+                    dv[r * cols + label] -= 1.0;
+                }
+                let inv = 1.0 / rows as f32;
+                for v in &mut dv {
+                    *v *= inv;
+                }
+                store(dlogits, dv)
+            }
+            KernelKind::LayerNormFwd {
+                x,
+                gamma,
+                beta,
+                out,
+                mean,
+                rstd,
+                rows,
+                cols,
+            } => {
+                let xv = fetch(x)?;
+                let g = fetch(gamma)?;
+                let b = fetch(beta)?;
+                let (rows, cols) = (rows as usize, cols as usize);
+                if xv.len() != rows * cols || g.len() != cols || b.len() != cols {
+                    return Err(SimError::Protocol("layernorm shape mismatch".into()));
+                }
+                const EPS: f32 = 1e-5;
+                let mut o = vec![0f32; rows * cols];
+                let mut mu = vec![0f32; rows];
+                let mut rs = vec![0f32; rows];
+                for r in 0..rows {
+                    let row = &xv[r * cols..(r + 1) * cols];
+                    let m = row.iter().sum::<f32>() / cols as f32;
+                    let var = row.iter().map(|v| (v - m) * (v - m)).sum::<f32>() / cols as f32;
+                    let inv = 1.0 / (var + EPS).sqrt();
+                    mu[r] = m;
+                    rs[r] = inv;
+                    for c in 0..cols {
+                        o[r * cols + c] = (row[c] - m) * inv * g[c] + b[c];
+                    }
+                }
+                store(out, o)?;
+                store(mean, mu)?;
+                store(rstd, rs)
+            }
+            KernelKind::LayerNormBwd {
+                x,
+                gamma,
+                dy,
+                mean,
+                rstd,
+                dx,
+                dgamma,
+                dbeta,
+                rows,
+                cols,
+            } => {
+                let xv = fetch(x)?;
+                let g = fetch(gamma)?;
+                let dyv = fetch(dy)?;
+                let mu = fetch(mean)?;
+                let rs = fetch(rstd)?;
+                let (rows, cols) = (rows as usize, cols as usize);
+                if xv.len() != rows * cols || dyv.len() != rows * cols {
+                    return Err(SimError::Protocol("layernorm bwd shape mismatch".into()));
+                }
+                let mut dxv = vec![0f32; rows * cols];
+                let mut dg = vec![0f32; cols];
+                let mut db = vec![0f32; cols];
+                for r in 0..rows {
+                    let row = &xv[r * cols..(r + 1) * cols];
+                    let dyr = &dyv[r * cols..(r + 1) * cols];
+                    let inv = rs[r];
+                    let m = mu[r];
+                    // x̂ and dx̂ = dy ⊙ γ.
+                    let mut sum_dxhat = 0f32;
+                    let mut sum_dxhat_xhat = 0f32;
+                    for c in 0..cols {
+                        let xhat = (row[c] - m) * inv;
+                        let dxhat = dyr[c] * g[c];
+                        sum_dxhat += dxhat;
+                        sum_dxhat_xhat += dxhat * xhat;
+                        dg[c] += dyr[c] * xhat;
+                        db[c] += dyr[c];
+                    }
+                    let n = cols as f32;
+                    for c in 0..cols {
+                        let xhat = (row[c] - m) * inv;
+                        let dxhat = dyr[c] * g[c];
+                        dxv[r * cols + c] =
+                            inv * (dxhat - sum_dxhat / n - xhat * sum_dxhat_xhat / n);
+                    }
+                }
+                store(dx, dxv)?;
+                store(dgamma, dg)?;
+                store(dbeta, db)
+            }
+            KernelKind::Zero { buf } => {
+                let len = fetch(buf)?.len();
+                store(buf, vec![0f32; len])
+            }
+            KernelKind::Fill { buf, value } => {
+                let len = fetch(buf)?.len();
+                store(buf, vec![value; len])
+            }
+            KernelKind::Axpy { alpha, x, y } => {
+                let xv = fetch(x)?;
+                let mut yv = fetch(y)?;
+                if xv.len() != yv.len() {
+                    return Err(SimError::Protocol("axpy shape mismatch".into()));
+                }
+                for (yi, xi) in yv.iter_mut().zip(&xv) {
+                    *yi += alpha * xi;
+                }
+                store(y, yv)
+            }
+            KernelKind::Scale { alpha, x } => {
+                let mut xv = fetch(x)?;
+                for v in &mut xv {
+                    *v *= alpha;
+                }
+                store(x, xv)
+            }
+            KernelKind::SgdStep {
+                param,
+                grad,
+                momentum,
+                lr,
+                mu,
+                weight_decay,
+            } => {
+                let mut p = fetch(param)?;
+                let g = fetch(grad)?;
+                let mut mom = fetch(momentum)?;
+                if p.len() != g.len() || p.len() != mom.len() {
+                    return Err(SimError::Protocol("sgd shape mismatch".into()));
+                }
+                for i in 0..p.len() {
+                    mom[i] = mu * mom[i] + g[i] + weight_decay * p[i];
+                    p[i] -= lr * mom[i];
+                }
+                store(param, p)?;
+                store(momentum, mom)
+            }
+            KernelKind::AdamStep {
+                param,
+                grad,
+                m,
+                v,
+                lr,
+                beta1,
+                beta2,
+                eps,
+                t,
+                weight_decay,
+            } => {
+                let mut p = fetch(param)?;
+                let g = fetch(grad)?;
+                let mut mv = fetch(m)?;
+                let mut vv = fetch(v)?;
+                if p.len() != g.len() || p.len() != mv.len() || p.len() != vv.len() {
+                    return Err(SimError::Protocol("adam shape mismatch".into()));
+                }
+                let bc1 = 1.0 - beta1.powi(t as i32);
+                let bc2 = 1.0 - beta2.powi(t as i32);
+                for i in 0..p.len() {
+                    mv[i] = beta1 * mv[i] + (1.0 - beta1) * g[i];
+                    vv[i] = beta2 * vv[i] + (1.0 - beta2) * g[i] * g[i];
+                    let mhat = mv[i] / bc1;
+                    let vhat = vv[i] / bc2;
+                    p[i] -= lr * (mhat / (vhat.sqrt() + eps) + weight_decay * p[i]);
+                }
+                store(param, p)?;
+                store(m, mv)?;
+                store(v, vv)
+            }
+        }
+    }
+}
+
+impl Encode for KernelKind {
+    fn encode(&self, buf: &mut bytes::BytesMut) {
+        match *self {
+            KernelKind::MatMul {
+                a,
+                b,
+                out,
+                m,
+                k,
+                n,
+                trans_a,
+                trans_b,
+            } => {
+                0u8.encode(buf);
+                a.encode(buf);
+                b.encode(buf);
+                out.encode(buf);
+                m.encode(buf);
+                k.encode(buf);
+                n.encode(buf);
+                trans_a.encode(buf);
+                trans_b.encode(buf);
+            }
+            KernelKind::BiasAdd { x, bias, rows, cols } => {
+                1u8.encode(buf);
+                x.encode(buf);
+                bias.encode(buf);
+                rows.encode(buf);
+                cols.encode(buf);
+            }
+            KernelKind::BiasGrad { dy, dbias, rows, cols } => {
+                2u8.encode(buf);
+                dy.encode(buf);
+                dbias.encode(buf);
+                rows.encode(buf);
+                cols.encode(buf);
+            }
+            KernelKind::Relu { x, out } => {
+                3u8.encode(buf);
+                x.encode(buf);
+                out.encode(buf);
+            }
+            KernelKind::ReluBwd { x, dy, dx } => {
+                4u8.encode(buf);
+                x.encode(buf);
+                dy.encode(buf);
+                dx.encode(buf);
+            }
+            KernelKind::SoftmaxXentFwd {
+                logits,
+                labels,
+                probs,
+                loss,
+                rows,
+                cols,
+            } => {
+                5u8.encode(buf);
+                logits.encode(buf);
+                labels.encode(buf);
+                probs.encode(buf);
+                loss.encode(buf);
+                rows.encode(buf);
+                cols.encode(buf);
+            }
+            KernelKind::SoftmaxXentBwd {
+                probs,
+                labels,
+                dlogits,
+                rows,
+                cols,
+            } => {
+                6u8.encode(buf);
+                probs.encode(buf);
+                labels.encode(buf);
+                dlogits.encode(buf);
+                rows.encode(buf);
+                cols.encode(buf);
+            }
+            KernelKind::Zero { buf: b } => {
+                7u8.encode(buf);
+                b.encode(buf);
+            }
+            KernelKind::LayerNormFwd {
+                x,
+                gamma,
+                beta,
+                out,
+                mean,
+                rstd,
+                rows,
+                cols,
+            } => {
+                13u8.encode(buf);
+                x.encode(buf);
+                gamma.encode(buf);
+                beta.encode(buf);
+                out.encode(buf);
+                mean.encode(buf);
+                rstd.encode(buf);
+                rows.encode(buf);
+                cols.encode(buf);
+            }
+            KernelKind::LayerNormBwd {
+                x,
+                gamma,
+                dy,
+                mean,
+                rstd,
+                dx,
+                dgamma,
+                dbeta,
+                rows,
+                cols,
+            } => {
+                14u8.encode(buf);
+                x.encode(buf);
+                gamma.encode(buf);
+                dy.encode(buf);
+                mean.encode(buf);
+                rstd.encode(buf);
+                dx.encode(buf);
+                dgamma.encode(buf);
+                dbeta.encode(buf);
+                rows.encode(buf);
+                cols.encode(buf);
+            }
+            KernelKind::Fill { buf: b, value } => {
+                8u8.encode(buf);
+                b.encode(buf);
+                value.encode(buf);
+            }
+            KernelKind::Axpy { alpha, x, y } => {
+                9u8.encode(buf);
+                alpha.encode(buf);
+                x.encode(buf);
+                y.encode(buf);
+            }
+            KernelKind::Scale { alpha, x } => {
+                10u8.encode(buf);
+                alpha.encode(buf);
+                x.encode(buf);
+            }
+            KernelKind::SgdStep {
+                param,
+                grad,
+                momentum,
+                lr,
+                mu,
+                weight_decay,
+            } => {
+                11u8.encode(buf);
+                param.encode(buf);
+                grad.encode(buf);
+                momentum.encode(buf);
+                lr.encode(buf);
+                mu.encode(buf);
+                weight_decay.encode(buf);
+            }
+            KernelKind::AdamStep {
+                param,
+                grad,
+                m,
+                v,
+                lr,
+                beta1,
+                beta2,
+                eps,
+                t,
+                weight_decay,
+            } => {
+                12u8.encode(buf);
+                param.encode(buf);
+                grad.encode(buf);
+                m.encode(buf);
+                v.encode(buf);
+                lr.encode(buf);
+                beta1.encode(buf);
+                beta2.encode(buf);
+                eps.encode(buf);
+                t.encode(buf);
+                weight_decay.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for KernelKind {
+    fn decode(buf: &mut bytes::Bytes) -> SimResult<Self> {
+        let tag = u8::decode(buf)?;
+        Ok(match tag {
+            0 => KernelKind::MatMul {
+                a: BufferId::decode(buf)?,
+                b: BufferId::decode(buf)?,
+                out: BufferId::decode(buf)?,
+                m: u32::decode(buf)?,
+                k: u32::decode(buf)?,
+                n: u32::decode(buf)?,
+                trans_a: bool::decode(buf)?,
+                trans_b: bool::decode(buf)?,
+            },
+            1 => KernelKind::BiasAdd {
+                x: BufferId::decode(buf)?,
+                bias: BufferId::decode(buf)?,
+                rows: u32::decode(buf)?,
+                cols: u32::decode(buf)?,
+            },
+            2 => KernelKind::BiasGrad {
+                dy: BufferId::decode(buf)?,
+                dbias: BufferId::decode(buf)?,
+                rows: u32::decode(buf)?,
+                cols: u32::decode(buf)?,
+            },
+            3 => KernelKind::Relu {
+                x: BufferId::decode(buf)?,
+                out: BufferId::decode(buf)?,
+            },
+            4 => KernelKind::ReluBwd {
+                x: BufferId::decode(buf)?,
+                dy: BufferId::decode(buf)?,
+                dx: BufferId::decode(buf)?,
+            },
+            5 => KernelKind::SoftmaxXentFwd {
+                logits: BufferId::decode(buf)?,
+                labels: BufferId::decode(buf)?,
+                probs: BufferId::decode(buf)?,
+                loss: BufferId::decode(buf)?,
+                rows: u32::decode(buf)?,
+                cols: u32::decode(buf)?,
+            },
+            6 => KernelKind::SoftmaxXentBwd {
+                probs: BufferId::decode(buf)?,
+                labels: BufferId::decode(buf)?,
+                dlogits: BufferId::decode(buf)?,
+                rows: u32::decode(buf)?,
+                cols: u32::decode(buf)?,
+            },
+            7 => KernelKind::Zero {
+                buf: BufferId::decode(buf)?,
+            },
+            8 => KernelKind::Fill {
+                buf: BufferId::decode(buf)?,
+                value: f32::decode(buf)?,
+            },
+            9 => KernelKind::Axpy {
+                alpha: f32::decode(buf)?,
+                x: BufferId::decode(buf)?,
+                y: BufferId::decode(buf)?,
+            },
+            10 => KernelKind::Scale {
+                alpha: f32::decode(buf)?,
+                x: BufferId::decode(buf)?,
+            },
+            11 => KernelKind::SgdStep {
+                param: BufferId::decode(buf)?,
+                grad: BufferId::decode(buf)?,
+                momentum: BufferId::decode(buf)?,
+                lr: f32::decode(buf)?,
+                mu: f32::decode(buf)?,
+                weight_decay: f32::decode(buf)?,
+            },
+            12 => KernelKind::AdamStep {
+                param: BufferId::decode(buf)?,
+                grad: BufferId::decode(buf)?,
+                m: BufferId::decode(buf)?,
+                v: BufferId::decode(buf)?,
+                lr: f32::decode(buf)?,
+                beta1: f32::decode(buf)?,
+                beta2: f32::decode(buf)?,
+                eps: f32::decode(buf)?,
+                t: u32::decode(buf)?,
+                weight_decay: f32::decode(buf)?,
+            },
+            13 => KernelKind::LayerNormFwd {
+                x: BufferId::decode(buf)?,
+                gamma: BufferId::decode(buf)?,
+                beta: BufferId::decode(buf)?,
+                out: BufferId::decode(buf)?,
+                mean: BufferId::decode(buf)?,
+                rstd: BufferId::decode(buf)?,
+                rows: u32::decode(buf)?,
+                cols: u32::decode(buf)?,
+            },
+            14 => KernelKind::LayerNormBwd {
+                x: BufferId::decode(buf)?,
+                gamma: BufferId::decode(buf)?,
+                dy: BufferId::decode(buf)?,
+                mean: BufferId::decode(buf)?,
+                rstd: BufferId::decode(buf)?,
+                dx: BufferId::decode(buf)?,
+                dgamma: BufferId::decode(buf)?,
+                dbeta: BufferId::decode(buf)?,
+                rows: u32::decode(buf)?,
+                cols: u32::decode(buf)?,
+            },
+            other => return Err(SimError::Codec(format!("bad kernel tag {other}"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn run(kernel: &KernelKind, mem: &mut HashMap<BufferId, Vec<f32>>) {
+        let mem_ptr = std::cell::RefCell::new(mem);
+        let mut fetch = |id: BufferId| {
+            mem_ptr
+                .borrow()
+                .get(&id)
+                .cloned()
+                .ok_or_else(|| SimError::InvalidHandle(id.to_string()))
+        };
+        let mut store = |id: BufferId, data: Vec<f32>| {
+            mem_ptr.borrow_mut().insert(id, data);
+            Ok(())
+        };
+        kernel.execute(&mut fetch, &mut store).unwrap();
+    }
+
+    #[test]
+    fn matmul_basic() {
+        let mut mem = HashMap::new();
+        mem.insert(BufferId(0), vec![1.0, 2.0, 3.0, 4.0]); // 2x2
+        mem.insert(BufferId(1), vec![5.0, 6.0, 7.0, 8.0]); // 2x2
+        mem.insert(BufferId(2), vec![0.0; 4]);
+        run(
+            &KernelKind::MatMul {
+                a: BufferId(0),
+                b: BufferId(1),
+                out: BufferId(2),
+                m: 2,
+                k: 2,
+                n: 2,
+                trans_a: false,
+                trans_b: false,
+            },
+            &mut mem,
+        );
+        assert_eq!(mem[&BufferId(2)], vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_transposes() {
+        let mut mem = HashMap::new();
+        // a stored as k×m = 2×2: logical a = [[1,3],[2,4]].
+        mem.insert(BufferId(0), vec![1.0, 2.0, 3.0, 4.0]);
+        mem.insert(BufferId(1), vec![1.0, 0.0, 0.0, 1.0]);
+        mem.insert(BufferId(2), vec![0.0; 4]);
+        run(
+            &KernelKind::MatMul {
+                a: BufferId(0),
+                b: BufferId(1),
+                out: BufferId(2),
+                m: 2,
+                k: 2,
+                n: 2,
+                trans_a: true,
+                trans_b: false,
+            },
+            &mut mem,
+        );
+        assert_eq!(mem[&BufferId(2)], vec![1.0, 3.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn softmax_xent_gradient_sums_to_zero_per_row() {
+        let mut mem = HashMap::new();
+        mem.insert(BufferId(0), vec![1.0, 2.0, 3.0, 0.5, 0.5, 0.5]); // 2x3 logits
+        mem.insert(BufferId(1), vec![2.0, 0.0]); // labels
+        mem.insert(BufferId(2), vec![0.0; 6]); // probs
+        mem.insert(BufferId(3), vec![0.0]); // loss
+        run(
+            &KernelKind::SoftmaxXentFwd {
+                logits: BufferId(0),
+                labels: BufferId(1),
+                probs: BufferId(2),
+                loss: BufferId(3),
+                rows: 2,
+                cols: 3,
+            },
+            &mut mem,
+        );
+        let loss = mem[&BufferId(3)][0];
+        assert!(loss > 0.0);
+        // Row probabilities sum to 1.
+        let p = mem[&BufferId(2)].clone();
+        for r in 0..2 {
+            let s: f32 = p[r * 3..(r + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        mem.insert(BufferId(4), vec![0.0; 6]);
+        run(
+            &KernelKind::SoftmaxXentBwd {
+                probs: BufferId(2),
+                labels: BufferId(1),
+                dlogits: BufferId(4),
+                rows: 2,
+                cols: 3,
+            },
+            &mut mem,
+        );
+        let d = mem[&BufferId(4)].clone();
+        for r in 0..2 {
+            let s: f32 = d[r * 3..(r + 1) * 3].iter().sum();
+            assert!(s.abs() < 1e-6, "row grad sum {s}");
+        }
+    }
+
+    #[test]
+    fn adam_moves_params_against_gradient() {
+        let mut mem = HashMap::new();
+        mem.insert(BufferId(0), vec![1.0, -1.0]); // param
+        mem.insert(BufferId(1), vec![0.5, -0.5]); // grad
+        mem.insert(BufferId(2), vec![0.0, 0.0]); // m
+        mem.insert(BufferId(3), vec![0.0, 0.0]); // v
+        run(
+            &KernelKind::AdamStep {
+                param: BufferId(0),
+                grad: BufferId(1),
+                m: BufferId(2),
+                v: BufferId(3),
+                lr: 0.1,
+                beta1: 0.9,
+                beta2: 0.999,
+                eps: 1e-8,
+                t: 1,
+                weight_decay: 0.0,
+            },
+            &mut mem,
+        );
+        let p = mem[&BufferId(0)].clone();
+        assert!(p[0] < 1.0);
+        assert!(p[1] > -1.0);
+        // Optimizer state must have been updated (JIT checkpointing cares
+        // that this state is part of the persistent set).
+        assert!(mem[&BufferId(2)][0] != 0.0);
+        assert!(mem[&BufferId(3)][0] != 0.0);
+    }
+
+    #[test]
+    fn sgd_momentum_accumulates() {
+        let mut mem = HashMap::new();
+        mem.insert(BufferId(0), vec![0.0]);
+        mem.insert(BufferId(1), vec![1.0]);
+        mem.insert(BufferId(2), vec![0.0]);
+        let k = KernelKind::SgdStep {
+            param: BufferId(0),
+            grad: BufferId(1),
+            momentum: BufferId(2),
+            lr: 0.1,
+            mu: 0.9,
+            weight_decay: 0.0,
+        };
+        run(&k, &mut mem);
+        let p1 = mem[&BufferId(0)][0];
+        run(&k, &mut mem);
+        let p2 = mem[&BufferId(0)][0];
+        // Second step moves further due to momentum.
+        assert!((p2 - p1).abs() > p1.abs());
+    }
+
+    #[test]
+    fn relu_roundtrip_gradients() {
+        let mut mem = HashMap::new();
+        mem.insert(BufferId(0), vec![-1.0, 2.0, -3.0, 4.0]);
+        mem.insert(BufferId(1), vec![0.0; 4]);
+        run(
+            &KernelKind::Relu {
+                x: BufferId(0),
+                out: BufferId(1),
+            },
+            &mut mem,
+        );
+        assert_eq!(mem[&BufferId(1)], vec![0.0, 2.0, 0.0, 4.0]);
+        mem.insert(BufferId(2), vec![1.0; 4]);
+        mem.insert(BufferId(3), vec![0.0; 4]);
+        run(
+            &KernelKind::ReluBwd {
+                x: BufferId(0),
+                dy: BufferId(2),
+                dx: BufferId(3),
+            },
+            &mut mem,
+        );
+        assert_eq!(mem[&BufferId(3)], vec![0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn zero_fill_axpy_scale() {
+        let mut mem = HashMap::new();
+        mem.insert(BufferId(0), vec![1.0, 2.0]);
+        mem.insert(BufferId(1), vec![10.0, 20.0]);
+        run(
+            &KernelKind::Axpy {
+                alpha: 2.0,
+                x: BufferId(0),
+                y: BufferId(1),
+            },
+            &mut mem,
+        );
+        assert_eq!(mem[&BufferId(1)], vec![12.0, 24.0]);
+        run(
+            &KernelKind::Scale {
+                alpha: 0.5,
+                x: BufferId(1),
+            },
+            &mut mem,
+        );
+        assert_eq!(mem[&BufferId(1)], vec![6.0, 12.0]);
+        run(&KernelKind::Zero { buf: BufferId(1) }, &mut mem);
+        assert_eq!(mem[&BufferId(1)], vec![0.0, 0.0]);
+        run(
+            &KernelKind::Fill {
+                buf: BufferId(1),
+                value: 3.0,
+            },
+            &mut mem,
+        );
+        assert_eq!(mem[&BufferId(1)], vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn kernel_codec_round_trip() {
+        use simcore::codec::{decode_framed, encode_framed};
+        let kernels = vec![
+            KernelKind::MatMul {
+                a: BufferId(1),
+                b: BufferId(2),
+                out: BufferId(3),
+                m: 4,
+                k: 5,
+                n: 6,
+                trans_a: true,
+                trans_b: false,
+            },
+            KernelKind::AdamStep {
+                param: BufferId(1),
+                grad: BufferId(2),
+                m: BufferId(3),
+                v: BufferId(4),
+                lr: 1e-3,
+                beta1: 0.9,
+                beta2: 0.999,
+                eps: 1e-8,
+                t: 7,
+                weight_decay: 0.01,
+            },
+            KernelKind::Zero { buf: BufferId(9) },
+        ];
+        for k in kernels {
+            let framed = encode_framed(&k);
+            let back: KernelKind = decode_framed(&framed).unwrap();
+            assert_eq!(back, k);
+        }
+    }
+
+    #[test]
+    fn flops_scale_with_phantom_factor() {
+        let k = KernelKind::MatMul {
+            a: BufferId(0),
+            b: BufferId(1),
+            out: BufferId(2),
+            m: 10,
+            k: 10,
+            n: 10,
+            trans_a: false,
+            trans_b: false,
+        };
+        assert!((k.flops(1.0) - 2000.0).abs() < 1e-9);
+        assert!((k.flops(100.0) - 200_000.0).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod layernorm_tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn run(kernel: &KernelKind, mem: &mut HashMap<BufferId, Vec<f32>>) {
+        let mem_ptr = std::cell::RefCell::new(mem);
+        let mut fetch = |id: BufferId| {
+            mem_ptr
+                .borrow()
+                .get(&id)
+                .cloned()
+                .ok_or_else(|| SimError::InvalidHandle(id.to_string()))
+        };
+        let mut store = |id: BufferId, data: Vec<f32>| {
+            mem_ptr.borrow_mut().insert(id, data);
+            Ok(())
+        };
+        kernel.execute(&mut fetch, &mut store).unwrap();
+    }
+
+    fn ln_forward(x: &[f32], g: &[f32], b: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+        let mut mem = HashMap::new();
+        mem.insert(BufferId(0), x.to_vec());
+        mem.insert(BufferId(1), g.to_vec());
+        mem.insert(BufferId(2), b.to_vec());
+        mem.insert(BufferId(3), vec![0.0; rows * cols]);
+        mem.insert(BufferId(4), vec![0.0; rows]);
+        mem.insert(BufferId(5), vec![0.0; rows]);
+        run(
+            &KernelKind::LayerNormFwd {
+                x: BufferId(0),
+                gamma: BufferId(1),
+                beta: BufferId(2),
+                out: BufferId(3),
+                mean: BufferId(4),
+                rstd: BufferId(5),
+                rows: rows as u32,
+                cols: cols as u32,
+            },
+            &mut mem,
+        );
+        mem[&BufferId(3)].clone()
+    }
+
+    #[test]
+    fn layernorm_output_has_zero_mean_unit_variance() {
+        let x = vec![1.0, 2.0, 3.0, 4.0, -2.0, 0.0, 2.0, 4.0];
+        let out = ln_forward(&x, &[1.0; 4], &[0.0; 4], 2, 4);
+        for r in 0..2 {
+            let row = &out[r * 4..(r + 1) * 4];
+            let m: f32 = row.iter().sum::<f32>() / 4.0;
+            let v: f32 = row.iter().map(|x| (x - m) * (x - m)).sum::<f32>() / 4.0;
+            assert!(m.abs() < 1e-5, "mean {m}");
+            assert!((v - 1.0).abs() < 1e-3, "var {v}");
+        }
+    }
+
+    #[test]
+    fn layernorm_gamma_beta_apply_affine() {
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let plain = ln_forward(&x, &[1.0; 4], &[0.0; 4], 1, 4);
+        let scaled = ln_forward(&x, &[2.0; 4], &[0.5; 4], 1, 4);
+        for (p, s) in plain.iter().zip(&scaled) {
+            assert!((s - (2.0 * p + 0.5)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn layernorm_backward_matches_finite_differences() {
+        // Scalar objective L = Σ w ⊙ LN(x); check dL/dx, dL/dγ, dL/dβ
+        // against central differences.
+        let rows = 2usize;
+        let cols = 4usize;
+        let x: Vec<f32> = vec![0.5, -1.0, 2.0, 0.25, 1.5, 0.0, -0.75, 1.0];
+        let g: Vec<f32> = vec![1.2, 0.8, -0.5, 1.0];
+        let b: Vec<f32> = vec![0.1, -0.2, 0.3, 0.0];
+        let w: Vec<f32> = vec![1.0, -2.0, 0.5, 1.5, -1.0, 2.0, 0.25, -0.5];
+        let loss = |x: &[f32], g: &[f32], b: &[f32]| -> f64 {
+            ln_forward(x, g, b, rows, cols)
+                .iter()
+                .zip(&w)
+                .map(|(o, wi)| (*o as f64) * (*wi as f64))
+                .sum()
+        };
+        // Analytic gradients.
+        let mut mem = HashMap::new();
+        mem.insert(BufferId(0), x.clone());
+        mem.insert(BufferId(1), g.clone());
+        mem.insert(BufferId(2), b.clone());
+        mem.insert(BufferId(3), vec![0.0; rows * cols]);
+        mem.insert(BufferId(4), vec![0.0; rows]);
+        mem.insert(BufferId(5), vec![0.0; rows]);
+        run(
+            &KernelKind::LayerNormFwd {
+                x: BufferId(0),
+                gamma: BufferId(1),
+                beta: BufferId(2),
+                out: BufferId(3),
+                mean: BufferId(4),
+                rstd: BufferId(5),
+                rows: rows as u32,
+                cols: cols as u32,
+            },
+            &mut mem,
+        );
+        mem.insert(BufferId(6), w.clone()); // dy = w
+        mem.insert(BufferId(7), vec![0.0; rows * cols]);
+        mem.insert(BufferId(8), vec![0.0; cols]);
+        mem.insert(BufferId(9), vec![0.0; cols]);
+        run(
+            &KernelKind::LayerNormBwd {
+                x: BufferId(0),
+                gamma: BufferId(1),
+                dy: BufferId(6),
+                mean: BufferId(4),
+                rstd: BufferId(5),
+                dx: BufferId(7),
+                dgamma: BufferId(8),
+                dbeta: BufferId(9),
+                rows: rows as u32,
+                cols: cols as u32,
+            },
+            &mut mem,
+        );
+        let eps = 1e-3f32;
+        let check = |analytic: &[f32], mut perturb: Box<dyn FnMut(usize, f32) -> f64>| {
+            for (i, a) in analytic.iter().enumerate() {
+                let plus = perturb(i, eps);
+                let minus = perturb(i, -eps);
+                let numeric = (plus - minus) / (2.0 * eps as f64);
+                assert!(
+                    (numeric - *a as f64).abs() < 2e-2_f64.max(numeric.abs() * 0.02),
+                    "idx {i}: analytic {a} vs numeric {numeric}"
+                );
+            }
+        };
+        let dx = mem[&BufferId(7)].clone();
+        let (x2, g2, b2) = (x.clone(), g.clone(), b.clone());
+        check(
+            &dx,
+            Box::new(move |i, d| {
+                let mut xp = x2.clone();
+                xp[i] += d;
+                loss(&xp, &g2, &b2)
+            }),
+        );
+        let dg = mem[&BufferId(8)].clone();
+        let (x3, g3, b3) = (x.clone(), g.clone(), b.clone());
+        check(
+            &dg,
+            Box::new(move |i, d| {
+                let mut gp = g3.clone();
+                gp[i] += d;
+                loss(&x3, &gp, &b3)
+            }),
+        );
+        let db = mem[&BufferId(9)].clone();
+        check(
+            &db,
+            Box::new(move |i, d| {
+                let mut bp = b.clone();
+                bp[i] += d;
+                loss(&x, &g, &bp)
+            }),
+        );
+    }
+
+    #[test]
+    fn layernorm_codec_round_trip() {
+        use simcore::codec::{decode_framed, encode_framed};
+        let k = KernelKind::LayerNormBwd {
+            x: BufferId(1),
+            gamma: BufferId(2),
+            dy: BufferId(3),
+            mean: BufferId(4),
+            rstd: BufferId(5),
+            dx: BufferId(6),
+            dgamma: BufferId(7),
+            dbeta: BufferId(8),
+            rows: 3,
+            cols: 9,
+        };
+        let framed = encode_framed(&k);
+        let back: KernelKind = decode_framed(&framed).unwrap();
+        assert_eq!(back, k);
+    }
+}

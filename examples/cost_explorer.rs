@@ -1,0 +1,68 @@
+//! Interactive exploration of the §5 wasted-work model: sweep GPU count,
+//! failure rate, and checkpoint cost, and compare periodic checkpointing
+//! at the optimal frequency against both JIT designs.
+//!
+//! ```sh
+//! cargo run --example cost_explorer                 # defaults (BERT-L-PT-like)
+//! cargo run --example cost_explorer 5 9.9 0.4 2     # o r m f_per_day_per_992
+//! ```
+
+use jitckpt::analysis::{
+    monthly_failure_cost_dollars, optimal_frequency, scaling_curve, wasted_fraction,
+    wasted_rate_periodic_optimal, JobParams,
+};
+
+fn main() {
+    let args: Vec<f64> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let o = args.first().copied().unwrap_or(5.0);
+    let r = args.get(1).copied().unwrap_or(9.9);
+    let m = args.get(2).copied().unwrap_or(0.418);
+    let f992 = args.get(3).copied().unwrap_or(2.0);
+    let f_day = f992 / 992.0;
+    println!("model: o = {o}s/checkpoint, r = {r}s fixed recovery, m = {m}s/minibatch,");
+    println!("       f = {f992} failures/day per 992 GPUs\n");
+
+    let base = JobParams::new(o, f_day, r, 4, m);
+    println!(
+        "{:>6}  {:>10}  {:>12}  {:>12}  {:>14}",
+        "N", "c*/hour", "periodic w_f", "JIT-user w_f", "JIT-transp w_f"
+    );
+    let ns = [4usize, 16, 64, 256, 1024, 4096, 8192, 16384];
+    for p in scaling_curve(&base, &ns, 0.0, 0.0001) {
+        println!(
+            "{:>6}  {:>10.3}  {:>11.4}%  {:>11.4}%  {:>13.4}%",
+            p.n,
+            p.c_star_per_hour,
+            p.wf_periodic * 100.0,
+            p.wf_jit_user * 100.0,
+            p.wf_jit_transparent * 100.0
+        );
+    }
+
+    // Where does periodic checkpointing start to really hurt?
+    println!("\ndollar cost of the periodic-checkpointing waste (@ $4/GPU-hr):");
+    for n in [1_000usize, 4_000, 10_000] {
+        let p = JobParams::new(o, f_day, r, n, m);
+        let wf = wasted_fraction(wasted_rate_periodic_optimal(&p));
+        // Wasted GPU-hours/month = N × 730 h × w_f; cost at $4/h.
+        let monthly = n as f64 * 730.0 * wf * 4.0;
+        println!("  N = {n:>6}: w_f = {:>6.3}% → ~${monthly:>10.0}/month", wf * 100.0);
+    }
+
+    // The paper's §5.1 back-of-envelope for comparison.
+    println!(
+        "\n§5.1 reference points: 1000 GPUs → ${:.0}/month, 10000 GPUs → ${:.0}/month",
+        monthly_failure_cost_dollars(1000, 1.0, 0.25, 4.0),
+        monthly_failure_cost_dollars(10_000, 10.0, 0.25, 4.0),
+    );
+    let p1024 = JobParams::new(o, f_day, r, 1024, m);
+    println!(
+        "\nat N = 1024 the optimal periodic frequency is {:.2}/hour (once every {:.0} min);",
+        optimal_frequency(&p1024) * 3600.0,
+        60.0 / (optimal_frequency(&p1024) * 3600.0)
+    );
+    println!("JIT checkpointing removes that entire term and the redo window.");
+}
