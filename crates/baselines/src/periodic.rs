@@ -156,14 +156,18 @@ pub fn run_periodic_job(
                 let world_w = world.clone();
                 let monitor = Watchdog::spawn(pcfg.monitor_timeout, move || {
                     world_w.abort_all();
-                });
+                })?;
                 exec.set_observer(monitor.observer());
                 let mut tr = RankTrainer::new(exec, cfg.clone(), &per_rank[i], injector.clone())?;
                 let mut resumed_from = 0u64;
                 if resume.is_some() {
                     let (state, meta) = checkpoint::load_for_rank(&store, job, &layout, rank)?;
                     let t_restore = cost.process_restart
-                        + cost.checkpoint_read(meta.logical_bytes, StorageTier::Disk, cfg.ranks_per_node);
+                        + cost.checkpoint_read(
+                            meta.logical_bytes,
+                            StorageTier::Disk,
+                            cfg.ranks_per_node,
+                        );
                     tr.exec.clock().advance(i, t_restore);
                     tr.restore(&state)?;
                     resumed_from = state.iteration;
@@ -277,7 +281,7 @@ mod tests {
     }
 
     #[test]
-    fn failure_free_periodic_run_writes_checkpoints() {
+    fn failure_free_periodic_run_writes_checkpoints() -> SimResult<()> {
         let cfg = dltrain::TrainConfig::tiny_dp(2);
         let out = run_periodic_job(
             cfg,
@@ -287,17 +291,17 @@ mod tests {
             Arc::new(SharedStore::new()),
             PeriodicConfig::every(PolicyKind::PcDisk, 3),
             9,
-        )
-        .unwrap();
+        )?;
         assert_eq!(out.restarts, 0);
         assert_eq!(out.wasted_iterations, 0);
         // 2 ranks × 3 checkpoints (it 3, 6, 9).
         assert_eq!(out.checkpoints_written, 6);
         assert!(out.losses[0].iter().all(|l| l.is_finite()));
+        Ok(())
     }
 
     #[test]
-    fn periodic_restart_replays_lost_iterations() {
+    fn periodic_restart_replays_lost_iterations() -> SimResult<()> {
         // Failure at iteration 7 with checkpoints every 3 → resume from 6,
         // wasting ~1-2 iterations of work (vs JIT's sub-minibatch cost).
         let cfg = dltrain::TrainConfig::tiny_dp(2);
@@ -315,8 +319,7 @@ mod tests {
             Arc::new(SharedStore::new()),
             PeriodicConfig::every(PolicyKind::PcMem, 3),
             10,
-        )
-        .unwrap();
+        )?;
         assert_eq!(out.restarts, 1);
         assert!(out.wasted_iterations >= 1, "{}", out.wasted_iterations);
         // Semantics preserved: the resumed trajectory is complete & finite.
@@ -330,13 +333,13 @@ mod tests {
             Arc::new(SharedStore::new()),
             PeriodicConfig::every(PolicyKind::PcMem, 3),
             10,
-        )
-        .unwrap();
+        )?;
         assert_eq!(out.losses, clean.losses);
+        Ok(())
     }
 
     #[test]
-    fn failure_before_first_checkpoint_restarts_from_scratch() {
+    fn failure_before_first_checkpoint_restarts_from_scratch() -> SimResult<()> {
         let cfg = dltrain::TrainConfig::tiny_dp(2);
         let injector = FailureInjector::with_specs(vec![FailureSpec::new(
             1,
@@ -352,10 +355,10 @@ mod tests {
             Arc::new(SharedStore::new()),
             PeriodicConfig::every(PolicyKind::PcDisk, 5),
             6,
-        )
-        .unwrap();
+        )?;
         assert_eq!(out.restarts, 1);
         assert!(out.losses[0].iter().all(|l| l.is_finite()));
+        Ok(())
     }
 }
 
@@ -404,9 +407,7 @@ mod tuning_tests {
     #[test]
     fn tuned_interval_shrinks_with_more_gpus() {
         let cost = CostModel::v100();
-        let args = |n| {
-            tuned_interval_iters(PolicyKind::PcMem, 4 << 30, &cost, 8, n, 2e-3, 0.4)
-        };
+        let args = |n| tuned_interval_iters(PolicyKind::PcMem, 4 << 30, &cost, 8, n, 2e-3, 0.4);
         assert!(args(8192) < args(64), "more GPUs → checkpoint more often");
     }
 
@@ -415,6 +416,9 @@ mod tuning_tests {
         let cost = CostModel::v100();
         let disk = tuned_interval_iters(PolicyKind::PcDisk, 8 << 30, &cost, 8, 1024, 2e-3, 0.5);
         let cf = tuned_interval_iters(PolicyKind::CheckFreq, 8 << 30, &cost, 8, 1024, 2e-3, 0.5);
-        assert!(cf < disk, "CheckFreq's lower stall affords more checkpoints");
+        assert!(
+            cf < disk,
+            "CheckFreq's lower stall affords more checkpoints"
+        );
     }
 }

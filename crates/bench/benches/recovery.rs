@@ -2,10 +2,10 @@
 //! machinery itself — reset, object re-creation, replay, checkpoint
 //! assembly — on small functional jobs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use jitckpt::checkpoint::{self, CkptKind};
 use cluster::SharedStore;
+use criterion::{criterion_group, criterion_main, Criterion};
 use dltrain::TrainState;
+use jitckpt::checkpoint::{self, CkptKind};
 use simcore::layout::ParallelLayout;
 use simcore::{JobId, RankId};
 use simgpu::BufferTag;
@@ -45,8 +45,17 @@ fn bench_checkpoint_io(c: &mut Criterion) {
         });
         group.bench_function(format!("read_validate_{buffers}x{elems}"), |b| {
             let store = SharedStore::new();
-            checkpoint::write_checkpoint(&store, JobId(0), CkptKind::Jit, RankId(0), 0, 0, 0, &state)
-                .unwrap();
+            checkpoint::write_checkpoint(
+                &store,
+                JobId(0),
+                CkptKind::Jit,
+                RankId(0),
+                0,
+                0,
+                0,
+                &state,
+            )
+            .unwrap();
             b.iter(|| {
                 black_box(
                     checkpoint::read_checkpoint(&store, JobId(0), CkptKind::Jit, 3, 0, 0, 0)

@@ -16,7 +16,8 @@ fn detection_latency(timeout_ms: u64) -> Duration {
     let f = fired.clone();
     let wd = Watchdog::spawn(Duration::from_millis(timeout_ms), move || {
         f.store(true, Ordering::SeqCst);
-    });
+    })
+    .expect("spawn watchdog");
     let obs = wd.observer();
     let start = Instant::now();
     obs.collective_started(&CollectiveTicket {

@@ -10,7 +10,10 @@ use bench::montecarlo::{predicted_fraction, replicate, Policy};
 use jitckpt::analysis::JobParams;
 
 fn main() {
-    let args: Vec<u64> = std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+    let args: Vec<u64> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
     let days = *args.get(1).unwrap_or(&90) as f64;
     let horizon = days * 86_400.0;
     let ns: Vec<usize> = if let Some(n) = args.first() {

@@ -23,7 +23,8 @@ fn main() {
         }
     };
     let mut printed = false;
-    let sections: Vec<(&str, fn() -> bench::Table)> = vec![
+    type Section = (&'static str, fn() -> bench::Table);
+    let sections: Vec<Section> = vec![
         ("1", table1),
         ("2", table2),
         ("3", table3),

@@ -118,9 +118,7 @@ pub fn simulate(p: &JobParams, policy: Policy, horizon_useful: f64, seed: u64) -
                 // per failure (N·f·t·o): the write overlaps the restart
                 // window on the already-idle job, so per GPU it amortizes
                 // to o/N.
-                wasted += p.ckpt_overhead / p.n_gpus as f64
-                    + p.fixed_recovery
-                    + p.minibatch / 2.0;
+                wasted += p.ckpt_overhead / p.n_gpus as f64 + p.fixed_recovery + p.minibatch / 2.0;
                 checkpoints += 1;
             }
             Policy::JitTransparent => {
@@ -154,9 +152,7 @@ pub fn replicate(p: &JobParams, policy: Policy, horizon: f64, reps: u64) -> (f64
 /// Analytical prediction for a policy (eq. 5/7/8 + eq. 6).
 pub fn predicted_fraction(p: &JobParams, policy: Policy) -> f64 {
     let w = match policy {
-        Policy::Periodic { c } => {
-            jitckpt::analysis::wasted_rate_periodic(p, c)
-        }
+        Policy::Periodic { c } => jitckpt::analysis::wasted_rate_periodic(p, c),
         Policy::PeriodicOptimal => wasted_rate_periodic_optimal(p),
         Policy::JitUser => wasted_rate_jit_user(p, 0.0),
         Policy::JitTransparent => wasted_rate_jit_transparent(p, 0.0),
@@ -217,7 +213,10 @@ mod tests {
         let (user, _) = replicate(&p, Policy::JitUser, horizon, 4);
         let (transparent, _) = replicate(&p, Policy::JitTransparent, horizon, 4);
         assert!(user < pc, "user {user} vs pc {pc}");
-        assert!(transparent < user, "transparent {transparent} vs user {user}");
+        assert!(
+            transparent < user,
+            "transparent {transparent} vs user {user}"
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! model's CRIU bandwidth applied to the image's logical size.
 
 use bytes::Bytes;
+use serde::{Deserialize, Serialize};
 use simcore::codec::{decode_framed, encode_framed, Decode, Encode};
 use simcore::cost::CostModel;
 use simcore::{SimResult, SimTime};
@@ -20,12 +21,19 @@ use simcore::{SimResult, SimTime};
 /// A CRIU process image: the serialized worker CPU state plus the logical
 /// size used for cost accounting (worker processes of large jobs carry
 /// multi-GB heaps even though our serialized state is small).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CriuImage {
     /// Serialized worker state.
     pub payload: Bytes,
     /// Logical process-image size in bytes for timing.
     pub logical_bytes: u64,
+}
+
+impl CriuImage {
+    /// Process-image format version. A CRIU image written before a node
+    /// failure is restored on a *different* node by a freshly scheduled
+    /// worker, so the payload framing must be versioned explicitly.
+    pub const SCHEMA_VERSION: u16 = 1;
 }
 
 /// Takes a CRIU snapshot of `state`. Returns the image and the virtual

@@ -139,7 +139,12 @@ pub fn specs_from_trace(
             let phase = match ev.kind {
                 FailureKind::TransientNetwork => Phase::AllReduce,
                 _ => {
-                    let all = [Phase::Forward, Phase::Backward, Phase::AllReduce, Phase::OptimizerStep];
+                    let all = [
+                        Phase::Forward,
+                        Phase::Backward,
+                        Phase::AllReduce,
+                        Phase::OptimizerStep,
+                    ];
                     all[rng.below(all.len() as u64) as usize]
                 }
             };

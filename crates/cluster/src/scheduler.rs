@@ -150,12 +150,16 @@ impl Scheduler {
     /// that failed. Clears acks and bumps the restart generation. Returns
     /// the new assignment.
     pub fn reschedule(&self, job: JobId) -> SimResult<Vec<GpuId>> {
+        // Lock order: `cluster` strictly before `jobs`, matching `submit`
+        // and `report_gpu_failure` — a reversed order here could deadlock
+        // against a concurrent submit during recovery.
+        let cluster = self.cluster.lock();
         let mut jobs = self.jobs.lock();
         let j = jobs
             .get_mut(&job)
             .ok_or_else(|| SimError::Scheduling(format!("unknown {job}")))?;
         let n = j.layout.world_size();
-        let assignment = self.cluster.lock().allocate(n, &j.failed_gpus)?;
+        let assignment = cluster.allocate(n, &j.failed_gpus)?;
         j.assignment = assignment.clone();
         j.acks.clear();
         j.generation += 1;

@@ -131,12 +131,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn put_get_round_trip() {
+    fn put_get_round_trip() -> SimResult<()> {
         let s = SharedStore::new();
-        s.put("ckpt/rank0/data", Bytes::from_static(b"hello")).unwrap();
-        assert_eq!(s.get("ckpt/rank0/data").unwrap(), Bytes::from_static(b"hello"));
+        s.put("ckpt/rank0/data", Bytes::from_static(b"hello"))?;
+        assert_eq!(s.get("ckpt/rank0/data")?, Bytes::from_static(b"hello"));
         assert!(s.exists("ckpt/rank0/data"));
         assert!(!s.exists("ckpt/rank1/data"));
+        Ok(())
     }
 
     #[test]
@@ -146,42 +147,49 @@ mod tests {
     }
 
     #[test]
-    fn list_by_prefix_sorted() {
+    fn list_by_prefix_sorted() -> SimResult<()> {
         let s = SharedStore::new();
-        s.put("ckpt/it5/rank1", Bytes::new()).unwrap();
-        s.put("ckpt/it5/rank0", Bytes::new()).unwrap();
-        s.put("ckpt/it6/rank0", Bytes::new()).unwrap();
+        s.put("ckpt/it5/rank1", Bytes::new())?;
+        s.put("ckpt/it5/rank0", Bytes::new())?;
+        s.put("ckpt/it6/rank0", Bytes::new())?;
         let got = s.list("ckpt/it5/");
-        assert_eq!(got, vec!["ckpt/it5/rank0".to_string(), "ckpt/it5/rank1".to_string()]);
+        assert_eq!(
+            got,
+            vec!["ckpt/it5/rank0".to_string(), "ckpt/it5/rank1".to_string()]
+        );
+        Ok(())
     }
 
     #[test]
-    fn truncated_write_loses_tail() {
+    fn truncated_write_loses_tail() -> SimResult<()> {
         let s = SharedStore::new();
         s.fail_next_write(0.5);
-        s.put("x", Bytes::from(vec![1u8; 100])).unwrap();
-        assert_eq!(s.size_of("x").unwrap(), 50);
+        s.put("x", Bytes::from(vec![1u8; 100]))?;
+        assert_eq!(s.size_of("x")?, 50);
         // One-shot: subsequent writes are whole.
-        s.put("y", Bytes::from(vec![1u8; 100])).unwrap();
-        assert_eq!(s.size_of("y").unwrap(), 100);
+        s.put("y", Bytes::from(vec![1u8; 100]))?;
+        assert_eq!(s.size_of("y")?, 100);
+        Ok(())
     }
 
     #[test]
-    fn corrupt_flips_a_byte() {
+    fn corrupt_flips_a_byte() -> SimResult<()> {
         let s = SharedStore::new();
-        s.put("x", Bytes::from(vec![0u8; 10])).unwrap();
-        s.corrupt("x").unwrap();
-        let got = s.get("x").unwrap();
+        s.put("x", Bytes::from(vec![0u8; 10]))?;
+        s.corrupt("x")?;
+        let got = s.get("x")?;
         assert!(got.iter().any(|b| *b != 0));
+        Ok(())
     }
 
     #[test]
-    fn delete_prefix_collects_garbage() {
+    fn delete_prefix_collects_garbage() -> SimResult<()> {
         let s = SharedStore::new();
-        s.put("ckpt/it5/a", Bytes::new()).unwrap();
-        s.put("ckpt/it5/b", Bytes::new()).unwrap();
-        s.put("ckpt/it6/a", Bytes::new()).unwrap();
+        s.put("ckpt/it5/a", Bytes::new())?;
+        s.put("ckpt/it5/b", Bytes::new())?;
+        s.put("ckpt/it6/a", Bytes::new())?;
         assert_eq!(s.delete_prefix("ckpt/it5/"), 2);
         assert_eq!(s.len(), 1);
+        Ok(())
     }
 }

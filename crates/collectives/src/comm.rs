@@ -82,6 +82,8 @@ struct Slot {
 struct CommState {
     slots: HashMap<u64, Slot>,
     pending_fault: Option<RankId>,
+    /// Member threads currently parked inside a collective wait.
+    parked: usize,
 }
 
 /// A group of ranks performing matched collective operations.
@@ -173,6 +175,25 @@ impl Communicator {
         self.cv.notify_all();
     }
 
+    /// Blocks until at least `n` member threads are parked inside a
+    /// collective wait, or `timeout` elapses (returns `false` on
+    /// timeout). This is the §3.1 hang signature made observable:
+    /// harnesses and tests wait on the same condvar the parked ranks
+    /// use instead of sleeping an arbitrary wall-clock interval and
+    /// hoping the ranks have arrived.
+    pub fn wait_for_parked(&self, n: usize, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock();
+        while st.parked < n {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.cv.wait_for(&mut st, deadline - now);
+        }
+        true
+    }
+
     /// Arms a one-shot transient network fault against `victim`: at the
     /// next collective on this communicator, the victim's NCCL call fails
     /// with [`SimError::NetworkTransient`] while every other member hangs
@@ -212,7 +233,12 @@ impl Communicator {
 
     /// Number of cached completed slots (tests / diagnostics).
     pub fn completed_slots(&self) -> usize {
-        self.state.lock().slots.values().filter(|s| s.complete).count()
+        self.state
+            .lock()
+            .slots
+            .values()
+            .filter(|s| s.complete)
+            .count()
     }
 
     /// Drops cached slots with `gen < floor` (memory hygiene on very long
@@ -356,7 +382,10 @@ impl Communicator {
                         return Err(SimError::CollectiveTimeout { rank });
                     }
                 }
+                st.parked += 1;
+                self.cv.notify_all(); // Wake `wait_for_parked` observers.
                 self.cv.wait_for(st, Duration::from_millis(2));
+                st.parked -= 1;
             }
         }
         // Pick up the result; completed slots stay cached for replay.
@@ -476,7 +505,12 @@ impl Communicator {
 
     /// Rendezvous: the communicator-initialization barrier, costed as the
     /// NCCL bootstrap (the dominant step in Table 7's recovery breakdown).
-    pub fn rendezvous(&self, rank: RankId, gen: u64, obs: &dyn CollectiveObserver) -> SimResult<()> {
+    pub fn rendezvous(
+        &self,
+        rank: RankId,
+        gen: u64,
+        obs: &dyn CollectiveObserver,
+    ) -> SimResult<()> {
         self.run(rank, gen, CollKind::Rendezvous, None, None, None, 0, obs)?;
         Ok(())
     }
@@ -679,7 +713,7 @@ mod tests {
         let h2 = thread::spawn(move || {
             c2.all_reduce(RankId(2), 0, vec![1.0], ReduceOp::Sum, 4, &NullObserver)
         });
-        thread::sleep(Duration::from_millis(50));
+        assert!(comm.wait_for_parked(2, Duration::from_secs(5)));
         assert!(!h0.is_finished(), "rank 0 must be parked at the barrier");
         assert!(!h2.is_finished(), "rank 2 must be parked at the barrier");
         comm.abort();
@@ -713,7 +747,7 @@ mod tests {
         let h1 = thread::spawn(move || {
             c1.all_reduce(RankId(1), 0, vec![1.0], ReduceOp::Sum, 4, &NullObserver)
         });
-        thread::sleep(Duration::from_millis(40));
+        assert!(comm.wait_for_parked(1, Duration::from_secs(5)));
         assert!(!h1.is_finished(), "peer must hang");
         comm.abort();
         assert_eq!(h1.join().unwrap().unwrap_err(), SimError::CollectiveAborted);
@@ -734,7 +768,14 @@ mod tests {
         let comm2 = make_comm(2);
         let c = comm2.clone();
         let results = spawn_ranks(2, move |i| {
-            c.all_reduce(RankId(i as u32), 0, vec![1.0], ReduceOp::Sum, 4, &NullObserver)
+            c.all_reduce(
+                RankId(i as u32),
+                0,
+                vec![1.0],
+                ReduceOp::Sum,
+                4,
+                &NullObserver,
+            )
         });
         for r in results {
             assert_eq!(r.unwrap(), vec![2.0]);
@@ -757,7 +798,14 @@ mod tests {
         );
         let c = comm.clone();
         spawn_ranks(2, move |i| {
-            c.all_reduce(RankId(i as u32), 0, vec![0.0; 256], ReduceOp::Sum, 1 << 20, &NullObserver)
+            c.all_reduce(
+                RankId(i as u32),
+                0,
+                vec![0.0; 256],
+                ReduceOp::Sum,
+                1 << 20,
+                &NullObserver,
+            )
         })
         .into_iter()
         .for_each(|r| {

@@ -20,7 +20,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Communicator handle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -43,6 +43,8 @@ struct Message {
 #[derive(Default)]
 struct MailState {
     inbox: HashMap<MailKey, Message>,
+    /// Threads currently parked in [`CommWorld::recv`].
+    waiters: usize,
 }
 
 /// Registry of communicators plus p2p mailboxes for one job.
@@ -186,7 +188,8 @@ impl CommWorld {
         let cost = self.cost.p2p(logical_bytes, same_node);
         let available_at = now + cost;
         let mut mail = self.mail.lock();
-        mail.inbox.insert((src, dst, tag, seq), Message { data, available_at });
+        mail.inbox
+            .insert((src, dst, tag, seq), Message { data, available_at });
         self.mail_cv.notify_all();
         Ok(())
     }
@@ -214,8 +217,29 @@ impl CommWorld {
             if self.is_aborted() {
                 return Err(SimError::CollectiveAborted);
             }
+            mail.waiters += 1;
+            self.mail_cv.notify_all(); // Wake `wait_for_mail_waiters` observers.
             self.mail_cv.wait_for(&mut mail, Duration::from_millis(2));
+            mail.waiters -= 1;
         }
+    }
+
+    /// Blocks until at least `n` threads are parked in
+    /// [`CommWorld::recv`], or `timeout` elapses (returns `false` on
+    /// timeout). Mirror of [`Communicator::wait_for_parked`] for the p2p
+    /// mailboxes: harnesses assert "the receiver is blocked" by waiting
+    /// on the mailbox condvar rather than sleeping a guessed interval.
+    pub fn wait_for_mail_waiters(&self, n: usize, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut mail = self.mail.lock();
+        while mail.waiters < n {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.mail_cv.wait_for(&mut mail, deadline - now);
+        }
+        true
     }
 }
 
@@ -259,29 +283,33 @@ mod tests {
         let (w, _) = world(2);
         let w2 = w.clone();
         let h = thread::spawn(move || w2.recv(RankId(0), RankId(1), 1, 0, 0));
-        thread::sleep(Duration::from_millis(30));
+        assert!(w.wait_for_mail_waiters(1, Duration::from_secs(5)));
         assert!(!h.is_finished());
-        w.send(RankId(0), 0, RankId(1), 0, 0, vec![3.0], 4, true).unwrap();
+        w.send(RankId(0), 0, RankId(1), 0, 0, vec![3.0], 4, true)
+            .unwrap();
         assert_eq!(h.join().unwrap().unwrap(), vec![3.0]);
     }
 
     #[test]
     fn messages_pair_by_sequence_and_are_idempotent() {
         let (w, _) = world(2);
-        w.send(RankId(0), 0, RankId(1), 0, 0, vec![1.0], 4, true).unwrap();
-        w.send(RankId(0), 0, RankId(1), 0, 1, vec![2.0], 4, true).unwrap();
+        w.send(RankId(0), 0, RankId(1), 0, 0, vec![1.0], 4, true)
+            .unwrap();
+        w.send(RankId(0), 0, RankId(1), 0, 1, vec![2.0], 4, true)
+            .unwrap();
         assert_eq!(w.recv(RankId(0), RankId(1), 1, 0, 1).unwrap(), vec![2.0]);
         assert_eq!(w.recv(RankId(0), RankId(1), 1, 0, 0).unwrap(), vec![1.0]);
         // Idempotent re-delivery (a rolled-back receiver replays).
         assert_eq!(w.recv(RankId(0), RankId(1), 1, 0, 0).unwrap(), vec![1.0]);
         // Replayed send overwrites with identical content, harmlessly.
-        w.send(RankId(0), 0, RankId(1), 0, 0, vec![1.0], 4, true).unwrap();
+        w.send(RankId(0), 0, RankId(1), 0, 0, vec![1.0], 4, true)
+            .unwrap();
         assert_eq!(w.recv(RankId(0), RankId(1), 1, 0, 0).unwrap(), vec![1.0]);
         // GC drops old iterations.
         w.prune_mail_below(1);
         let w2 = w.clone();
         let h = thread::spawn(move || w2.recv(RankId(0), RankId(1), 1, 0, 0));
-        thread::sleep(Duration::from_millis(20));
+        assert!(w.wait_for_mail_waiters(1, Duration::from_secs(5)));
         assert!(!h.is_finished(), "pruned message is gone");
         w.abort_all();
         assert!(h.join().unwrap().is_err());
@@ -295,12 +323,19 @@ mod tests {
         let h_coll = thread::spawn(move || c.barrier(RankId(0), 0, &NullObserver));
         let w2 = w.clone();
         let h_mail = thread::spawn(move || w2.recv(RankId(0), RankId(2), 2, 0, 0));
-        thread::sleep(Duration::from_millis(30));
+        assert!(comm.wait_for_parked(1, Duration::from_secs(5)));
+        assert!(w.wait_for_mail_waiters(1, Duration::from_secs(5)));
         assert!(!h_coll.is_finished());
         assert!(!h_mail.is_finished());
         w.abort_all();
-        assert_eq!(h_coll.join().unwrap().unwrap_err(), SimError::CollectiveAborted);
-        assert_eq!(h_mail.join().unwrap().unwrap_err(), SimError::CollectiveAborted);
+        assert_eq!(
+            h_coll.join().unwrap().unwrap_err(),
+            SimError::CollectiveAborted
+        );
+        assert_eq!(
+            h_mail.join().unwrap().unwrap_err(),
+            SimError::CollectiveAborted
+        );
         // Reset restores service.
         w.reset();
         assert!(!w.is_aborted());

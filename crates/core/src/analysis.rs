@@ -32,7 +32,13 @@ pub struct JobParams {
 
 impl JobParams {
     /// Convenience constructor with `f` in failures/GPU/day.
-    pub fn new(ckpt_overhead: f64, failures_per_gpu_day: f64, fixed_recovery: f64, n_gpus: usize, minibatch: f64) -> Self {
+    pub fn new(
+        ckpt_overhead: f64,
+        failures_per_gpu_day: f64,
+        fixed_recovery: f64,
+        n_gpus: usize,
+        minibatch: f64,
+    ) -> Self {
         JobParams {
             ckpt_overhead,
             failure_rate: failures_per_gpu_day / 86_400.0,
@@ -74,7 +80,10 @@ pub fn wasted_fraction(w: f64) -> f64 {
 /// instead of periodic checkpoints.
 pub fn wasted_rate_jit_user(p: &JobParams, steady_overhead: f64) -> f64 {
     let nf = p.n_gpus as f64 * p.failure_rate;
-    p.failure_rate * p.ckpt_overhead + steady_overhead + nf * p.fixed_recovery + nf * p.minibatch / 2.0
+    p.failure_rate * p.ckpt_overhead
+        + steady_overhead
+        + nf * p.fixed_recovery
+        + nf * p.minibatch / 2.0
 }
 
 /// Eq. 8 (normalized): wasted rate for **transparent** JIT checkpointing
@@ -96,7 +105,11 @@ pub fn monthly_failure_cost_dollars(
     wasted_hours_per_gpu_per_failure: f64,
     dollars_per_gpu_hour: f64,
 ) -> f64 {
-    n_gpus as f64 * failures_per_day * 30.0 * wasted_hours_per_gpu_per_failure * dollars_per_gpu_hour
+    n_gpus as f64
+        * failures_per_day
+        * 30.0
+        * wasted_hours_per_gpu_per_failure
+        * dollars_per_gpu_hour
 }
 
 /// One point of the §6.5 scaling analysis.
@@ -157,10 +170,7 @@ mod tests {
         let p = bert_l();
         let c = optimal_frequency(&p); // per second
         let per_6h = c * 6.0 * 3600.0;
-        assert!(
-            (per_6h - 2.0).abs() < 0.15,
-            "√4 = 2 per 6h, got {per_6h}"
-        );
+        assert!((per_6h - 2.0).abs() < 0.15, "√4 = 2 per 6h, got {per_6h}");
         // At N = 1024: ≈ 5.54/hour (paper's number).
         let p = JobParams { n_gpus: 1024, ..p };
         let per_hour = optimal_frequency(&p) * 3600.0;

@@ -20,6 +20,7 @@
 use bytes::Bytes;
 use cluster::SharedStore;
 use dltrain::TrainState;
+use serde::{Deserialize, Serialize};
 use simcore::codec::{decode_framed, encode_framed, Decode, Encode};
 use simcore::layout::ParallelLayout;
 use simcore::{JobId, RankId, SimError, SimResult};
@@ -44,7 +45,7 @@ impl CkptKind {
 }
 
 /// Metadata sidecar marking a complete, verifiable checkpoint.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CheckpointMeta {
     /// Iteration the checkpoint resumes at.
     pub iteration: u64,
@@ -58,8 +59,17 @@ pub struct CheckpointMeta {
     pub logical_bytes: u64,
 }
 
+impl CheckpointMeta {
+    /// Version of the persisted sidecar layout. The sidecar outlives the
+    /// process that wrote it — restore runs in a *new* incarnation of the
+    /// binary — so any field change must bump this and decode rejects
+    /// mismatched versions instead of silently misreading old bytes.
+    pub const SCHEMA_VERSION: u16 = 1;
+}
+
 impl Encode for CheckpointMeta {
     fn encode(&self, buf: &mut bytes::BytesMut) {
+        Self::SCHEMA_VERSION.encode(buf);
         self.iteration.encode(buf);
         self.rank.encode(buf);
         self.payload_crc.encode(buf);
@@ -70,6 +80,13 @@ impl Encode for CheckpointMeta {
 
 impl Decode for CheckpointMeta {
     fn decode(buf: &mut Bytes) -> SimResult<Self> {
+        let version = u16::decode(buf)?;
+        if version != Self::SCHEMA_VERSION {
+            return Err(SimError::CorruptCheckpoint(format!(
+                "metadata schema version {version} (this binary reads {})",
+                Self::SCHEMA_VERSION
+            )));
+        }
         Ok(CheckpointMeta {
             iteration: u64::decode(buf)?,
             rank: u32::decode(buf)?,
@@ -81,7 +98,14 @@ impl Decode for CheckpointMeta {
 }
 
 /// Path of a checkpoint payload object.
-pub fn data_path(job: JobId, kind: CkptKind, iteration: u64, stage: usize, part: usize, dp: usize) -> String {
+pub fn data_path(
+    job: JobId,
+    kind: CkptKind,
+    iteration: u64,
+    stage: usize,
+    part: usize,
+    dp: usize,
+) -> String {
     format!(
         "ckpt/{job}/{}/it{iteration:010}/s{stage}p{part}/dp{dp}/data",
         kind.dir()
@@ -89,7 +113,14 @@ pub fn data_path(job: JobId, kind: CkptKind, iteration: u64, stage: usize, part:
 }
 
 /// Path of a checkpoint metadata sidecar.
-pub fn meta_path(job: JobId, kind: CkptKind, iteration: u64, stage: usize, part: usize, dp: usize) -> String {
+pub fn meta_path(
+    job: JobId,
+    kind: CkptKind,
+    iteration: u64,
+    stage: usize,
+    part: usize,
+    dp: usize,
+) -> String {
     format!(
         "ckpt/{job}/{}/it{iteration:010}/s{stage}p{part}/dp{dp}/meta",
         kind.dir()
@@ -99,6 +130,7 @@ pub fn meta_path(job: JobId, kind: CkptKind, iteration: u64, stage: usize, part:
 /// Writes a rank's checkpoint: payload first, then the metadata sidecar
 /// (the completion marker). The caller charges the write cost to the
 /// rank's clock.
+#[allow(clippy::too_many_arguments)]
 pub fn write_checkpoint(
     store: &SharedStore,
     job: JobId,
@@ -154,10 +186,12 @@ pub fn read_checkpoint(
         )));
     }
     if simcore::codec::crc64(&payload) != meta.payload_crc {
-        return Err(SimError::CorruptCheckpoint(format!("{dpath}: checksum mismatch")));
+        return Err(SimError::CorruptCheckpoint(format!(
+            "{dpath}: checksum mismatch"
+        )));
     }
-    let state: TrainState =
-        decode_framed(&payload).map_err(|e| SimError::CorruptCheckpoint(format!("{dpath}: {e}")))?;
+    let state: TrainState = decode_framed(&payload)
+        .map_err(|e| SimError::CorruptCheckpoint(format!("{dpath}: {e}")))?;
     if state.iteration != meta.iteration {
         return Err(SimError::CorruptCheckpoint(format!(
             "{dpath}: iteration mismatch ({} vs {})",
@@ -344,78 +378,152 @@ mod tests {
     }
 
     #[test]
-    fn write_read_round_trip() {
+    fn write_read_round_trip() -> SimResult<()> {
         let store = SharedStore::new();
         let s = state(7, 1.5);
-        write_checkpoint(&store, job(), CkptKind::Jit, RankId(0), 0, 0, 0, &s).unwrap();
-        let (back, meta) =
-            read_checkpoint(&store, job(), CkptKind::Jit, 7, 0, 0, 0).unwrap();
+        write_checkpoint(&store, job(), CkptKind::Jit, RankId(0), 0, 0, 0, &s)?;
+        let (back, meta) = read_checkpoint(&store, job(), CkptKind::Jit, 7, 0, 0, 0)?;
         assert_eq!(back, s);
         assert_eq!(meta.iteration, 7);
         assert_eq!(meta.logical_bytes, 16);
+        Ok(())
     }
 
     #[test]
-    fn torn_write_is_rejected_and_skipped() {
+    fn torn_write_is_rejected_and_skipped() -> SimResult<()> {
         let store = SharedStore::new();
         let layout = ParallelLayout::data_parallel(2);
         // Replica 0 writes a good checkpoint at it 5.
-        write_checkpoint(&store, job(), CkptKind::Jit, RankId(0), 0, 0, 0, &state(5, 1.0)).unwrap();
+        write_checkpoint(
+            &store,
+            job(),
+            CkptKind::Jit,
+            RankId(0),
+            0,
+            0,
+            0,
+            &state(5, 1.0),
+        )?;
         // Replica 1 dies mid-write at it 6: payload truncated, then (to
         // be adversarial) the metadata still lands.
         store.fail_next_write(0.5);
-        write_checkpoint(&store, job(), CkptKind::Jit, RankId(1), 0, 0, 1, &state(6, 2.0)).unwrap();
+        write_checkpoint(
+            &store,
+            job(),
+            CkptKind::Jit,
+            RankId(1),
+            0,
+            0,
+            1,
+            &state(6, 2.0),
+        )?;
         // Assembly must fall back to iteration 5 from replica 0.
-        let plan = assemble(&store, job(), &layout).unwrap();
+        let plan = assemble(&store, job(), &layout)?;
         let choice = plan[&(0, 0)];
         assert_eq!(choice.iteration, 5);
         assert_eq!(choice.dp, 0);
+        Ok(())
     }
 
     #[test]
-    fn corrupted_payload_is_rejected() {
+    fn corrupted_payload_is_rejected() -> SimResult<()> {
         let store = SharedStore::new();
-        write_checkpoint(&store, job(), CkptKind::Jit, RankId(0), 0, 0, 0, &state(5, 1.0)).unwrap();
-        store
-            .corrupt(&data_path(job(), CkptKind::Jit, 5, 0, 0, 0))
-            .unwrap();
+        write_checkpoint(
+            &store,
+            job(),
+            CkptKind::Jit,
+            RankId(0),
+            0,
+            0,
+            0,
+            &state(5, 1.0),
+        )?;
+        store.corrupt(&data_path(job(), CkptKind::Jit, 5, 0, 0, 0))?;
         let err = read_checkpoint(&store, job(), CkptKind::Jit, 5, 0, 0, 0).unwrap_err();
         assert!(matches!(err, SimError::CorruptCheckpoint(_)));
+        Ok(())
     }
 
     #[test]
-    fn missing_meta_means_incomplete() {
+    fn missing_meta_means_incomplete() -> SimResult<()> {
         let store = SharedStore::new();
         let layout = ParallelLayout::data_parallel(1);
-        write_checkpoint(&store, job(), CkptKind::Jit, RankId(0), 0, 0, 0, &state(5, 1.0)).unwrap();
+        write_checkpoint(
+            &store,
+            job(),
+            CkptKind::Jit,
+            RankId(0),
+            0,
+            0,
+            0,
+            &state(5, 1.0),
+        )?;
         store.delete(&meta_path(job(), CkptKind::Jit, 5, 0, 0, 0));
         assert!(assemble(&store, job(), &layout).is_err());
+        Ok(())
     }
 
     #[test]
-    fn i_vs_i_plus_1_resolved_to_common_max() {
+    fn i_vs_i_plus_1_resolved_to_common_max() -> SimResult<()> {
         // §3.3: with pipeline stages, one cell may have saved i+1 while
         // another only has i; the job must resume from the newest
         // iteration complete for EVERY cell.
         let store = SharedStore::new();
         let layout = ParallelLayout::three_d(2, 2, 1);
         // Stage 0 has it 10 and 11; stage 1 only it 10.
-        write_checkpoint(&store, job(), CkptKind::Jit, RankId(0), 0, 0, 0, &state(10, 1.0)).unwrap();
-        write_checkpoint(&store, job(), CkptKind::Jit, RankId(0), 0, 0, 0, &state(11, 1.1)).unwrap();
-        write_checkpoint(&store, job(), CkptKind::Jit, RankId(1), 1, 0, 0, &state(10, 2.0)).unwrap();
-        let plan = assemble(&store, job(), &layout).unwrap();
+        write_checkpoint(
+            &store,
+            job(),
+            CkptKind::Jit,
+            RankId(0),
+            0,
+            0,
+            0,
+            &state(10, 1.0),
+        )?;
+        write_checkpoint(
+            &store,
+            job(),
+            CkptKind::Jit,
+            RankId(0),
+            0,
+            0,
+            0,
+            &state(11, 1.1),
+        )?;
+        write_checkpoint(
+            &store,
+            job(),
+            CkptKind::Jit,
+            RankId(1),
+            1,
+            0,
+            0,
+            &state(10, 2.0),
+        )?;
+        let plan = assemble(&store, job(), &layout)?;
         assert_eq!(plan[&(0, 0)].iteration, 10);
         assert_eq!(plan[&(1, 0)].iteration, 10);
         // Once stage 1 also has 11, assembly moves forward.
-        write_checkpoint(&store, job(), CkptKind::Jit, RankId(1), 1, 0, 1, &state(11, 2.1)).unwrap();
-        let plan = assemble(&store, job(), &layout).unwrap();
+        write_checkpoint(
+            &store,
+            job(),
+            CkptKind::Jit,
+            RankId(1),
+            1,
+            0,
+            1,
+            &state(11, 2.1),
+        )?;
+        let plan = assemble(&store, job(), &layout)?;
         assert_eq!(plan[&(0, 0)].iteration, 11);
         assert_eq!(plan[&(1, 0)].iteration, 11);
         assert_eq!(plan[&(1, 0)].dp, 1, "reads the replica that has it");
+        Ok(())
     }
 
     #[test]
-    fn jit_get_checkpoint_path_points_at_own_cell() {
+    fn jit_get_checkpoint_path_points_at_own_cell() -> SimResult<()> {
         let store = SharedStore::new();
         let layout = ParallelLayout::three_d(2, 2, 1);
         for (stage, part) in layout.cells() {
@@ -428,30 +536,56 @@ mod tests {
                 part,
                 0,
                 &state(3, 1.0),
-            )
-            .unwrap();
+            )?;
         }
         // Rank 3 in a 2dp×2pp layout: dp=1, stage=1.
-        let p = jit_get_checkpoint_path(&store, job(), &layout, RankId(3)).unwrap();
+        let p = jit_get_checkpoint_path(&store, job(), &layout, RankId(3))?;
         assert!(p.contains("s1p0"), "{p}");
         assert!(p.contains("it0000000003"), "{p}");
+        Ok(())
     }
 
     #[test]
-    fn combined_mode_prefers_newest_of_either_kind() {
+    fn combined_mode_prefers_newest_of_either_kind() -> SimResult<()> {
         let store = SharedStore::new();
         let layout = ParallelLayout::data_parallel(1);
-        write_checkpoint(&store, job(), CkptKind::Periodic, RankId(0), 0, 0, 0, &state(20, 1.0))
-            .unwrap();
-        write_checkpoint(&store, job(), CkptKind::Jit, RankId(0), 0, 0, 0, &state(25, 2.0)).unwrap();
-        let plan = assemble(&store, job(), &layout).unwrap();
+        write_checkpoint(
+            &store,
+            job(),
+            CkptKind::Periodic,
+            RankId(0),
+            0,
+            0,
+            0,
+            &state(20, 1.0),
+        )?;
+        write_checkpoint(
+            &store,
+            job(),
+            CkptKind::Jit,
+            RankId(0),
+            0,
+            0,
+            0,
+            &state(25, 2.0),
+        )?;
+        let plan = assemble(&store, job(), &layout)?;
         assert_eq!(plan[&(0, 0)].iteration, 25);
         assert_eq!(plan[&(0, 0)].kind, CkptKind::Jit);
         // A newer periodic checkpoint wins in turn.
-        write_checkpoint(&store, job(), CkptKind::Periodic, RankId(0), 0, 0, 0, &state(30, 3.0))
-            .unwrap();
-        let plan = assemble(&store, job(), &layout).unwrap();
+        write_checkpoint(
+            &store,
+            job(),
+            CkptKind::Periodic,
+            RankId(0),
+            0,
+            0,
+            0,
+            &state(30, 3.0),
+        )?;
+        let plan = assemble(&store, job(), &layout)?;
         assert_eq!(plan[&(0, 0)].kind, CkptKind::Periodic);
         assert_eq!(plan[&(0, 0)].iteration, 30);
+        Ok(())
     }
 }

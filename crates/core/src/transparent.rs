@@ -177,20 +177,21 @@ impl TransparentEngine {
 
     /// Attaches the engine to a rank's client: installs the recovery
     /// handler and arms this rank's hang watchdog.
-    pub fn attach(self: &Arc<Self>, client: &mut ProxyClient) {
+    pub fn attach(self: &Arc<Self>, client: &mut ProxyClient) -> SimResult<()> {
         client.set_handler(self.clone());
-        self.arm_watchdog(client);
+        self.arm_watchdog(client)
     }
 
-    fn arm_watchdog(&self, client: &mut ProxyClient) {
+    fn arm_watchdog(&self, client: &mut ProxyClient) -> SimResult<()> {
         let world = self.world.clone();
         let wd = Watchdog::spawn(self.watchdog_timeout, move || {
             // A hang means some peer failed: abort everything so all
             // parked ranks surface into the recovery engine.
             world.abort_all();
-        });
+        })?;
         client.set_observer(wd.observer());
         self.watchdogs.lock().insert(client.rank(), wd);
+        Ok(())
     }
 
     /// Recovery rounds completed so far.
@@ -237,7 +238,9 @@ impl TransparentEngine {
                 self.cv.wait_for(&mut st, Duration::from_millis(2));
             }
         }
-        let plan = st.plan.clone().expect("plan just set");
+        let plan = st.plan.clone().ok_or_else(|| {
+            SimError::Protocol(format!("recovery round {round} has no plan after quorum"))
+        })?;
         Ok((round, plan))
     }
 
@@ -353,7 +356,11 @@ impl TransparentEngine {
     /// Swaps the client's registered communicators for the freshly built
     /// ones, matching by member set (tokens stay stable, like virtual
     /// handles).
-    fn rebind_comms(&self, client: &mut ProxyClient, bundle: &JobComms) -> SimResult<Vec<CommToken>> {
+    fn rebind_comms(
+        &self,
+        client: &mut ProxyClient,
+        bundle: &JobComms,
+    ) -> SimResult<Vec<CommToken>> {
         let world_ranks: Vec<RankId> = (0..self.layout.world_size())
             .map(|i| RankId(i as u32))
             .collect();
@@ -372,10 +379,10 @@ impl TransparentEngine {
             // Specific groups first: in pure data parallelism the dp
             // group's member set equals the world group's, and the dp
             // token must keep its own (cache-bearing) instance.
-            let replacement = if bundle.dp.as_ref().map(|c| c.ranks() == old).unwrap_or(false) {
-                bundle.dp.clone().expect("checked")
-            } else if bundle.tp.as_ref().map(|c| c.ranks() == old).unwrap_or(false) {
-                bundle.tp.clone().expect("checked")
+            let replacement = if let Some(dp) = bundle.dp.as_ref().filter(|c| c.ranks() == old) {
+                dp.clone()
+            } else if let Some(tp) = bundle.tp.as_ref().filter(|c| c.ranks() == old) {
+                tp.clone()
             } else if old == world_ranks {
                 world_pool.pop().ok_or_else(|| {
                     SimError::Protocol("more world-group tokens than rebuilt comms".into())
@@ -408,8 +415,10 @@ impl TransparentEngine {
         let cost = client.server().gpu().cost_model().clone();
         for (key, _tag, data) in &snap {
             let framed = simcore::codec::encode_framed(data);
-            self.store
-                .put(&Self::hard_path(round, coord.stage, coord.part, key), framed)?;
+            self.store.put(
+                &Self::hard_path(round, coord.stage, coord.part, key),
+                framed,
+            )?;
         }
         client.charge(cost.checkpoint_write(bytes, StorageTier::Disk, cost.gpu.gpus_per_node()));
         // CRIU checkpoint + restore of the worker CPU process. The image
@@ -421,7 +430,7 @@ impl TransparentEngine {
         client.charge(cost.criu(criu_bytes));
         client.restore_worker_cpu_state(&image)?;
         client.charge(cost.criu(criu_bytes)); // restore on the new node
-        // Read the GPU state back on the restored side.
+                                              // Read the GPU state back on the restored side.
         client.charge(cost.checkpoint_read(bytes, StorageTier::Disk, cost.gpu.gpus_per_node()));
         steps.push(RecoveryStep {
             name: "JIT checkpoint + CRIU + restore".into(),
@@ -462,6 +471,7 @@ impl TransparentEngine {
                 match self.store.get(&path) {
                     Ok(f) => break f,
                     Err(_) if Instant::now() < deadline => {
+                        // jitlint::allow(virtual_time): bounded retry — the blob store has no write-notification API
                         std::thread::sleep(Duration::from_millis(2))
                     }
                     Err(_) => {
@@ -666,9 +676,7 @@ impl RecoveryHandler for TransparentEngine {
         // paper's Table 5/6 metric; `recovery_start` brackets are kept on
         // the virtual clock for job-level wall time.
         let _ = recovery_start;
-        let total = steps
-            .iter()
-            .fold(SimTime::ZERO, |acc, s| acc + s.time);
+        let total = steps.iter().fold(SimTime::ZERO, |acc, s| acc + s.time);
         self.reports.lock().push(RecoveryReport {
             rank,
             mode: plan.mode,
@@ -678,7 +686,7 @@ impl RecoveryHandler for TransparentEngine {
             total,
         });
         // Re-arm this rank's watchdog for the next failure.
-        self.arm_watchdog(client);
+        self.arm_watchdog(client)?;
         self.rank_finish(rank);
         Ok(outcome)
     }
@@ -774,7 +782,7 @@ pub fn run_transparent_job_with(
         let rank = RankId(i as u32);
         let gpu = Gpu::new(GpuId(i as u32), cost.clone());
         let mut client = ProxyClient::new(rank, i, gpu, world.clone());
-        engine2.attach(&mut client);
+        engine2.attach(&mut client)?;
         let mut tr = RankTrainer::new(client, cfg.clone(), &per_rank[i], injector.clone())?;
         let losses = tr.train(target_iters)?;
         Ok::<_, SimError>((losses, tr.exec.logged_calls()))

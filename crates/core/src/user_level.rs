@@ -113,7 +113,7 @@ impl JitUserClient {
         scheduler: Arc<Scheduler>,
         world: Arc<collectives::CommWorld>,
         events: Arc<Mutex<Vec<RecoveryEvent>>>,
-    ) -> JitUserClient {
+    ) -> SimResult<JitUserClient> {
         let rank = exec.rank();
         let clock_idx = exec.clock_idx();
         let clock = exec.clock();
@@ -149,9 +149,9 @@ impl JitUserClient {
             // so that every healthy rank gets to save first. The `world`
             // handle is kept for symmetry with the transparent design.
             let _ = &world;
-        });
+        })?;
         exec.set_observer(watchdog.observer());
-        JitUserClient { cell, watchdog }
+        Ok(JitUserClient { cell, watchdog })
     }
 
     /// True once the watchdog detected a hang and checkpointed.
@@ -257,55 +257,67 @@ pub fn run_user_level_job(
             let assignment_now = assignment.clone();
             let world = world.clone();
             let failure_seen = failure_seen.clone();
-            spawn_and_monitor(n, world.clone(), scheduler.clone(), job, failure_seen.clone(), move |i| {
-                let rank = RankId(i as u32);
-                let gpu = Gpu::new(assignment_now[i], cost.clone());
-                let mut exec = DirectExecutor::new(rank, i, gpu, world.clone());
-                let client = JitUserClient::arm(
-                    &mut exec,
-                    &jit,
-                    job,
-                    layout,
-                    store.clone(),
-                    scheduler2.clone(),
-                    world.clone(),
-                    events.clone(),
-                );
-                let mut tr = RankTrainer::new(exec, cfg.clone(), &per_rank[i], injector.clone())?;
-                // Resume from an assembled checkpoint if one exists,
-                // paying the fixed restart + read costs (the `r` of §5).
-                if resume.is_some() {
-                    let (state, meta) = checkpoint::load_for_rank(&store, job, &layout, rank)?;
-                    let t_restore = cost.process_restart
-                        + cost.checkpoint_read(meta.logical_bytes, jit.tier, cfg.ranks_per_node);
-                    tr.exec.clock().advance(i, t_restore);
-                    tr.restore(&state)?;
-                    events.lock().push(RecoveryEvent {
-                        rank,
-                        checkpoint_time: SimTime::ZERO,
-                        restore_time: t_restore,
-                        iteration: state.iteration,
-                    });
-                }
-                let start = tr.iteration();
-                let mut losses: Vec<(u64, f32)> = Vec::new();
-                let mut failure: Option<SimError> = None;
-                for it in start..target_iters {
-                    client.cell.note(tr.iteration(), tr.opt_t());
-                    match tr.train_step() {
-                        Ok(l) => losses.push((it, l.unwrap_or(f32::NAN))),
-                        Err(e) => {
-                            if std::env::var("JIT_DEBUG").is_ok() {
-                                eprintln!("[debug] {rank} failed at it {it}: {e}");
+            spawn_and_monitor(
+                n,
+                world.clone(),
+                scheduler.clone(),
+                job,
+                failure_seen.clone(),
+                move |i| {
+                    let rank = RankId(i as u32);
+                    let gpu = Gpu::new(assignment_now[i], cost.clone());
+                    let mut exec = DirectExecutor::new(rank, i, gpu, world.clone());
+                    let client = JitUserClient::arm(
+                        &mut exec,
+                        &jit,
+                        job,
+                        layout,
+                        store.clone(),
+                        scheduler2.clone(),
+                        world.clone(),
+                        events.clone(),
+                    )?;
+                    let mut tr =
+                        RankTrainer::new(exec, cfg.clone(), &per_rank[i], injector.clone())?;
+                    // Resume from an assembled checkpoint if one exists,
+                    // paying the fixed restart + read costs (the `r` of §5).
+                    if resume.is_some() {
+                        let (state, meta) = checkpoint::load_for_rank(&store, job, &layout, rank)?;
+                        let t_restore = cost.process_restart
+                            + cost.checkpoint_read(
+                                meta.logical_bytes,
+                                jit.tier,
+                                cfg.ranks_per_node,
+                            );
+                        tr.exec.clock().advance(i, t_restore);
+                        tr.restore(&state)?;
+                        events.lock().push(RecoveryEvent {
+                            rank,
+                            checkpoint_time: SimTime::ZERO,
+                            restore_time: t_restore,
+                            iteration: state.iteration,
+                        });
+                    }
+                    let start = tr.iteration();
+                    let mut losses: Vec<(u64, f32)> = Vec::new();
+                    let mut failure: Option<SimError> = None;
+                    for it in start..target_iters {
+                        client.cell.note(tr.iteration(), tr.opt_t());
+                        match tr.train_step() {
+                            Ok(l) => losses.push((it, l.unwrap_or(f32::NAN))),
+                            Err(e) => {
+                                if std::env::var("JIT_DEBUG").is_ok() {
+                                    eprintln!("[debug] {rank} failed at it {it}: {e}");
+                                }
+                                failure = Some(e);
+                                failure_seen.store(true, std::sync::atomic::Ordering::Release);
+                                break;
                             }
-                            failure = Some(e);
-                            failure_seen.store(true, std::sync::atomic::Ordering::Release);
-                            break;
                         }
                     }
-                }
-                Ok::<_, SimError>((losses, failure, assignment_now[i]))
-            })
+                    Ok::<_, SimError>((losses, failure, assignment_now[i]))
+                },
+            )
         };
         let mut any_failure = false;
         for (i, res) in gen_results.into_iter().enumerate() {
@@ -357,15 +369,31 @@ where
     F: Fn(usize) -> SimResult<T> + Send + Sync + 'static,
 {
     let f = Arc::new(f);
-    let handles: Vec<_> = (0..n)
-        .map(|i| {
-            let f = f.clone();
-            std::thread::Builder::new()
-                .name(format!("rank{i}"))
-                .spawn(move || f(i))
-                .expect("spawn rank thread")
-        })
-        .collect();
+    let mut handles = Vec::with_capacity(n);
+    for i in 0..n {
+        let f = f.clone();
+        let spawned = std::thread::Builder::new()
+            .name(format!("rank{i}"))
+            .spawn(move || f(i));
+        match spawned {
+            Ok(h) => handles.push(h),
+            Err(e) => {
+                // A partial world can only hang: release any ranks
+                // already parked in collectives, then fail every slot.
+                world.abort_all();
+                for h in handles {
+                    let _ = h.join();
+                }
+                return (0..n)
+                    .map(|_| {
+                        Err(SimError::Protocol(format!(
+                            "failed to spawn rank thread: {e}"
+                        )))
+                    })
+                    .collect();
+            }
+        }
+    }
     // Monitoring loop.
     let mut kill_at: Option<std::time::Instant> = None;
     loop {
@@ -373,13 +401,14 @@ where
             break;
         }
         if failure_seen.load(std::sync::atomic::Ordering::Acquire) {
-            let deadline = *kill_at
-                .get_or_insert_with(|| std::time::Instant::now() + Duration::from_secs(10));
+            let deadline =
+                *kill_at.get_or_insert_with(|| std::time::Instant::now() + Duration::from_secs(10));
             let quorum = scheduler.checkpoint_quorum(job).ok().flatten().is_some();
             if quorum || std::time::Instant::now() > deadline {
                 world.abort_all();
             }
         }
+        // jitlint::allow(virtual_time): bounded 2ms poll — JoinHandle has no join-any condvar
         std::thread::sleep(Duration::from_millis(2));
     }
     handles
@@ -393,7 +422,10 @@ where
 
 /// Allocates simulated GPUs for an assignment (helper for harnesses).
 pub fn gpus_for(assignment: &[GpuId], cost: &CostModel) -> Vec<Gpu> {
-    assignment.iter().map(|g| Gpu::new(*g, cost.clone())).collect()
+    assignment
+        .iter()
+        .map(|g| Gpu::new(*g, cost.clone()))
+        .collect()
 }
 
 #[cfg(test)]
@@ -430,7 +462,7 @@ mod tests {
     }
 
     #[test]
-    fn failure_free_job_never_restarts_or_checkpoints() {
+    fn failure_free_job_never_restarts_or_checkpoints() -> SimResult<()> {
         let cfg = dltrain::TrainConfig::tiny_dp(2);
         let scheduler = Arc::new(cluster::Scheduler::new(Cluster::new(
             GpuGeneration::V100_32G,
@@ -445,16 +477,16 @@ mod tests {
             store.clone(),
             JitUserConfig::default(),
             5,
-        )
-        .unwrap();
+        )?;
         assert_eq!(out.restarts, 0);
         assert!(out.events.is_empty());
         assert!(store.is_empty(), "no JIT checkpoints without failures");
         assert!(out.losses[0].iter().all(|l| l.is_finite()));
+        Ok(())
     }
 
     #[test]
-    fn jit_checkpoint_files_follow_rank_dependent_paths() {
+    fn jit_checkpoint_files_follow_rank_dependent_paths() -> SimResult<()> {
         let cfg = dltrain::TrainConfig::tiny_dp(2);
         let scheduler = Arc::new(cluster::Scheduler::new(Cluster::new(
             GpuGeneration::V100_32G,
@@ -475,13 +507,13 @@ mod tests {
             store.clone(),
             JitUserConfig::default(),
             5,
-        )
-        .unwrap();
+        )?;
         // The healthy replica (rank 1 → dp1) wrote under its own path.
         let paths = store.list("ckpt/");
         assert!(
             paths.iter().any(|p| p.contains("/dp1/")),
             "rank-dependent directory expected: {paths:?}"
         );
+        Ok(())
     }
 }

@@ -70,7 +70,10 @@ fn user_level_recovers_sticky_error_with_exact_losses() {
     )
     .unwrap();
     assert_eq!(out.restarts, 1);
-    assert!(!out.events.is_empty(), "a JIT checkpoint must have happened");
+    assert!(
+        !out.events.is_empty(),
+        "a JIT checkpoint must have happened"
+    );
     assert_losses_match(&out.losses, &clean);
 }
 
@@ -371,10 +374,7 @@ fn torn_jit_checkpoint_falls_back_to_scratch_restart() {
     .unwrap();
     assert_eq!(out.restarts, 1);
     // No restore event (nothing valid to restore from)...
-    assert!(out
-        .events
-        .iter()
-        .all(|e| e.restore_time.as_secs() == 0.0));
+    assert!(out.events.iter().all(|e| e.restore_time.as_secs() == 0.0));
     // ...yet the trajectory is still exactly the failure-free one.
     assert_losses_match(&out.losses, &clean);
 }
@@ -454,14 +454,14 @@ fn catastrophic_failure_falls_back_to_periodic_checkpoint() {
     // ran only in the prefix job; from 3 on, the post-catastrophe
     // trajectory must match the failure-free run exactly (iterations
     // 3..5 are the re-executed periodic-recovery tax JIT avoids).
-    for rank in 0..2 {
+    for (rank, clean_rank) in clean.iter().enumerate().take(2) {
         for it in 0..3 {
             assert!(out.losses[rank][it].is_nan());
         }
-        for it in 3..iters as usize {
+        for (it, clean_loss) in clean_rank.iter().enumerate().take(iters as usize).skip(3) {
             assert_eq!(
                 out.losses[rank][it].to_bits(),
-                clean[rank][it].to_bits(),
+                clean_loss.to_bits(),
                 "rank {rank} iter {it}"
             );
         }

@@ -30,7 +30,13 @@ pub struct DataLoader {
 
 impl DataLoader {
     /// Creates a loader for one replica.
-    pub fn new(seed: u64, dp_replica: usize, batch: usize, input_dim: usize, classes: usize) -> Self {
+    pub fn new(
+        seed: u64,
+        dp_replica: usize,
+        batch: usize,
+        input_dim: usize,
+        classes: usize,
+    ) -> Self {
         DataLoader {
             seed,
             dp_replica: dp_replica as u64,
@@ -97,7 +103,7 @@ mod tests {
         let mb = l.minibatch(0);
         assert_eq!(mb.inputs.len(), 60);
         assert_eq!(mb.labels.len(), 6);
-        assert!(mb.labels.iter().all(|&y| y >= 0.0 && y < 4.0));
+        assert!(mb.labels.iter().all(|y| (0.0..4.0).contains(y)));
     }
 
     #[test]

@@ -153,7 +153,7 @@ impl Block {
     ) -> SimResult<Block> {
         let d = cfg.input_dim;
         let h_local = cfg.hidden / tp;
-        assert!(cfg.hidden % tp == 0, "hidden must divide by tp");
+        assert!(cfg.hidden.is_multiple_of(tp), "hidden must divide by tp");
         let a = alloc_buf(
             exec,
             &format!("model.block{index}.a"),
@@ -350,7 +350,14 @@ impl Block {
                 cols: h as u32,
             },
         )?;
-        launch(exec, stream, KernelKind::Relu { x: h_pre, out: hbuf })?;
+        launch(
+            exec,
+            stream,
+            KernelKind::Relu {
+                x: h_pre,
+                out: hbuf,
+            },
+        )?;
         launch(
             exec,
             stream,

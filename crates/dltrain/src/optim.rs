@@ -119,11 +119,7 @@ impl RankOptimizer {
                 s2,
             });
         }
-        Ok(RankOptimizer {
-            kind,
-            states,
-            t: 0,
-        })
+        Ok(RankOptimizer { kind, states, t: 0 })
     }
 
     /// Number of parameters managed.

@@ -111,9 +111,7 @@ pub fn build_comms(layout: &ParallelLayout, world: &Arc<CommWorld>) -> Vec<JobCo
     if layout.dp > 1 {
         for (stage, part) in layout.cells() {
             let members: Vec<RankId> = (0..layout.dp)
-                .map(|dp| {
-                    layout.rank_at(simcore::layout::GridCoord { dp, stage, part })
-                })
+                .map(|dp| layout.rank_at(simcore::layout::GridCoord { dp, stage, part }))
                 .collect();
             let idxs: Vec<usize> = members.iter().map(|r| r.index()).collect();
             let comm = world.create_comm(members.clone(), idxs);
@@ -128,9 +126,7 @@ pub fn build_comms(layout: &ParallelLayout, world: &Arc<CommWorld>) -> Vec<JobCo
         for dp in 0..layout.dp {
             for stage in 0..layout.pp {
                 let members: Vec<RankId> = (0..layout.tp)
-                    .map(|part| {
-                        layout.rank_at(simcore::layout::GridCoord { dp, stage, part })
-                    })
+                    .map(|part| layout.rank_at(simcore::layout::GridCoord { dp, stage, part }))
                     .collect();
                 let idxs: Vec<usize> = members.iter().map(|r| r.index()).collect();
                 let comm = world.create_comm(members.clone(), idxs);
@@ -198,7 +194,7 @@ mod tests {
         assert!(c.dp.is_some() && c.tp.is_some());
         assert!(c.prev.is_none());
         assert_eq!(c.next, Some(RankId(2))); // stage 1, part 0, dp 0
-        // Rank 2 (stage 1) has prev and no next.
+                                             // Rank 2 (stage 1) has prev and no next.
         let c2 = &s.per_rank[2];
         assert_eq!(c2.prev, Some(RankId(0)));
         assert!(c2.next.is_none());

@@ -145,7 +145,7 @@ impl<E: Executor> RankTrainer<E> {
         let comm_stream = exec.call(DeviceCall::StreamCreate)?.stream()?;
         // This stage's block range.
         assert!(
-            cfg.model.blocks % cfg.layout.pp == 0,
+            cfg.model.blocks.is_multiple_of(cfg.layout.pp),
             "blocks must divide by pp"
         );
         let bps = cfg.model.blocks / cfg.layout.pp;
@@ -155,12 +155,7 @@ impl<E: Executor> RankTrainer<E> {
         for b in 0..bps {
             let index = coord.stage * bps + b;
             blocks.push(Block::init(
-                &mut exec,
-                &cfg.model,
-                index,
-                part,
-                tp_degree,
-                cfg.seed,
+                &mut exec, &cfg.model, index, part, tp_degree, cfg.seed,
             )?);
         }
         let head = (coord.stage + 1 == cfg.layout.pp)
@@ -170,7 +165,11 @@ impl<E: Executor> RankTrainer<E> {
         let mut params: Vec<(BufferId, usize, String)> = Vec::new();
         for blk in &blocks {
             params.push((blk.a, blk.d * blk.h_local, format!("block{}.a", blk.index)));
-            params.push((blk.bias_a, blk.h_local, format!("block{}.bias_a", blk.index)));
+            params.push((
+                blk.bias_a,
+                blk.h_local,
+                format!("block{}.bias_a", blk.index),
+            ));
             params.push((blk.b, blk.h_local * blk.d, format!("block{}.b", blk.index)));
             params.push((blk.gamma, blk.d, format!("block{}.gamma", blk.index)));
             params.push((blk.beta, blk.d, format!("block{}.beta", blk.index)));
@@ -218,12 +217,7 @@ impl<E: Executor> RankTrainer<E> {
                 .map(|p| (p.shard, p.full_elems / fsdp_group, p.name.clone()))
                 .collect();
         }
-        let opt = RankOptimizer::init(
-            &mut exec,
-            cfg.optimizer,
-            &params,
-            cfg.model.phantom_scale,
-        )?;
+        let opt = RankOptimizer::init(&mut exec, cfg.optimizer, &params, cfg.model.phantom_scale)?;
         // Under hybrid sharding the shard group is also a data-parallel
         // dimension: every rank reads a distinct data shard.
         let data_replica = if cfg.fsdp {
@@ -290,10 +284,7 @@ impl<E: Executor> RankTrainer<E> {
     }
 
     fn poll_inject(&mut self, phase: Phase) -> SimResult<()> {
-        if let Some(kind) = self
-            .injector
-            .poll(self.exec.rank(), self.iteration, phase)
-        {
+        if let Some(kind) = self.injector.poll(self.exec.rank(), self.iteration, phase) {
             match kind {
                 FailureKind::TransientNetwork => {
                     // A link fault: fail the next collective on the group
@@ -490,16 +481,8 @@ impl<E: Executor> RankTrainer<E> {
             // all-reduces per block as its gradients complete (Figure 3).
             for (blk, (x_in, a)) in blocks.iter().rev().zip(acts.iter().rev()) {
                 let g = BlockGrads::alloc(&mut self.exec, blk, ps, &mut scratch)?;
-                let dln = blk.backward_mlp(
-                    &mut self.exec,
-                    self.compute,
-                    a,
-                    dy,
-                    m,
-                    ps,
-                    &g,
-                    &mut scratch,
-                )?;
+                let dln =
+                    blk.backward_mlp(&mut self.exec, self.compute, a, dy, m, ps, &g, &mut scratch)?;
                 if let (false, Some(tp)) = (self.cfg.fsdp, self.tokens.tp) {
                     // Reduce the pre-LN gradient across the group; the
                     // LayerNorm backward then derives identical dγ/dβ on
@@ -529,32 +512,31 @@ impl<E: Executor> RankTrainer<E> {
                 self.dp_all_reduce_bucket(&[dw])?;
             }
             if let Some(prev) = self.prev {
-                self.exec.send(prev, TAG_GRAD, it, dy, self.prev_same_node)?;
+                self.exec
+                    .send(prev, TAG_GRAD, it, dy, self.prev_same_node)?;
             }
             loss_val = Some(download(&mut self.exec, loss_buf)?[0]);
         } else {
             // Middle/first stage: ship activations forward, then wait for
             // the gradient from the next stage.
             let next = self.next.expect("non-last stage has next");
-            self.exec.send(next, TAG_ACT, it, cur, self.next_same_node)?;
+            self.exec
+                .send(next, TAG_ACT, it, cur, self.next_same_node)?;
             self.poll_inject(Phase::Backward)?;
-            let dy_in =
-                alloc_buf(&mut self.exec, "grad.stage_in", m * d, 1.0, BufferTag::Gradient)?;
+            let dy_in = alloc_buf(
+                &mut self.exec,
+                "grad.stage_in",
+                m * d,
+                1.0,
+                BufferTag::Gradient,
+            )?;
             scratch.push(dy_in);
             self.exec.recv_into(next, TAG_GRAD, it, dy_in)?;
             let mut dy = dy_in;
             for (blk, (x_in, a)) in blocks.iter().rev().zip(acts.iter().rev()) {
                 let g = BlockGrads::alloc(&mut self.exec, blk, ps, &mut scratch)?;
-                let dln = blk.backward_mlp(
-                    &mut self.exec,
-                    self.compute,
-                    a,
-                    dy,
-                    m,
-                    ps,
-                    &g,
-                    &mut scratch,
-                )?;
+                let dln =
+                    blk.backward_mlp(&mut self.exec, self.compute, a, dy, m, ps, &g, &mut scratch)?;
                 if let (false, Some(tp)) = (self.cfg.fsdp, self.tokens.tp) {
                     // Reduce the pre-LN gradient across the group; the
                     // LayerNorm backward then derives identical dγ/dβ on
@@ -581,7 +563,8 @@ impl<E: Executor> RankTrainer<E> {
                 dy = dx;
             }
             if let Some(prev) = self.prev {
-                self.exec.send(prev, TAG_GRAD, it, dy, self.prev_same_node)?;
+                self.exec
+                    .send(prev, TAG_GRAD, it, dy, self.prev_same_node)?;
             }
         }
         // Optimizer step: assemble gradients in parameter registration
@@ -749,7 +732,8 @@ mod tests {
         let results = run_ranks(cfg.layout.world_size(), move |i| {
             let gpu = Gpu::new(GpuId(i as u32), CostModel::v100());
             let exec = DirectExecutor::new(RankId(i as u32), i, gpu, world.clone());
-            let mut tr = RankTrainer::new(exec, cfg.clone(), &per_rank[i], FailureInjector::none())?;
+            let mut tr =
+                RankTrainer::new(exec, cfg.clone(), &per_rank[i], FailureInjector::none())?;
             tr.train(iters)
         });
         results.into_iter().map(|r| r.unwrap()).collect()
@@ -841,17 +825,25 @@ mod tests {
         assert_eq!(losses.len(), 8);
         // Loss-bearing ranks: stage 1 cells → ranks with coord.stage==1.
         let layout = ParallelLayout::three_d(2, 2, 2);
-        for r in 0..8 {
+        for (r, rank_losses) in losses.iter().enumerate() {
             let c = layout.coord(RankId(r as u32));
             if c.stage == 1 {
-                assert!(losses[r].iter().all(|l| l.is_finite()), "rank {r}");
+                assert!(rank_losses.iter().all(|l| l.is_finite()), "rank {r}");
             } else {
-                assert!(losses[r].iter().all(|l| l.is_nan()), "rank {r}");
+                assert!(rank_losses.iter().all(|l| l.is_nan()), "rank {r}");
             }
         }
         // TP parts of the same replica see identical losses.
-        let a = layout.rank_at(GridCoord { dp: 0, stage: 1, part: 0 });
-        let b = layout.rank_at(GridCoord { dp: 0, stage: 1, part: 1 });
+        let a = layout.rank_at(GridCoord {
+            dp: 0,
+            stage: 1,
+            part: 0,
+        });
+        let b = layout.rank_at(GridCoord {
+            dp: 0,
+            stage: 1,
+            part: 1,
+        });
         assert_eq!(losses[a.index()], losses[b.index()]);
     }
 
@@ -863,9 +855,13 @@ mod tests {
         let setup = JobSetup::build(cfg.layout, CostModel::v100(), 8);
         let gpu = Gpu::new(GpuId(0), CostModel::v100());
         let exec = DirectExecutor::new(RankId(0), 0, gpu, setup.world.clone());
-        let mut tr =
-            RankTrainer::new(exec, cfg.clone(), &setup.per_rank[0], FailureInjector::none())
-                .unwrap();
+        let mut tr = RankTrainer::new(
+            exec,
+            cfg.clone(),
+            &setup.per_rank[0],
+            FailureInjector::none(),
+        )
+        .unwrap();
         tr.train(3).unwrap();
         let snap = tr.state_snapshot().unwrap();
         let ahead = tr.train(3).unwrap();
@@ -873,9 +869,13 @@ mod tests {
         let setup2 = JobSetup::build(cfg.layout, CostModel::v100(), 8);
         let gpu2 = Gpu::new(GpuId(0), CostModel::v100());
         let exec2 = DirectExecutor::new(RankId(0), 0, gpu2, setup2.world.clone());
-        let mut tr2 =
-            RankTrainer::new(exec2, cfg.clone(), &setup2.per_rank[0], FailureInjector::none())
-                .unwrap();
+        let mut tr2 = RankTrainer::new(
+            exec2,
+            cfg.clone(),
+            &setup2.per_rank[0],
+            FailureInjector::none(),
+        )
+        .unwrap();
         tr2.restore(&snap).unwrap();
         let resumed = tr2.train(3).unwrap();
         assert_eq!(ahead, resumed);

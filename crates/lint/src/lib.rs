@@ -1,0 +1,165 @@
+//! `jitlint` — workspace-wide invariant analyzer for recovery-critical
+//! code.
+//!
+//! A checkpoint system's worst bugs only fire during a failure, which is
+//! exactly when tests aren't watching. `jitlint` turns the paper's
+//! operational invariants (*Just-In-Time Checkpointing*, EuroSys '24)
+//! into machine checks that run on every `cargo test`:
+//!
+//! * [`rules::panic_path`] — no reachable panics in recovery-critical
+//!   modules;
+//! * [`rules::lock_order`] — the workspace-wide lock acquisition graph
+//!   is cycle-free;
+//! * [`rules::virtual_time`] — no wall-clock sleeps outside the sim
+//!   clock;
+//! * [`rules::schema`] — persisted types declare a schema version.
+//!
+//! The analyzer is deliberately std-only (no syn/proc-macro2): it scans
+//! comment/string-masked source with brace-depth tracking, which is
+//! precise enough for these rules and keeps the tool usable in offline
+//! build environments.
+//!
+//! Suppression is per-site and must carry a reason:
+//!
+//! ```text
+//! // jitlint::allow(panic_path): mutex poisoning is unreachable, guard never panics
+//! let state = self.state.lock().unwrap();
+//! ```
+
+pub mod report;
+pub mod rules;
+pub mod source;
+
+use report::Finding;
+use source::SourceFile;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Loads and parses every `crates/*/src/**/*.rs` file under `root`.
+pub fn load_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = Vec::new();
+    for entry in std::fs::read_dir(&crates_dir)? {
+        let entry = entry?;
+        if entry.file_type()?.is_dir() {
+            crate_dirs.push(entry.path());
+        }
+    }
+    crate_dirs.sort();
+
+    let mut files = Vec::new();
+    for crate_dir in &crate_dirs {
+        let Some(crate_name) = crate_dir.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let src = crate_dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut rs_files = Vec::new();
+        collect_rs_files(&src, &mut rs_files)?;
+        rs_files.sort();
+        for path in rs_files {
+            let text = std::fs::read_to_string(&path)?;
+            let rel_path = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+            let module = module_name(&path);
+            files.push(SourceFile::parse(
+                rel_path,
+                crate_name.to_string(),
+                module,
+                &text,
+            ));
+        }
+    }
+    Ok(files)
+}
+
+/// Runs every rule over the parsed files.
+pub fn run_rules(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    rules::run_file_rules(files, &mut findings);
+    rules::lock_order::check(files, &mut findings);
+    findings.sort();
+    findings
+}
+
+/// Convenience: parse the workspace at `root` and run all rules.
+pub fn analyze(root: &Path) -> io::Result<Vec<Finding>> {
+    let files = load_workspace(root)?;
+    Ok(run_rules(&files))
+}
+
+/// Inserts a `// jitlint::allow(<rule>): TODO: justify this exemption`
+/// line above each finding's line, preserving indentation. Returns the
+/// number of inserted directives. `allow_syntax` findings (malformed
+/// directives) cannot be auto-fixed and are skipped.
+pub fn apply_fix_allow(root: &Path, findings: &[Finding]) -> io::Result<usize> {
+    use std::collections::BTreeMap;
+    // file → descending-sorted (line, rule) so insertions don't shift
+    // later targets.
+    let mut by_file: BTreeMap<&PathBuf, Vec<(usize, &str)>> = BTreeMap::new();
+    for f in findings {
+        if f.rule == "allow_syntax" {
+            continue;
+        }
+        by_file.entry(&f.file).or_default().push((f.line, &f.rule));
+    }
+    let mut inserted = 0usize;
+    for (rel, mut sites) in by_file {
+        sites.sort_by(|a, b| b.cmp(a));
+        sites.dedup();
+        let path = root.join(rel);
+        let text = std::fs::read_to_string(&path)?;
+        let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+        for (line, rule) in sites {
+            if line == 0 || line > lines.len() {
+                continue;
+            }
+            let indent: String = lines[line - 1]
+                .chars()
+                .take_while(|c| c.is_whitespace())
+                .collect();
+            lines.insert(
+                line - 1,
+                format!("{indent}// jitlint::allow({rule}): TODO: justify this exemption"),
+            );
+            inserted += 1;
+        }
+        let mut out = lines.join("\n");
+        out.push('\n');
+        std::fs::write(&path, out)?;
+    }
+    Ok(inserted)
+}
+
+/// Module name for rule scoping: the file stem, except `mod.rs` and
+/// `lib.rs`-like roots take their directory name where sensible.
+fn module_name(path: &Path) -> String {
+    let stem = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or_default();
+    if stem == "mod" {
+        if let Some(dir) = path
+            .parent()
+            .and_then(|p| p.file_name())
+            .and_then(|n| n.to_str())
+        {
+            return dir.to_string();
+        }
+    }
+    stem.to_string()
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if entry.file_type()?.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

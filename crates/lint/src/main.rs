@@ -1,0 +1,109 @@
+//! `jitlint` CLI.
+//!
+//! ```text
+//! cargo run -p lint --                 # text report, exit 1 on findings
+//! cargo run -p lint -- --format json   # machine-readable output
+//! cargo run -p lint -- --fix-allow     # insert TODO allow directives
+//! cargo run -p lint -- --root <path>   # analyze another workspace root
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: PathBuf,
+    format: Format,
+    fix_allow: bool,
+}
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
+fn usage() -> &'static str {
+    "usage: jitlint [--format text|json] [--fix-allow] [--root <path>]"
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: find_workspace_root()?,
+        format: Format::Text,
+        fix_allow: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => {
+                let value = args.next().ok_or("--format needs a value")?;
+                opts.format = match value.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}` (text|json)")),
+                };
+            }
+            "--fix-allow" => opts.fix_allow = true,
+            "--root" => {
+                opts.root = PathBuf::from(args.next().ok_or("--root needs a value")?);
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+/// Walks up from the current directory to the first one containing a
+/// `crates/` directory (so the tool works from any workspace subdir).
+fn find_workspace_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| e.to_string())?;
+    loop {
+        if dir.join("crates").is_dir() {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err("no `crates/` directory found above the current directory; \
+                        pass --root <path>"
+                .to_string());
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let findings = match lint::analyze(&opts.root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!(
+                "jitlint: failed to read workspace at {}: {e}",
+                opts.root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    if opts.fix_allow {
+        match lint::apply_fix_allow(&opts.root, &findings) {
+            Ok(n) => eprintln!("jitlint: inserted {n} allow directive(s); edit the TODO reasons"),
+            Err(e) => {
+                eprintln!("jitlint: --fix-allow failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match opts.format {
+        Format::Text => print!("{}", lint::report::render_text(&findings)),
+        Format::Json => print!("{}", lint::report::render_json(&findings)),
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

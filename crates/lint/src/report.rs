@@ -1,0 +1,115 @@
+//! Finding representation and the text/JSON output formats.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Path relative to the analysis root.
+    pub file: PathBuf,
+    /// 1-indexed line.
+    pub line: usize,
+    /// Rule name (`panic_path`, `lock_order`, …).
+    pub rule: String,
+    /// Human-oriented explanation with the suggested remedy.
+    pub message: String,
+}
+
+/// Renders findings as `file:line: [rule] message` lines plus a summary.
+pub fn render_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let _ = writeln!(
+            out,
+            "{}:{}: [{}] {}",
+            f.file.display(),
+            f.line,
+            f.rule,
+            f.message
+        );
+    }
+    if findings.is_empty() {
+        out.push_str("jitlint: no findings\n");
+    } else {
+        let _ = writeln!(
+            out,
+            "jitlint: {} finding{}",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" }
+        );
+    }
+    out
+}
+
+/// Renders findings as a JSON array (hand-rolled; the analyzer is
+/// std-only by design).
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n  {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            escape_json(&f.file.display().to_string()),
+            f.line,
+            escape_json(&f.rule),
+            escape_json(&f.message)
+        );
+    }
+    if !findings.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding() -> Finding {
+        Finding {
+            file: PathBuf::from("crates/core/src/checkpoint.rs"),
+            line: 7,
+            rule: "panic_path".into(),
+            message: "a \"quoted\" message".into(),
+        }
+    }
+
+    #[test]
+    fn text_format() {
+        let text = render_text(&[finding()]);
+        assert!(text.contains("crates/core/src/checkpoint.rs:7: [panic_path]"));
+        assert!(text.contains("jitlint: 1 finding\n"));
+        assert_eq!(render_text(&[]), "jitlint: no findings\n");
+    }
+
+    #[test]
+    fn json_format_escapes() {
+        let json = render_json(&[finding()]);
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"line\": 7"));
+        assert_eq!(render_json(&[]), "[]\n");
+    }
+}

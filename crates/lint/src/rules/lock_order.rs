@@ -1,0 +1,287 @@
+//! `lock_order` — cross-function lock-acquisition cycles.
+//!
+//! The watchdog (§3.1) fires while trainer threads are parked at the
+//! all-reduce barrier holding their own locks; the checkpoint writer then
+//! walks shared state from a different thread. If function A acquires
+//! lock `x` then `y` while function B acquires `y` then `x`, the
+//! watchdog-vs-trainer interleaving can deadlock — silently, at failure
+//! time, which is the one moment the system must make progress.
+//!
+//! The rule extracts per-function acquisition sequences of
+//! `.lock()`/`.read()`/`.write()` on named fields, merges them into a
+//! workspace-wide acquisition graph keyed `crate::field`, and reports
+//! every strongly-connected component with ≥ 2 locks, with one witness
+//! edge per graph edge. Conservative by construction: a guard dropped
+//! before the next acquisition still orders the pair — split the
+//! function if the order is intentional, or suppress the specific
+//! acquisition with `// jitlint::allow(lock_order): <reason>`.
+
+use crate::report::Finding;
+use crate::source::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Rule name used in findings and allow directives.
+pub const RULE: &str = "lock_order";
+
+/// A witness that `from` was acquired before `to` in some function.
+#[derive(Debug, Clone)]
+pub struct EdgeWitness {
+    /// Acquired-first node (`crate::field`).
+    pub from: String,
+    /// Acquired-later node (`crate::field`).
+    pub to: String,
+    /// File containing the witness function.
+    pub file: std::path::PathBuf,
+    /// Function containing both acquisitions.
+    pub function: String,
+    /// Line of the earlier acquisition.
+    pub from_line: usize,
+    /// Line of the later acquisition.
+    pub to_line: usize,
+}
+
+/// Builds the acquisition graph over all files and reports cycles.
+pub fn check(files: &[SourceFile], findings: &mut Vec<Finding>) {
+    let mut edges: BTreeMap<(String, String), EdgeWitness> = BTreeMap::new();
+
+    for file in files {
+        for span in &file.functions {
+            let seq = function_acquisitions(file, span.body_start, span.body_end);
+            for i in 0..seq.len() {
+                for j in (i + 1)..seq.len() {
+                    if seq[i].0 == seq[j].0 {
+                        continue;
+                    }
+                    let key = (seq[i].0.clone(), seq[j].0.clone());
+                    edges.entry(key).or_insert_with(|| EdgeWitness {
+                        from: seq[i].0.clone(),
+                        to: seq[j].0.clone(),
+                        file: file.rel_path.clone(),
+                        function: match &span.impl_type {
+                            Some(t) => format!("{t}::{}", span.name),
+                            None => span.name.clone(),
+                        },
+                        from_line: seq[i].1,
+                        to_line: seq[j].1,
+                    });
+                }
+            }
+        }
+    }
+
+    for cycle in find_cycles(&edges) {
+        let parts: Vec<String> = cycle
+            .iter()
+            .map(|w| {
+                format!(
+                    "`{}` then `{}` in {} ({}:{})",
+                    w.from,
+                    w.to,
+                    w.function,
+                    w.file.display(),
+                    w.to_line
+                )
+            })
+            .collect();
+        let first = &cycle[0];
+        findings.push(Finding {
+            rule: RULE.into(),
+            file: first.file.clone(),
+            line: first.to_line,
+            message: format!(
+                "lock-order cycle between {{{}}} — potential watchdog/trainer deadlock: {}",
+                cycle
+                    .iter()
+                    .map(|w| format!("`{}`", w.from))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                parts.join("; ")
+            ),
+        });
+    }
+}
+
+/// Collects `(node, line)` acquisitions in order for one function body.
+/// Handles rustfmt-split chains (`self.mail\n    .lock()`) by scanning
+/// the joined body text.
+fn function_acquisitions(
+    file: &SourceFile,
+    body_start: usize,
+    body_end: usize,
+) -> Vec<(String, usize)> {
+    // Join masked body lines, remembering each line's start offset.
+    let mut text = String::new();
+    let mut line_starts: Vec<(usize, usize)> = Vec::new(); // (offset, line_no)
+    for line in body_start..=body_end {
+        line_starts.push((text.len(), line));
+        text.push_str(&file.masked[line - 1]);
+        text.push('\n');
+    }
+    let line_of = |offset: usize| -> usize {
+        match line_starts.binary_search_by(|(o, _)| o.cmp(&offset)) {
+            Ok(i) => line_starts[i].1,
+            Err(0) => body_start,
+            Err(i) => line_starts[i - 1].1,
+        }
+    };
+
+    let mut hits: Vec<(usize, String)> = Vec::new();
+    for pat in [".lock()", ".read()", ".write()"] {
+        let mut search = 0;
+        while let Some(rel) = text[search..].find(pat) {
+            let at = search + rel;
+            if let Some(field) = receiver_field(&text[..at]) {
+                hits.push((at, field));
+            }
+            search = at + pat.len();
+        }
+    }
+    hits.sort();
+
+    let mut out = Vec::new();
+    for (at, field) in hits {
+        let line = line_of(at);
+        if file.is_test_line(line) || file.allowed(RULE, line).is_some() {
+            continue;
+        }
+        out.push((format!("{}::{field}", file.crate_dir), line));
+    }
+    out
+}
+
+/// The last identifier of the receiver chain ending at `prefix`'s end
+/// (whitespace-tolerant for rustfmt-split chains):
+/// `self.inner.outstanding` → `outstanding`; `events` → `events`.
+/// Returns `None` when the receiver is not a nameable field (a call
+/// result, a bare `self`, or a numeric token).
+fn receiver_field(prefix: &str) -> Option<String> {
+    let chars: Vec<char> = prefix.chars().collect();
+    let mut end = chars.len();
+    while end > 0 && chars[end - 1].is_whitespace() {
+        end -= 1;
+    }
+    let mut start = end;
+    while start > 0 && (chars[start - 1].is_alphanumeric() || chars[start - 1] == '_') {
+        start -= 1;
+    }
+    if start == end {
+        return None; // e.g. `)` — lock on a call result.
+    }
+    let ident: String = chars[start..end].iter().collect();
+    if ident.chars().next().is_some_and(|c| c.is_ascii_digit()) || ident == "self" {
+        return None;
+    }
+    Some(ident)
+}
+
+/// Computes SCCs (iterative Tarjan) and returns one representative
+/// cycle of witnesses per SCC with ≥ 2 nodes.
+fn find_cycles(edges: &BTreeMap<(String, String), EdgeWitness>) -> Vec<Vec<EdgeWitness>> {
+    let mut nodes: BTreeSet<&String> = BTreeSet::new();
+    for (a, b) in edges.keys() {
+        nodes.insert(a);
+        nodes.insert(b);
+    }
+    let names: Vec<&String> = nodes.iter().copied().collect();
+    let index_of: BTreeMap<&String, usize> =
+        names.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+    let n = names.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (a, b) in edges.keys() {
+        adj[index_of[a]].push(index_of[b]);
+    }
+
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    // Explicit DFS frames: (node, next-child cursor).
+    let mut call: Vec<(usize, usize)> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        call.push((root, 0));
+        while let Some(&(v, cursor)) = call.last() {
+            if cursor == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if cursor < adj[v].len() {
+                if let Some(frame) = call.last_mut() {
+                    frame.1 += 1;
+                }
+                let w = adj[v][cursor];
+                if index[w] == usize::MAX {
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    let mut scc = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    if scc.len() > 1 {
+                        sccs.push(scc);
+                    }
+                }
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+            }
+        }
+    }
+
+    // For each SCC, follow in-SCC edges from its smallest node until a
+    // node repeats; the repeated suffix is a concrete cycle.
+    let mut out = Vec::new();
+    for scc in sccs {
+        let members: BTreeSet<usize> = scc.iter().copied().collect();
+        let Some(&start) = scc.iter().min() else {
+            continue;
+        };
+        let mut path = vec![start];
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        seen.insert(start);
+        let mut cur = start;
+        // The find() returning None is unreachable for a true SCC; ending
+        // the walk there is defensive.
+        while let Some(next) = adj[cur].iter().copied().find(|w| members.contains(w)) {
+            if seen.contains(&next) {
+                let Some(from_pos) = path.iter().position(|&p| p == next) else {
+                    break;
+                };
+                let cycle_nodes: Vec<usize> =
+                    path[from_pos..].iter().copied().chain([next]).collect();
+                let mut witnesses = Vec::new();
+                for pair in cycle_nodes.windows(2) {
+                    let key = (names[pair[0]].clone(), names[pair[1]].clone());
+                    if let Some(w) = edges.get(&key) {
+                        witnesses.push(w.clone());
+                    }
+                }
+                if !witnesses.is_empty() {
+                    out.push(witnesses);
+                }
+                break;
+            }
+            seen.insert(next);
+            path.push(next);
+            cur = next;
+        }
+    }
+    out
+}

@@ -1,0 +1,36 @@
+//! The four `jitlint` rule families.
+//!
+//! Each rule maps a paper invariant to a machine check (section numbers
+//! refer to *Just-In-Time Checkpointing*, EuroSys '24):
+//!
+//! | rule | invariant | paper |
+//! |---|---|---|
+//! | `panic_path` | the recovery path never panics | §3.1 watchdog, §4 proxy |
+//! | `lock_order` | watchdog/trainer lock acquisition is cycle-free | §3.1 hang detection |
+//! | `virtual_time` | simulation code never blocks on wall-clock sleeps | §6 methodology |
+//! | `checkpoint_schema` | persisted state declares a schema version | §3.2 metadata, §4.1 replay logs |
+
+pub mod lock_order;
+pub mod panic_path;
+pub mod schema;
+pub mod virtual_time;
+
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+/// Scans every file-local rule over `files` and appends findings.
+pub fn run_file_rules(files: &[SourceFile], findings: &mut Vec<Finding>) {
+    for file in files {
+        panic_path::check(file, findings);
+        virtual_time::check(file, findings);
+        schema::check(file, findings);
+        for (line, msg) in &file.malformed_allows {
+            findings.push(Finding {
+                rule: "allow_syntax".into(),
+                file: file.rel_path.clone(),
+                line: *line,
+                message: msg.clone(),
+            });
+        }
+    }
+}

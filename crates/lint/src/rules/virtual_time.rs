@@ -1,0 +1,64 @@
+//! `virtual_time` — wall-clock sleeps are banned outside the sim clock.
+//!
+//! The simulator (`simcore::time`) owns time: every latency in the
+//! reproduction is virtual, so results are deterministic and a 7000-GPU
+//! day simulates in milliseconds. A `std::thread::sleep` in library code
+//! (a) couples test wall-clock to arbitrary back-off constants, and
+//! (b) on the watchdog/collective paths it delays hang *detection*, the
+//! quantity §3.1 budgets end-to-end. Blocking waits must use condvars
+//! (woken by the state change they wait for) or the sim clock.
+//!
+//! Scope: all library code except the sim-clock allowlist and
+//! `#[cfg(test)]` modules (tests may pace real threads).
+
+use crate::report::Finding;
+use crate::source::{contains_word, find_word, SourceFile};
+
+/// Rule name used in findings and allow directives.
+pub const RULE: &str = "virtual_time";
+
+/// `(crate_dir, module)` pairs allowed to sleep: the sim clock itself.
+pub const SLEEP_ALLOWLIST: &[(&str, &str)] = &[("simcore", "time")];
+
+/// Scans one file.
+pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
+    if SLEEP_ALLOWLIST
+        .iter()
+        .any(|(c, m)| *c == file.crate_dir && *m == file.module)
+    {
+        return;
+    }
+    // `use std::thread::sleep` makes bare `sleep(` calls wall-clock too.
+    let imports_sleep = file
+        .masked
+        .iter()
+        .any(|l| l.contains("use std::thread::sleep") || l.contains("use core::thread::sleep"));
+
+    for (idx, masked) in file.masked.iter().enumerate() {
+        let line = idx + 1;
+        if file.is_test_line(line) {
+            continue;
+        }
+        let qualified = masked.contains("thread::sleep");
+        let bare = imports_sleep
+            && find_word(masked, "sleep", 0)
+                .is_some_and(|at| masked[at..].starts_with("sleep(") && !masked.contains("use "));
+        let import_line = contains_word(masked, "use") && masked.contains("thread::sleep");
+        if (qualified && !import_line) || bare {
+            if file.allowed(RULE, line).is_some() {
+                continue;
+            }
+            findings.push(Finding {
+                rule: RULE.into(),
+                file: file.rel_path.clone(),
+                line,
+                message: format!(
+                    "wall-clock sleep in `{}::{}` — time belongs to the sim clock \
+                     (`simcore::time`); wait on a condvar or justify with \
+                     `// jitlint::allow({RULE}): <reason>`",
+                    file.crate_dir, file.module
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture: malformed allow directives.
+
+pub fn missing_reason(x: Option<u32>) -> u32 {
+    // jitlint::allow(panic_path)
+    x.unwrap()
+}
+
+pub fn empty_rule_list(x: Option<u32>) -> u32 {
+    // jitlint::allow(): because
+    x.unwrap()
+}

@@ -1,0 +1,28 @@
+//! Fixture: a 3-lock acquisition cycle split across three functions
+//! (and two crates) — no single function is suspicious on its own.
+
+pub struct Server {
+    gpu: Mutex<u32>,
+    oplog: Mutex<u32>,
+}
+
+impl Server {
+    // gpu -> oplog
+    pub fn submit(&self) {
+        let _g = self.gpu.lock();
+        let _o = self.oplog.lock();
+    }
+
+    // oplog -> barrier (rustfmt-split chain on purpose)
+    pub fn drain(&self, barrier: &Mutex<u32>) {
+        let _o = self.oplog.lock();
+        let _b = barrier
+            .lock();
+    }
+
+    // Consistent-order pair that must NOT be reported: gpu -> oplog again.
+    pub fn replay(&self) {
+        let _g = self.gpu.lock();
+        let _o = self.oplog.lock();
+    }
+}

@@ -1,0 +1,13 @@
+//! Fixture: closes the cycle — barrier -> gpu.
+
+pub struct Watchdog {
+    barrier: Mutex<u32>,
+    gpu: Mutex<u32>,
+}
+
+impl Watchdog {
+    pub fn fire(&self) {
+        let _b = self.barrier.lock();
+        let _g = self.gpu.lock();
+    }
+}

@@ -1,0 +1,25 @@
+//! Fixture negative: every function acquires in the same global order
+//! (gpu -> oplog -> barrier) — no cycle to report.
+
+pub struct Server {
+    gpu: Mutex<u32>,
+    oplog: Mutex<u32>,
+    barrier: Mutex<u32>,
+}
+
+impl Server {
+    pub fn submit(&self) {
+        let _g = self.gpu.lock();
+        let _o = self.oplog.lock();
+    }
+
+    pub fn drain(&self) {
+        let _o = self.oplog.lock();
+        let _b = self.barrier.lock();
+    }
+
+    pub fn fire(&self) {
+        let _g = self.gpu.lock();
+        let _b = self.barrier.lock();
+    }
+}

@@ -1,0 +1,38 @@
+//! Fixture: recovery-critical module with seeded panic sites.
+
+pub fn bad_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn bad_expect(x: Option<u32>) -> u32 {
+    x.expect("boom")
+}
+
+pub fn bad_macro() {
+    panic!("seeded");
+}
+
+pub fn bad_todo() {
+    todo!()
+}
+
+pub fn bad_unsafe(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+pub fn allowed_unwrap(x: Option<u32>) -> u32 {
+    // jitlint::allow(panic_path): fixture — checked by caller
+    x.unwrap()
+}
+
+pub fn string_is_not_code() -> &'static str {
+    "unwrap() panic! todo!"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_unwrap_is_still_flagged() {
+        Some(1).unwrap();
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture: NOT a recovery-critical module — unwrap here is fine.
+
+pub fn out_of_scope(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

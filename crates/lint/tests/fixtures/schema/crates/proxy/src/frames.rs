@@ -1,0 +1,6 @@
+//! Fixture: NOT a persistence module — Serialize here needs no marker.
+
+#[derive(Serialize)]
+pub struct EphemeralFrame {
+    pub seq: u64,
+}

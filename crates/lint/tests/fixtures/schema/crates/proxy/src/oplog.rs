@@ -1,0 +1,38 @@
+//! Fixture: serializable persisted types with and without a schema
+//! version marker.
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MissingVersion {
+    pub step: u64,
+}
+
+#[derive(Serialize)]
+pub enum VersionedOp {
+    Launch,
+    Sync,
+}
+
+impl VersionedOp {
+    pub const SCHEMA_VERSION: u16 = 1;
+}
+
+#[derive(
+    Debug,
+    Serialize,
+)]
+pub struct MultiLineDerive {
+    pub rank: u32,
+}
+
+impl MultiLineDerive {
+    pub const SCHEMA_VERSION: u16 = 3;
+}
+
+// jitlint::allow(checkpoint_schema): fixture — transient wire frame, never persisted
+#[derive(Serialize)]
+pub struct AllowedTransient {
+    pub seq: u64,
+}
+
+#[derive(Serialize)]
+pub struct NotPersistedModule;

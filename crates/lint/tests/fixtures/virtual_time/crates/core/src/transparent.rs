@@ -1,0 +1,29 @@
+//! Fixture: wall-clock sleeps in library code.
+
+use std::thread::sleep;
+use std::time::Duration;
+
+pub fn bad_qualified() {
+    std::thread::sleep(Duration::from_millis(5));
+}
+
+pub fn bad_bare() {
+    sleep(Duration::from_millis(5));
+}
+
+pub fn allowed_sleep() {
+    // jitlint::allow(virtual_time): fixture — bounded startup grace
+    std::thread::sleep(Duration::from_millis(1));
+}
+
+pub fn sleepy_name_is_fine(sleeper: fn()) {
+    sleeper();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_pace_real_threads() {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}

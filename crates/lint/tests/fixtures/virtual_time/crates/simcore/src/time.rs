@@ -1,0 +1,5 @@
+//! Fixture: the sim clock itself is allowlisted.
+
+pub fn tick() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}

@@ -1,0 +1,22 @@
+//! Self-enforcement: the workspace this analyzer ships in must itself
+//! be clean. Every new panic site, lock inversion, wall-clock sleep, or
+//! unversioned persisted type in recovery-critical code fails `cargo
+//! test` until it is fixed or explicitly justified with a
+//! `jitlint::allow` directive.
+
+use std::path::PathBuf;
+
+#[test]
+fn workspace_has_no_findings() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists");
+    let findings = lint::analyze(&root).expect("workspace parses");
+    assert!(
+        findings.is_empty(),
+        "jitlint found {} violation(s) — fix them or add `// jitlint::allow(<rule>): <reason>`:\n{}",
+        findings.len(),
+        lint::report::render_text(&findings)
+    );
+}

@@ -424,7 +424,9 @@ impl ProxyClient {
         let entries: Vec<(DeviceCall, u64)> = self
             .creation_log
             .iter()
-            .filter(|e| e.created_seq < boundary && e.freed_seq.map(|f| f >= boundary).unwrap_or(true))
+            .filter(|e| {
+                e.created_seq < boundary && e.freed_seq.map(|f| f >= boundary).unwrap_or(true)
+            })
             .map(|e| (e.call.clone(), e.vid))
             .collect();
         // Every physical object died with the old context; drop all stale
@@ -451,9 +453,7 @@ impl ProxyClient {
 
     /// Copies persistent state to host memory (before clearing a
     /// driver-corrupted device), charging the PCIe cost.
-    pub fn snapshot_persistent_to_host(
-        &mut self,
-    ) -> SimResult<(Vec<(String, BufferTag, Vec<f32>)>, u64)> {
+    pub fn snapshot_persistent_to_host(&mut self) -> SimResult<crate::PersistentSnapshot> {
         let gpu = self.server.gpu();
         if !gpu.health().memory_readable() {
             return Err(SimError::CudaSticky(gpu.id));
@@ -541,11 +541,7 @@ impl ProxyClient {
     /// codec as checkpoints.
     pub fn worker_cpu_state(&self) -> bytes::Bytes {
         use simcore::codec::Encode;
-        let mut gens: Vec<(u64, u64)> = self
-            .comm_gens
-            .iter()
-            .map(|(t, g)| (t.0, *g))
-            .collect();
+        let mut gens: Vec<(u64, u64)> = self.comm_gens.iter().map(|(t, g)| (t.0, *g)).collect();
         gens.sort_unstable();
         let mut payload = bytes::BytesMut::new();
         self.iteration.encode(&mut payload);
@@ -565,10 +561,7 @@ impl ProxyClient {
         self.skip_rest = u8::decode(&mut buf)? != 0;
         self.replay_log = Vec::<LoggedOp>::decode(&mut buf)?;
         let gens: Vec<(u64, u64)> = Vec::decode(&mut buf)?;
-        self.comm_gens = gens
-            .into_iter()
-            .map(|(t, g)| (CommToken(t), g))
-            .collect();
+        self.comm_gens = gens.into_iter().map(|(t, g)| (CommToken(t), g)).collect();
         Ok(())
     }
 
@@ -599,9 +592,7 @@ impl ProxyClient {
                 if let Some(vid) = result_vid {
                     match res {
                         CallResult::Buffer(b) => self.vmap.rebind_buffer(BufferId(*vid), b),
-                        CallResult::Stream(s) => {
-                            self.vmap.rebind_stream(simgpu::StreamId(*vid), s)
-                        }
+                        CallResult::Stream(s) => self.vmap.rebind_stream(simgpu::StreamId(*vid), s),
                         CallResult::Event(e) => self.vmap.rebind_event(simgpu::EventId(*vid), e),
                         _ => {}
                     }
@@ -674,7 +665,12 @@ impl ProxyClient {
                 )?;
                 self.server.gpu_mut().load_buffer(p, &out)
             }
-            LoggedColl::AllGather { comm, gen, src, dst } => {
+            LoggedColl::AllGather {
+                comm,
+                gen,
+                src,
+                dst,
+            } => {
                 let ps = self.vmap.buffer(*src)?;
                 let pd = self.vmap.buffer(*dst)?;
                 let (data, logical) = {
@@ -713,7 +709,12 @@ impl ProxyClient {
                 )?;
                 self.server.gpu_mut().load_buffer(pd, &out)
             }
-            LoggedColl::Broadcast { comm, gen, root, buf } => {
+            LoggedColl::Broadcast {
+                comm,
+                gen,
+                root,
+                buf,
+            } => {
                 let p = self.vmap.buffer(*buf)?;
                 let (data, logical) = {
                     let b = self.server.gpu().buffer(p)?;
@@ -791,7 +792,7 @@ impl ProxyClient {
             return true;
         }
         if let (Some(first), Some(every)) = (self.verify_at, self.verify_every) {
-            if self.iteration > first && (self.iteration - first) % every == 0 {
+            if self.iteration > first && (self.iteration - first).is_multiple_of(every) {
                 return true;
             }
         }
@@ -1015,7 +1016,10 @@ impl Executor for ProxyClient {
                     return Ok(());
                 }
                 Err(e) => match self.dispatch_handler(
-                    PendingOp::Collective { comm, op: "barrier" },
+                    PendingOp::Collective {
+                        comm,
+                        op: "barrier",
+                    },
                     e,
                 )? {
                     RecoveryOutcome::Retry => continue,
@@ -1168,7 +1172,12 @@ mod tests {
         ProxyClient::new(RankId(0), 0, Gpu::new(GpuId(0), CostModel::v100()), world)
     }
 
-    fn alloc(c: &mut ProxyClient, path: &str, data: Vec<f32>, tag: BufferTag) -> BufferId {
+    fn alloc(
+        c: &mut ProxyClient,
+        path: &str,
+        data: Vec<f32>,
+        tag: BufferTag,
+    ) -> SimResult<BufferId> {
         let n = data.len() as u64;
         let b = c
             .call(DeviceCall::Malloc {
@@ -1176,44 +1185,44 @@ mod tests {
                 elems: n,
                 logical_bytes: n * 4,
                 tag,
-            })
-            .unwrap()
-            .buffer()
-            .unwrap();
-        c.call(DeviceCall::Upload { buf: b, data }).unwrap();
-        b
+            })?
+            .buffer()?;
+        c.call(DeviceCall::Upload { buf: b, data })?;
+        Ok(b)
     }
 
-    fn download(c: &mut ProxyClient, b: BufferId) -> Vec<f32> {
-        c.call(DeviceCall::Download { buf: b }).unwrap().data().unwrap()
+    fn download(c: &mut ProxyClient, b: BufferId) -> SimResult<Vec<f32>> {
+        c.call(DeviceCall::Download { buf: b })?.data()
     }
 
     #[test]
-    fn handles_are_virtualized() {
+    fn handles_are_virtualized() -> SimResult<()> {
         let mut c = client();
-        let b = alloc(&mut c, "w", vec![1.0], BufferTag::Param);
+        let b = alloc(&mut c, "w", vec![1.0], BufferTag::Param)?;
         assert!(b.0 >= 1 << 32, "application sees virtual ids");
-        assert_eq!(download(&mut c, b), vec![1.0]);
+        assert_eq!(download(&mut c, b)?, vec![1.0]);
+        Ok(())
     }
 
     #[test]
-    fn replay_log_clears_at_minibatch_start() {
+    fn replay_log_clears_at_minibatch_start() -> SimResult<()> {
         let mut c = client();
-        alloc(&mut c, "w", vec![1.0], BufferTag::Param);
+        alloc(&mut c, "w", vec![1.0], BufferTag::Param)?;
         assert!(c.replay_log_len() > 0);
-        c.begin_minibatch(0).unwrap();
+        c.begin_minibatch(0)?;
         assert_eq!(c.replay_log_len(), 0);
-        alloc(&mut c, "act", vec![0.0], BufferTag::Activation);
+        alloc(&mut c, "act", vec![0.0], BufferTag::Activation)?;
         assert_eq!(c.replay_log_len(), 2); // malloc + upload
+        Ok(())
     }
 
     #[test]
-    fn reset_in_place_plus_replay_reproduces_state() {
+    fn reset_in_place_plus_replay_reproduces_state() -> SimResult<()> {
         let mut c = client();
-        let s = c.call(DeviceCall::StreamCreate).unwrap().stream().unwrap();
-        let w = alloc(&mut c, "w", vec![1.0, 2.0], BufferTag::Param);
-        c.begin_minibatch(0).unwrap();
-        let act = alloc(&mut c, "act", vec![3.0, 4.0], BufferTag::Activation);
+        let s = c.call(DeviceCall::StreamCreate)?.stream()?;
+        let w = alloc(&mut c, "w", vec![1.0, 2.0], BufferTag::Param)?;
+        c.begin_minibatch(0)?;
+        let act = alloc(&mut c, "act", vec![3.0, 4.0], BufferTag::Activation)?;
         c.call(DeviceCall::Launch {
             stream: s,
             kernel: KernelKind::Axpy {
@@ -1221,23 +1230,23 @@ mod tests {
                 x: w,
                 y: act,
             },
-        })
-        .unwrap();
-        assert_eq!(download(&mut c, act), vec![5.0, 8.0]);
+        })?;
+        assert_eq!(download(&mut c, act)?, vec![5.0, 8.0]);
         // Reset drops the activation; replay regenerates it.
-        c.reset_in_place().unwrap();
-        c.replay().unwrap();
-        assert_eq!(download(&mut c, act), vec![5.0, 8.0]);
-        assert_eq!(download(&mut c, w), vec![1.0, 2.0]);
+        c.reset_in_place()?;
+        c.replay()?;
+        assert_eq!(download(&mut c, act)?, vec![5.0, 8.0]);
+        assert_eq!(download(&mut c, w)?, vec![1.0, 2.0]);
+        Ok(())
     }
 
     #[test]
-    fn verify_replay_log_passes_on_faithful_log() {
+    fn verify_replay_log_passes_on_faithful_log() -> SimResult<()> {
         let mut c = client();
-        let s = c.call(DeviceCall::StreamCreate).unwrap().stream().unwrap();
-        let w = alloc(&mut c, "w", vec![1.0; 8], BufferTag::Param);
-        c.begin_minibatch(0).unwrap();
-        let act = alloc(&mut c, "act", vec![0.5; 8], BufferTag::Activation);
+        let s = c.call(DeviceCall::StreamCreate)?.stream()?;
+        let w = alloc(&mut c, "w", vec![1.0; 8], BufferTag::Param)?;
+        c.begin_minibatch(0)?;
+        let act = alloc(&mut c, "act", vec![0.5; 8], BufferTag::Activation)?;
         c.call(DeviceCall::Launch {
             stream: s,
             kernel: KernelKind::Axpy {
@@ -1245,82 +1254,82 @@ mod tests {
                 x: w,
                 y: act,
             },
-        })
-        .unwrap();
-        assert!(c.verify_replay_log().unwrap());
+        })?;
+        assert!(c.verify_replay_log()?);
         assert_eq!(c.last_verify(), Some(true));
+        Ok(())
     }
 
     #[test]
-    fn scheduled_verification_runs_in_pre_optimizer() {
+    fn scheduled_verification_runs_in_pre_optimizer() -> SimResult<()> {
         let mut c = client();
         c.set_verify_schedule(Some(1), None);
         // Realistic shape: params are only read during the fwd/bwd window
         // (replay must be idempotent over that window, which is exactly
         // what verification checks).
-        let w = alloc(&mut c, "w", vec![1.0, -1.0], BufferTag::Param);
-        let s = c.call(DeviceCall::StreamCreate).unwrap().stream().unwrap();
+        let w = alloc(&mut c, "w", vec![1.0, -1.0], BufferTag::Param)?;
+        let s = c.call(DeviceCall::StreamCreate)?.stream()?;
         for it in 0..3 {
-            c.begin_minibatch(it).unwrap();
-            let act = alloc(&mut c, "act", vec![0.0, 0.0], BufferTag::Activation);
+            c.begin_minibatch(it)?;
+            let act = alloc(&mut c, "act", vec![0.0, 0.0], BufferTag::Activation)?;
             c.call(DeviceCall::Launch {
                 stream: s,
                 kernel: KernelKind::Relu { x: w, out: act },
-            })
-            .unwrap();
-            c.pre_optimizer().unwrap();
-            c.post_optimizer().unwrap();
+            })?;
+            c.pre_optimizer()?;
+            c.post_optimizer()?;
             // Framework discipline: activations are released at minibatch
             // end (the Free defers to the graveyard until the next
             // minibatch commits).
-            c.call(DeviceCall::Free { buf: act }).unwrap();
+            c.call(DeviceCall::Free { buf: act })?;
         }
         assert_eq!(c.last_verify(), Some(true));
+        Ok(())
     }
 
     #[test]
-    fn reset_with_restart_recreates_persistent_objects() {
+    fn reset_with_restart_recreates_persistent_objects() -> SimResult<()> {
         let mut c = client();
-        let s = c.call(DeviceCall::StreamCreate).unwrap().stream().unwrap();
-        let w = alloc(&mut c, "w", vec![7.0, 8.0], BufferTag::Param);
-        c.begin_minibatch(0).unwrap();
+        let s = c.call(DeviceCall::StreamCreate)?.stream()?;
+        let w = alloc(&mut c, "w", vec![7.0, 8.0], BufferTag::Param)?;
+        c.begin_minibatch(0)?;
         // Take a host snapshot, corrupt driver, restart, restore.
-        let (snap, bytes) = c.snapshot_persistent_to_host().unwrap();
+        let (snap, bytes) = c.snapshot_persistent_to_host()?;
         c.inject(FailureKind::DriverCorruption);
-        c.reset_with_restart().unwrap();
+        c.reset_with_restart()?;
         assert_eq!(c.health(), GpuHealth::Healthy);
         // Virtual handles survived; contents restored from host.
-        c.restore_persistent_from_host(&snap, bytes).unwrap();
-        assert_eq!(download(&mut c, w), vec![7.0, 8.0]);
+        c.restore_persistent_from_host(&snap, bytes)?;
+        assert_eq!(download(&mut c, w)?, vec![7.0, 8.0]);
         // Stream handle also still valid.
-        c.call(DeviceCall::StreamSync { stream: s }).unwrap();
+        c.call(DeviceCall::StreamSync { stream: s })?;
+        Ok(())
     }
 
     #[test]
-    fn skip_mode_synthesizes_until_next_minibatch() {
+    fn skip_mode_synthesizes_until_next_minibatch() -> SimResult<()> {
         let mut c = client();
-        let s = c.call(DeviceCall::StreamCreate).unwrap().stream().unwrap();
-        let w = alloc(&mut c, "w", vec![1.0], BufferTag::Param);
-        c.begin_minibatch(0).unwrap();
+        let s = c.call(DeviceCall::StreamCreate)?.stream()?;
+        let w = alloc(&mut c, "w", vec![1.0], BufferTag::Param)?;
+        c.begin_minibatch(0)?;
         // Enter skip mode (as the §4.2.2 recovery path would).
         c.skip_rest = true;
         c.call(DeviceCall::Launch {
             stream: s,
             kernel: KernelKind::Scale { alpha: 10.0, x: w },
-        })
-        .unwrap();
+        })?;
         // The launch was ignored.
         c.skip_rest = false;
-        assert_eq!(download(&mut c, w), vec![1.0]);
+        assert_eq!(download(&mut c, w)?, vec![1.0]);
         // Next minibatch clears skip mode.
         c.skip_rest = true;
-        c.begin_minibatch(1).unwrap();
+        c.begin_minibatch(1)?;
         c.call(DeviceCall::Launch {
             stream: s,
             kernel: KernelKind::Scale { alpha: 10.0, x: w },
-        })
-        .unwrap();
-        assert_eq!(download(&mut c, w), vec![10.0]);
+        })?;
+        assert_eq!(download(&mut c, w)?, vec![10.0]);
+        Ok(())
     }
 
     struct CountingHandler {
@@ -1344,16 +1353,16 @@ mod tests {
     }
 
     #[test]
-    fn handler_recovers_sticky_error_transparently() {
+    fn handler_recovers_sticky_error_transparently() -> SimResult<()> {
         let mut c = client();
         let handler = Arc::new(CountingHandler {
             calls: AtomicUsize::new(0),
         });
         c.set_handler(handler.clone());
-        let s = c.call(DeviceCall::StreamCreate).unwrap().stream().unwrap();
-        let w = alloc(&mut c, "w", vec![2.0], BufferTag::Param);
-        c.begin_minibatch(0).unwrap();
-        let g = alloc(&mut c, "g", vec![1.0], BufferTag::Gradient);
+        let s = c.call(DeviceCall::StreamCreate)?.stream()?;
+        let w = alloc(&mut c, "w", vec![2.0], BufferTag::Param)?;
+        c.begin_minibatch(0)?;
+        let g = alloc(&mut c, "g", vec![1.0], BufferTag::Gradient)?;
         // Poison the context mid-minibatch.
         c.inject(FailureKind::StickyCuda);
         // The next call fails internally, the handler recovers, the call
@@ -1365,14 +1374,14 @@ mod tests {
                 x: g,
                 y: w,
             },
-        })
-        .unwrap();
+        })?;
         assert_eq!(handler.calls.load(Ordering::SeqCst), 1);
         // Param buffer contents were wiped by the context teardown in this
         // minimal handler (no replica restore), but the object exists and
         // the replayed upload of `g` reproduced the gradient. The full
         // restore path is exercised by the jitckpt engine's tests.
-        assert_eq!(download(&mut c, g), vec![1.0]);
+        assert_eq!(download(&mut c, g)?, vec![1.0]);
+        Ok(())
     }
 
     #[test]
@@ -1384,45 +1393,52 @@ mod tests {
     }
 
     #[test]
-    fn logged_calls_count_grows() {
+    fn logged_calls_count_grows() -> SimResult<()> {
         let mut c = client();
         let before = c.logged_calls();
-        alloc(&mut c, "w", vec![1.0], BufferTag::Param);
+        alloc(&mut c, "w", vec![1.0], BufferTag::Param)?;
         assert_eq!(c.logged_calls(), before + 2);
+        Ok(())
     }
 
     #[test]
-    fn sync_persistent_from_replica_copies_state() {
+    fn sync_persistent_from_replica_copies_state() -> SimResult<()> {
         use std::thread;
         let clock = Arc::new(ClockBoard::new(2));
         let world = CommWorld::new(clock, CostModel::v100(), 8);
         let comm = world.create_comm(vec![RankId(0), RankId(1)], vec![0, 1]);
-        let mk = |rank: u32, idx: usize, val: f32, world: &Arc<CommWorld>| {
-            let mut c = ProxyClient::new(
-                RankId(rank),
-                idx,
-                Gpu::new(GpuId(rank), CostModel::v100()),
-                world.clone(),
-            );
-            alloc(&mut c, "w", vec![val; 4], BufferTag::Param);
-            c
-        };
-        let mut c0 = mk(0, 0, 9.0, &world);
-        let mut c1 = mk(1, 1, 0.0, &world);
+        let mk =
+            |rank: u32, idx: usize, val: f32, world: &Arc<CommWorld>| -> SimResult<ProxyClient> {
+                let mut c = ProxyClient::new(
+                    RankId(rank),
+                    idx,
+                    Gpu::new(GpuId(rank), CostModel::v100()),
+                    world.clone(),
+                );
+                alloc(&mut c, "w", vec![val; 4], BufferTag::Param)?;
+                Ok(c)
+            };
+        let mut c0 = mk(0, 0, 9.0, &world)?;
+        let mut c1 = mk(1, 1, 0.0, &world)?;
         let t0 = c0.register_comm(comm.clone());
         let t1 = c1.register_comm(comm.clone());
-        let h0 = thread::spawn(move || {
-            c0.sync_persistent_from_replica(t0, RankId(0)).unwrap();
-            c0
+        let h0 = thread::spawn(move || -> SimResult<ProxyClient> {
+            c0.sync_persistent_from_replica(t0, RankId(0))?;
+            Ok(c0)
         });
-        let h1 = thread::spawn(move || {
-            c1.sync_persistent_from_replica(t1, RankId(0)).unwrap();
-            c1
+        let h1 = thread::spawn(move || -> SimResult<ProxyClient> {
+            c1.sync_persistent_from_replica(t1, RankId(0))?;
+            Ok(c1)
         });
-        let _c0 = h0.join().unwrap();
-        let mut c1 = h1.join().unwrap();
+        let _c0 = h0
+            .join()
+            .map_err(|_| SimError::Protocol("rank 0 panicked".into()))??;
+        let mut c1 = h1
+            .join()
+            .map_err(|_| SimError::Protocol("rank 1 panicked".into()))??;
         let vb = c1.virtual_buffer_ids()[0];
-        assert_eq!(download(&mut c1, BufferId(vb)), vec![9.0; 4]);
+        assert_eq!(download(&mut c1, BufferId(vb))?, vec![9.0; 4]);
+        Ok(())
     }
 }
 
@@ -1440,7 +1456,7 @@ mod verification_tests {
     }
 
     #[test]
-    fn verification_catches_implicit_device_inputs() {
+    fn verification_catches_implicit_device_inputs() -> SimResult<()> {
         // §4.1: "it is theoretically possible for the host CPU process to
         // send implicit input arguments ... without device APIs being
         // invoked ... in the unlikely case of such implicit communication,
@@ -1448,46 +1464,41 @@ mod verification_tests {
         // that — mutate device memory behind the interception layer — and
         // assert verification FAILS rather than silently passing.
         let mut c = client();
-        let s = c.call(DeviceCall::StreamCreate).unwrap().stream().unwrap();
+        let s = c.call(DeviceCall::StreamCreate)?.stream()?;
         let w = c
             .call(DeviceCall::Malloc {
                 site: AllocSite::new("w", 4),
                 elems: 4,
                 logical_bytes: 16,
                 tag: BufferTag::Param,
-            })
-            .unwrap()
-            .buffer()
-            .unwrap();
+            })?
+            .buffer()?;
         c.call(DeviceCall::Upload {
             buf: w,
             data: vec![1.0; 4],
-        })
-        .unwrap();
-        c.begin_minibatch(0).unwrap();
+        })?;
+        c.begin_minibatch(0)?;
         let act = c
             .call(DeviceCall::Malloc {
                 site: AllocSite::new("act", 4),
                 elems: 4,
                 logical_bytes: 16,
                 tag: BufferTag::Activation,
-            })
-            .unwrap()
-            .buffer()
-            .unwrap();
+            })?
+            .buffer()?;
         c.call(DeviceCall::Upload {
             buf: act,
             data: vec![0.5; 4],
-        })
-        .unwrap();
+        })?;
         // The implicit channel: host pokes a value into the activation
         // buffer WITHOUT a logged Upload, then a logged kernel consumes it.
         let phys_ids = c.server().gpu().buffer_ids();
-        let phys_act = *phys_ids.last().unwrap();
+        let phys_act = *phys_ids
+            .last()
+            .ok_or_else(|| SimError::Protocol("no physical ids".into()))?;
         c.server_mut()
             .gpu_mut()
-            .load_buffer(phys_act, &[9.0, 9.0, 9.0, 9.0])
-            .unwrap();
+            .load_buffer(phys_act, &[9.0, 9.0, 9.0, 9.0])?;
         c.call(DeviceCall::Launch {
             stream: s,
             kernel: KernelKind::Axpy {
@@ -1495,38 +1506,39 @@ mod verification_tests {
                 x: w,
                 y: act,
             },
-        })
-        .unwrap();
+        })?;
         // Replay reproduces Upload(0.5) + Axpy → 1.5, not 10.0: mismatch.
-        assert_eq!(c.verify_replay_log().unwrap(), false);
+        assert!(!c.verify_replay_log()?);
         assert_eq!(c.last_verify(), Some(false));
+        Ok(())
     }
 
     #[test]
-    fn scheduled_verification_failure_surfaces_as_protocol_error() {
+    fn scheduled_verification_failure_surfaces_as_protocol_error() -> SimResult<()> {
         let mut c = client();
         c.set_verify_schedule(Some(0), None);
-        let s = c.call(DeviceCall::StreamCreate).unwrap().stream().unwrap();
+        let s = c.call(DeviceCall::StreamCreate)?.stream()?;
         let w = c
             .call(DeviceCall::Malloc {
                 site: AllocSite::new("w", 2),
                 elems: 2,
                 logical_bytes: 8,
                 tag: BufferTag::Param,
-            })
-            .unwrap()
-            .buffer()
-            .unwrap();
-        c.call(DeviceCall::Upload { buf: w, data: vec![1.0, 2.0] }).unwrap();
-        c.begin_minibatch(0).unwrap();
+            })?
+            .buffer()?;
+        c.call(DeviceCall::Upload {
+            buf: w,
+            data: vec![1.0, 2.0],
+        })?;
+        c.begin_minibatch(0)?;
         // Mutating a Param inside the fwd/bwd window is exactly the kind
         // of behaviour replay cannot reproduce idempotently.
         c.call(DeviceCall::Launch {
             stream: s,
             kernel: KernelKind::Scale { alpha: 2.0, x: w },
-        })
-        .unwrap();
+        })?;
         let err = c.pre_optimizer().unwrap_err();
         assert!(matches!(err, SimError::Protocol(_)), "{err}");
+        Ok(())
     }
 }

@@ -44,6 +44,11 @@ pub enum PendingOp {
     },
 }
 
+/// A snapshot of persistent (param/optimizer) state — storage key, tag,
+/// and contents per buffer — plus the logical byte size used for cost
+/// accounting. The payload of a JIT checkpoint.
+pub type PersistentSnapshot = (Vec<(String, BufferTag, Vec<f32>)>, u64);
+
 /// Device + communication interface the training framework runs against.
 ///
 /// All buffer/stream/event ids a caller sees may be virtual; they remain
@@ -86,8 +91,14 @@ pub trait Executor: Send {
     /// Sends `buf` to `dst` (pipeline activations/gradients). `seq` is
     /// the sender's minibatch iteration: p2p pairing is by deterministic
     /// key, making replays idempotent.
-    fn send(&mut self, dst: RankId, tag: u64, seq: u64, buf: BufferId, same_node: bool)
-        -> SimResult<()>;
+    fn send(
+        &mut self,
+        dst: RankId,
+        tag: u64,
+        seq: u64,
+        buf: BufferId,
+        same_node: bool,
+    ) -> SimResult<()>;
 
     /// Receives `(src, tag, seq)` into `buf`.
     fn recv_into(&mut self, src: RankId, tag: u64, seq: u64, buf: BufferId) -> SimResult<()>;
@@ -104,7 +115,7 @@ pub trait Executor: Send {
 
     /// Snapshot of persistent (param/optimizer) state with its logical
     /// byte size — the payload of a JIT checkpoint.
-    fn persistent_snapshot(&mut self) -> SimResult<(Vec<(String, BufferTag, Vec<f32>)>, u64)>;
+    fn persistent_snapshot(&mut self) -> SimResult<PersistentSnapshot>;
 
     /// Restores persistent state from a snapshot (by storage key).
     fn restore_persistent(&mut self, snap: &[(String, BufferTag, Vec<f32>)]) -> SimResult<()>;
@@ -276,8 +287,7 @@ impl Executor for DirectExecutor {
         let (data, logical) = self.fetch(src)?;
         let arc = self.comm(comm)?;
         let gen = self.gen_of(comm);
-        let out =
-            arc.reduce_scatter(self.rank, gen, data, op, logical, self.observer.as_ref())?;
+        let out = arc.reduce_scatter(self.rank, gen, data, op, logical, self.observer.as_ref())?;
         self.bump_gen(comm);
         self.gpu.lock().load_buffer(dst, &out)
     }
@@ -318,8 +328,16 @@ impl Executor for DirectExecutor {
     ) -> SimResult<()> {
         self.check_comm_health()?;
         let (data, logical) = self.fetch(buf)?;
-        self.world
-            .send(self.rank, self.clock_idx, dst, tag, seq, data, logical, same_node)
+        self.world.send(
+            self.rank,
+            self.clock_idx,
+            dst,
+            tag,
+            seq,
+            data,
+            logical,
+            same_node,
+        )
     }
 
     fn recv_into(&mut self, src: RankId, tag: u64, seq: u64, buf: BufferId) -> SimResult<()> {
@@ -405,7 +423,12 @@ mod tests {
         (world, execs)
     }
 
-    fn alloc(e: &mut DirectExecutor, path: &str, data: Vec<f32>, tag: BufferTag) -> BufferId {
+    fn alloc(
+        e: &mut DirectExecutor,
+        path: &str,
+        data: Vec<f32>,
+        tag: BufferTag,
+    ) -> SimResult<BufferId> {
         let n = data.len() as u64;
         let b = e
             .call(DeviceCall::Malloc {
@@ -413,25 +436,24 @@ mod tests {
                 elems: n,
                 logical_bytes: n * 4,
                 tag,
-            })
-            .unwrap()
-            .buffer()
-            .unwrap();
-        e.call(DeviceCall::Upload { buf: b, data }).unwrap();
-        b
+            })?
+            .buffer()?;
+        e.call(DeviceCall::Upload { buf: b, data })?;
+        Ok(b)
     }
 
     #[test]
-    fn device_calls_advance_the_clock() {
+    fn device_calls_advance_the_clock() -> SimResult<()> {
         let (_, mut execs) = setup(1);
         let e = &mut execs[0];
         let before = e.clock().now(0);
-        alloc(e, "x", vec![1.0; 64], BufferTag::Param);
+        alloc(e, "x", vec![1.0; 64], BufferTag::Param)?;
         assert!(e.clock().now(0) > before);
+        Ok(())
     }
 
     #[test]
-    fn all_reduce_through_executors() {
+    fn all_reduce_through_executors() -> SimResult<()> {
         let (world, mut execs) = setup(2);
         let comm = world.create_comm(vec![RankId(0), RankId(1)], vec![0, 1]);
         let handles: Vec<_> = execs
@@ -439,63 +461,75 @@ mod tests {
             .enumerate()
             .map(|(i, mut e)| {
                 let comm = comm.clone();
-                thread::spawn(move || {
+                thread::spawn(move || -> SimResult<Vec<f32>> {
                     let t = e.register_comm(comm);
-                    let b = alloc(&mut e, "g", vec![(i + 1) as f32; 4], BufferTag::Gradient);
-                    e.all_reduce(t, b, ReduceOp::Sum).unwrap();
-                    e.call(DeviceCall::Download { buf: b }).unwrap().data().unwrap()
+                    let b = alloc(&mut e, "g", vec![(i + 1) as f32; 4], BufferTag::Gradient)?;
+                    e.all_reduce(t, b, ReduceOp::Sum)?;
+                    e.call(DeviceCall::Download { buf: b })?.data()
                 })
             })
             .collect();
         for h in handles {
-            assert_eq!(h.join().unwrap(), vec![3.0; 4]);
+            let joined = h
+                .join()
+                .map_err(|_| SimError::Protocol("rank panicked".into()))??;
+            assert_eq!(joined, vec![3.0; 4]);
         }
+        Ok(())
     }
 
     #[test]
-    fn failed_device_refuses_collectives() {
+    fn failed_device_refuses_collectives() -> SimResult<()> {
         let (world, mut execs) = setup(1);
         let comm = world.create_comm(vec![RankId(0)], vec![0]);
         let e = &mut execs[0];
         let t = e.register_comm(comm);
-        let b = alloc(e, "g", vec![1.0], BufferTag::Gradient);
+        let b = alloc(e, "g", vec![1.0], BufferTag::Gradient)?;
         e.inject(FailureKind::StickyCuda);
         let err = e.all_reduce(t, b, ReduceOp::Sum).unwrap_err();
         assert!(matches!(err, SimError::CudaSticky(_)));
+        Ok(())
     }
 
     #[test]
-    fn send_recv_between_executors() {
+    fn send_recv_between_executors() -> SimResult<()> {
         let (_, mut execs) = setup(2);
-        let mut e1 = execs.pop().unwrap();
-        let mut e0 = execs.pop().unwrap();
-        let src = alloc(&mut e0, "act", vec![5.0, 6.0], BufferTag::Activation);
-        let dst = alloc(&mut e1, "act_in", vec![0.0, 0.0], BufferTag::Activation);
-        e0.send(RankId(1), 0, 0, src, true).unwrap();
-        e1.recv_into(RankId(0), 0, 0, dst).unwrap();
+        let mut e1 = execs
+            .pop()
+            .ok_or_else(|| SimError::Protocol("missing exec".into()))?;
+        let mut e0 = execs
+            .pop()
+            .ok_or_else(|| SimError::Protocol("missing exec".into()))?;
+        let src = alloc(&mut e0, "act", vec![5.0, 6.0], BufferTag::Activation)?;
+        let dst = alloc(&mut e1, "act_in", vec![0.0, 0.0], BufferTag::Activation)?;
+        e0.send(RankId(1), 0, 0, src, true)?;
+        e1.recv_into(RankId(0), 0, 0, dst)?;
         assert_eq!(
-            e1.call(DeviceCall::Download { buf: dst }).unwrap().data().unwrap(),
+            e1.call(DeviceCall::Download { buf: dst })?.data()?,
             vec![5.0, 6.0]
         );
+        Ok(())
     }
 
     #[test]
-    fn persistent_snapshot_excludes_activations() {
+    fn persistent_snapshot_excludes_activations() -> SimResult<()> {
         let (_, mut execs) = setup(1);
         let e = &mut execs[0];
-        alloc(e, "w", vec![1.0; 4], BufferTag::Param);
-        alloc(e, "act", vec![2.0; 4], BufferTag::Activation);
-        let (snap, bytes) = e.persistent_snapshot().unwrap();
+        alloc(e, "w", vec![1.0; 4], BufferTag::Param)?;
+        alloc(e, "act", vec![2.0; 4], BufferTag::Activation)?;
+        let (snap, bytes) = e.persistent_snapshot()?;
         assert_eq!(snap.len(), 1);
         assert_eq!(bytes, 16);
+        Ok(())
     }
 
     #[test]
-    fn snapshot_fails_when_memory_unreadable() {
+    fn snapshot_fails_when_memory_unreadable() -> SimResult<()> {
         let (_, mut execs) = setup(1);
         let e = &mut execs[0];
-        alloc(e, "w", vec![1.0; 4], BufferTag::Param);
+        alloc(e, "w", vec![1.0; 4], BufferTag::Param)?;
         e.inject(FailureKind::StickyCuda);
         assert!(e.persistent_snapshot().is_err());
+        Ok(())
     }
 }

@@ -33,7 +33,7 @@ pub mod server;
 pub mod watchdog;
 
 pub use client::{MinibatchPosition, ProxyClient, RecoveryHandler, RecoveryOutcome};
-pub use executor::{CommToken, DirectExecutor, Executor, PendingOp};
+pub use executor::{CommToken, DirectExecutor, Executor, PendingOp, PersistentSnapshot};
 pub use oplog::{LoggedOp, VirtualMap};
 pub use server::ProxyServer;
 pub use watchdog::Watchdog;

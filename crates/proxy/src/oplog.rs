@@ -13,12 +13,13 @@
 
 use crate::executor::CommToken;
 use collectives::ReduceOp;
+use serde::{Deserialize, Serialize};
 use simcore::{RankId, SimError, SimResult};
 use simgpu::{BufferId, DeviceCall, EventId, StreamId};
 use std::collections::HashMap;
 
 /// A collective operation as recorded in the replay log.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum LoggedColl {
     /// In-place all-reduce of a buffer.
     AllReduce {
@@ -75,8 +76,16 @@ pub enum LoggedColl {
     },
 }
 
+impl LoggedColl {
+    /// Replay-log record version. Replay logs written before a failure
+    /// are read during recovery of the restarted proxy server (§4.1), so
+    /// variant or field changes must bump this alongside
+    /// [`LoggedOp::SCHEMA_VERSION`].
+    pub const SCHEMA_VERSION: u16 = 1;
+}
+
 /// One logged operation.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum LoggedOp {
     /// A device API call (ids are virtual). `result_vid` is the virtual id
     /// handed to the application for object-creating calls.
@@ -112,6 +121,11 @@ pub enum LoggedOp {
         /// Destination buffer (virtual).
         buf: BufferId,
     },
+}
+
+impl LoggedOp {
+    /// Replay-log record version; see [`LoggedColl::SCHEMA_VERSION`].
+    pub const SCHEMA_VERSION: u16 = 1;
 }
 
 /// Virtual→physical handle translation for one rank.
@@ -260,19 +274,32 @@ impl VirtualMap {
                         trans_a: *trans_a,
                         trans_b: *trans_b,
                     },
-                    K::BiasAdd { x, bias, rows, cols } => K::BiasAdd {
+                    K::BiasAdd {
+                        x,
+                        bias,
+                        rows,
+                        cols,
+                    } => K::BiasAdd {
                         x: b(x)?,
                         bias: b(bias)?,
                         rows: *rows,
                         cols: *cols,
                     },
-                    K::BiasGrad { dy, dbias, rows, cols } => K::BiasGrad {
+                    K::BiasGrad {
+                        dy,
+                        dbias,
+                        rows,
+                        cols,
+                    } => K::BiasGrad {
                         dy: b(dy)?,
                         dbias: b(dbias)?,
                         rows: *rows,
                         cols: *cols,
                     },
-                    K::Relu { x, out } => K::Relu { x: b(x)?, out: b(out)? },
+                    K::Relu { x, out } => K::Relu {
+                        x: b(x)?,
+                        out: b(out)?,
+                    },
                     K::ReluBwd { x, dy, dx } => K::ReluBwd {
                         x: b(x)?,
                         dy: b(dy)?,
@@ -461,21 +488,23 @@ mod tests {
     use simgpu::KernelKind;
 
     #[test]
-    fn bind_and_translate_buffer_calls() {
+    fn bind_and_translate_buffer_calls() -> SimResult<()> {
         let mut m = VirtualMap::new();
         let v = m.bind_buffer(BufferId(7));
         assert!(v.0 >= 1 << 32, "virtual ids live in a distinct range");
         let call = DeviceCall::Download { buf: v };
-        let phys = m.to_physical(&call).unwrap();
+        let phys = m.to_physical(&call)?;
         assert_eq!(phys, DeviceCall::Download { buf: BufferId(7) });
+        Ok(())
     }
 
     #[test]
-    fn rebinding_redirects_without_changing_virtual_id() {
+    fn rebinding_redirects_without_changing_virtual_id() -> SimResult<()> {
         let mut m = VirtualMap::new();
         let v = m.bind_buffer(BufferId(1));
         m.rebind_buffer(v, BufferId(99));
-        assert_eq!(m.buffer(v).unwrap(), BufferId(99));
+        assert_eq!(m.buffer(v)?, BufferId(99));
+        Ok(())
     }
 
     #[test]
@@ -487,7 +516,7 @@ mod tests {
     }
 
     #[test]
-    fn kernel_translation_maps_every_buffer() {
+    fn kernel_translation_maps_every_buffer() -> SimResult<()> {
         let mut m = VirtualMap::new();
         let va = m.bind_buffer(BufferId(1));
         let vb = m.bind_buffer(BufferId(2));
@@ -506,7 +535,7 @@ mod tests {
                 trans_b: false,
             },
         };
-        match m.to_physical(&call).unwrap() {
+        match m.to_physical(&call)? {
             DeviceCall::Launch { stream, kernel } => {
                 assert_eq!(stream, StreamId(10));
                 assert_eq!(
@@ -514,8 +543,13 @@ mod tests {
                     vec![BufferId(1), BufferId(2), BufferId(3)]
                 );
             }
-            other => panic!("unexpected {other:?}"),
+            other => {
+                return Err(SimError::Protocol(format!(
+                    "unexpected translated call {other:?}"
+                )))
+            }
         }
+        Ok(())
     }
 
     #[test]
@@ -539,21 +573,37 @@ use simcore::codec::{Decode, Encode};
 impl Encode for LoggedColl {
     fn encode(&self, buf: &mut bytes::BytesMut) {
         match self {
-            LoggedColl::AllReduce { comm, gen, buf: b, op } => {
+            LoggedColl::AllReduce {
+                comm,
+                gen,
+                buf: b,
+                op,
+            } => {
                 0u8.encode(buf);
                 comm.0.encode(buf);
                 gen.encode(buf);
                 b.encode(buf);
                 encode_reduce_op(*op, buf);
             }
-            LoggedColl::AllGather { comm, gen, src, dst } => {
+            LoggedColl::AllGather {
+                comm,
+                gen,
+                src,
+                dst,
+            } => {
                 1u8.encode(buf);
                 comm.0.encode(buf);
                 gen.encode(buf);
                 src.encode(buf);
                 dst.encode(buf);
             }
-            LoggedColl::ReduceScatter { comm, gen, src, dst, op } => {
+            LoggedColl::ReduceScatter {
+                comm,
+                gen,
+                src,
+                dst,
+                op,
+            } => {
                 2u8.encode(buf);
                 comm.0.encode(buf);
                 gen.encode(buf);
@@ -561,7 +611,12 @@ impl Encode for LoggedColl {
                 dst.encode(buf);
                 encode_reduce_op(*op, buf);
             }
-            LoggedColl::Broadcast { comm, gen, root, buf: b } => {
+            LoggedColl::Broadcast {
+                comm,
+                gen,
+                root,
+                buf: b,
+            } => {
                 3u8.encode(buf);
                 comm.0.encode(buf);
                 gen.encode(buf);
@@ -658,7 +713,12 @@ impl Encode for LoggedOp {
                 b.encode(buf);
                 same_node.encode(buf);
             }
-            LoggedOp::Recv { src, tag, seq, buf: b } => {
+            LoggedOp::Recv {
+                src,
+                tag,
+                seq,
+                buf: b,
+            } => {
                 3u8.encode(buf);
                 src.0.encode(buf);
                 tag.encode(buf);
@@ -703,7 +763,7 @@ mod wire_tests {
     use simgpu::{AllocSite, BufferTag};
 
     #[test]
-    fn logged_op_wire_round_trip() {
+    fn logged_op_wire_round_trip() -> SimResult<()> {
         let ops = vec![
             LoggedOp::Device {
                 call: DeviceCall::Malloc {
@@ -742,7 +802,8 @@ mod wire_tests {
             },
         ];
         let framed = encode_framed(&ops);
-        let back: Vec<LoggedOp> = decode_framed(&framed).unwrap();
+        let back: Vec<LoggedOp> = decode_framed(&framed)?;
         assert_eq!(back, ops);
+        Ok(())
     }
 }

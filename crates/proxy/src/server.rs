@@ -81,23 +81,23 @@ mod tests {
     }
 
     #[test]
-    fn restart_clears_sticky_state_and_bumps_epoch() {
+    fn restart_clears_sticky_state_and_bumps_epoch() -> SimResult<()> {
         let mut s = server();
         s.exec(&DeviceCall::Malloc {
             site: AllocSite::new("w", 4),
             elems: 4,
             logical_bytes: 16,
             tag: BufferTag::Param,
-        })
-        .unwrap();
+        })?;
         s.gpu_mut().inject(FailureKind::StickyCuda);
         assert!(s.exec(&DeviceCall::DeviceSync).is_err());
-        let t = s.restart().unwrap();
+        let t = s.restart()?;
         assert!(t.as_secs() > 0.0);
         assert_eq!(s.epoch(), 1);
         assert_eq!(s.gpu().health(), GpuHealth::Healthy);
         assert_eq!(s.gpu().buffer_count(), 0, "context teardown drops buffers");
         assert!(s.exec(&DeviceCall::DeviceSync).is_ok());
+        Ok(())
     }
 
     #[test]

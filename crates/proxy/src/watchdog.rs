@@ -43,8 +43,14 @@ pub struct Watchdog {
 }
 
 impl Watchdog {
-    /// Spawns a watchdog with the given hang timeout and one-shot action.
-    pub fn spawn(timeout: Duration, action: impl FnOnce() + Send + 'static) -> Self {
+    /// Spawns a watchdog with the given hang timeout and one-shot
+    /// action. Fails if the OS cannot spawn the monitor thread — a rank
+    /// without a watchdog would hang undetected, so the caller must not
+    /// proceed as if it were protected.
+    pub fn spawn(
+        timeout: Duration,
+        action: impl FnOnce() + Send + 'static,
+    ) -> simcore::SimResult<Self> {
         let inner = Arc::new(Inner {
             outstanding: Mutex::new(HashMap::new()),
             timeout,
@@ -57,11 +63,13 @@ impl Watchdog {
         let handle = std::thread::Builder::new()
             .name("jit-watchdog".into())
             .spawn(move || watch_loop(thread_inner))
-            .expect("spawn watchdog");
-        Watchdog {
+            .map_err(|e| {
+                simcore::SimError::Protocol(format!("failed to spawn watchdog thread: {e}"))
+            })?;
+        Ok(Watchdog {
             inner,
             handle: Some(handle),
-        }
+        })
     }
 
     /// An observer that feeds collective entry/exit into this watchdog
@@ -141,6 +149,7 @@ fn watch_loop(inner: Arc<Inner>) {
                 }
             }
         }
+        // jitlint::allow(virtual_time): the watchdog scans real-time hang deadlines by design (§3.1); 2ms bounds detection latency
         std::thread::sleep(Duration::from_millis(2));
     }
 }
@@ -192,12 +201,12 @@ mod tests {
     }
 
     #[test]
-    fn completed_collectives_never_fire() {
+    fn completed_collectives_never_fire() -> simcore::SimResult<()> {
         let fired = Arc::new(AtomicBool::new(false));
         let f = fired.clone();
         let wd = Watchdog::spawn(Duration::from_millis(40), move || {
             f.store(true, Ordering::SeqCst)
-        });
+        })?;
         let obs = wd.observer();
         for g in 0..5 {
             let t = ticket(g);
@@ -208,38 +217,41 @@ mod tests {
         std::thread::sleep(Duration::from_millis(80));
         assert!(!wd.fired());
         assert!(!fired.load(Ordering::SeqCst));
+        Ok(())
     }
 
     #[test]
-    fn outstanding_collective_fires_once() {
+    fn outstanding_collective_fires_once() -> simcore::SimResult<()> {
         let count = Arc::new(AtomicUsize::new(0));
         let c = count.clone();
         let wd = Watchdog::spawn(Duration::from_millis(20), move || {
             c.fetch_add(1, Ordering::SeqCst);
-        });
+        })?;
         let obs = wd.observer();
         obs.collective_started(&ticket(0));
         std::thread::sleep(Duration::from_millis(100));
         assert!(wd.fired());
         assert_eq!(count.load(Ordering::SeqCst), 1, "action fires exactly once");
+        Ok(())
     }
 
     #[test]
-    fn custom_ops_are_watched() {
+    fn custom_ops_are_watched() -> simcore::SimResult<()> {
         let fired = Arc::new(AtomicBool::new(false));
         let f = fired.clone();
         let wd = Watchdog::spawn(Duration::from_millis(20), move || {
             f.store(true, Ordering::SeqCst)
-        });
+        })?;
         let id = wd.begin_op();
         std::thread::sleep(Duration::from_millis(60));
         assert!(wd.fired());
         wd.end_op(id);
+        Ok(())
     }
 
     #[test]
-    fn fast_custom_ops_do_not_fire() {
-        let wd = Watchdog::spawn(Duration::from_millis(50), || {});
+    fn fast_custom_ops_do_not_fire() -> simcore::SimResult<()> {
+        let wd = Watchdog::spawn(Duration::from_millis(50), || {})?;
         for _ in 0..5 {
             let id = wd.begin_op();
             std::thread::sleep(Duration::from_millis(2));
@@ -247,5 +259,6 @@ mod tests {
         }
         std::thread::sleep(Duration::from_millis(80));
         assert!(!wd.fired());
+        Ok(())
     }
 }

@@ -39,7 +39,10 @@ fn alloc<E: Executor>(e: &mut E, path: &str, data: Vec<f32>, tag: BufferTag) -> 
 }
 
 fn download<E: Executor>(e: &mut E, b: BufferId) -> Vec<f32> {
-    e.call(DeviceCall::Download { buf: b }).unwrap().data().unwrap()
+    e.call(DeviceCall::Download { buf: b })
+        .unwrap()
+        .data()
+        .unwrap()
 }
 
 /// A randomized minibatch program: params, then a sequence of elementwise

@@ -247,7 +247,9 @@ pub fn decode_framed<T: Decode>(raw: &Bytes) -> SimResult<T> {
     let payload = buf.split_to(len);
     let stored_crc = u64::decode(&mut buf)?;
     if crc64(&payload) != stored_crc {
-        return Err(SimError::Codec("checksum mismatch (corrupt payload)".into()));
+        return Err(SimError::Codec(
+            "checksum mismatch (corrupt payload)".into(),
+        ));
     }
     let mut p = payload;
     let value = T::decode(&mut p)?;

@@ -230,7 +230,11 @@ impl CostModel {
     /// Point-to-point transfer cost (pipeline activations, replica state
     /// copies). Chooses NVLink within a node, NIC across nodes.
     pub fn p2p(&self, bytes: u64, same_node: bool) -> SimTime {
-        let bw = if same_node { self.nvlink_bw } else { self.nic_bw };
+        let bw = if same_node {
+            self.nvlink_bw
+        } else {
+            self.nic_bw
+        };
         self.coll_latency + SimTime::from_secs(bytes as f64 / bw)
     }
 
@@ -248,7 +252,12 @@ impl CostModel {
     ///
     /// Includes the GPU→host copy (PCIe) and the fixed serialization
     /// overhead; the node storage bandwidth is divided among the writers.
-    pub fn checkpoint_write(&self, bytes: u64, tier: StorageTier, ranks_per_node: usize) -> SimTime {
+    pub fn checkpoint_write(
+        &self,
+        bytes: u64,
+        tier: StorageTier,
+        ranks_per_node: usize,
+    ) -> SimTime {
         let share = self.tier_bw(tier) / ranks_per_node.max(1) as f64;
         let d2h = bytes as f64 / self.pcie_bw;
         let store = bytes as f64 / share;

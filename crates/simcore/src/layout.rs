@@ -39,7 +39,11 @@ pub struct GridCoord {
 impl ParallelLayout {
     /// Pure data parallelism over `n` ranks.
     pub fn data_parallel(n: usize) -> Self {
-        ParallelLayout { dp: n, pp: 1, tp: 1 }
+        ParallelLayout {
+            dp: n,
+            pp: 1,
+            tp: 1,
+        }
     }
 
     /// Full 3D layout.

@@ -167,7 +167,9 @@ impl CallResult {
     pub fn buffer(self) -> SimResult<BufferId> {
         match self {
             CallResult::Buffer(b) => Ok(b),
-            other => Err(SimError::Protocol(format!("expected buffer, got {other:?}"))),
+            other => Err(SimError::Protocol(format!(
+                "expected buffer, got {other:?}"
+            ))),
         }
     }
 
@@ -175,7 +177,9 @@ impl CallResult {
     pub fn stream(self) -> SimResult<StreamId> {
         match self {
             CallResult::Stream(s) => Ok(s),
-            other => Err(SimError::Protocol(format!("expected stream, got {other:?}"))),
+            other => Err(SimError::Protocol(format!(
+                "expected stream, got {other:?}"
+            ))),
         }
     }
 
@@ -373,7 +377,10 @@ mod tests {
 
     #[test]
     fn result_extractors() {
-        assert_eq!(CallResult::Buffer(BufferId(5)).buffer().unwrap(), BufferId(5));
+        assert_eq!(
+            CallResult::Buffer(BufferId(5)).buffer().unwrap(),
+            BufferId(5)
+        );
         assert!(CallResult::None.buffer().is_err());
         assert_eq!(CallResult::Data(vec![1.0]).data().unwrap(), vec![1.0]);
         assert!(CallResult::Bool(true).data().is_err());

@@ -247,7 +247,7 @@ impl Gpu {
                 let now = self.now;
                 let s = self.stream_mut(*stream)?;
                 s.enqueue(now, cost);
-                self.now = self.now + cost;
+                self.now += cost;
                 Ok((CallResult::None, cost))
             }
             DeviceCall::StreamCreate => {
@@ -450,7 +450,10 @@ impl Gpu {
     /// Restores persistent buffers from a snapshot by storage key.
     /// Buffers present on the device but missing from the snapshot are
     /// left untouched; snapshot entries with no matching buffer error.
-    pub fn restore_persistent(&mut self, snapshot: &[(String, BufferTag, Vec<f32>)]) -> SimResult<()> {
+    pub fn restore_persistent(
+        &mut self,
+        snapshot: &[(String, BufferTag, Vec<f32>)],
+    ) -> SimResult<()> {
         let by_key: HashMap<String, BufferId> = self
             .buffers
             .values()
@@ -618,8 +621,18 @@ mod tests {
         };
         let g1 = build();
         let g2 = build();
-        let k1: Vec<String> = g1.snapshot_persistent().0.into_iter().map(|x| x.0).collect();
-        let k2: Vec<String> = g2.snapshot_persistent().0.into_iter().map(|x| x.0).collect();
+        let k1: Vec<String> = g1
+            .snapshot_persistent()
+            .0
+            .into_iter()
+            .map(|x| x.0)
+            .collect();
+        let k2: Vec<String> = g2
+            .snapshot_persistent()
+            .0
+            .into_iter()
+            .map(|x| x.0)
+            .collect();
         assert_eq!(k1, k2);
         assert_eq!(k1.len(), 3);
         assert_ne!(k1[0], k1[1], "same path must get distinct seq numbers");
@@ -662,8 +675,11 @@ mod tests {
         let e = g.exec(&DeviceCall::EventCreate).unwrap().0.event().unwrap();
         let (res, _) = g.exec(&DeviceCall::EventQuery { event: e }).unwrap();
         assert_eq!(res, CallResult::Bool(false));
-        g.exec(&DeviceCall::EventRecord { stream: s, event: e })
-            .unwrap();
+        g.exec(&DeviceCall::EventRecord {
+            stream: s,
+            event: e,
+        })
+        .unwrap();
         let (res, _) = g.exec(&DeviceCall::EventQuery { event: e }).unwrap();
         assert_eq!(res, CallResult::Bool(true));
     }

@@ -331,8 +331,16 @@ impl KernelKind {
                     for j in 0..n {
                         let mut acc = 0f32;
                         for p in 0..k {
-                            let x = if trans_a { av[p * m + i] } else { av[i * k + p] };
-                            let y = if trans_b { bv[j * k + p] } else { bv[p * n + j] };
+                            let x = if trans_a {
+                                av[p * m + i]
+                            } else {
+                                av[i * k + p]
+                            };
+                            let y = if trans_b {
+                                bv[j * k + p]
+                            } else {
+                                bv[p * n + j]
+                            };
                             acc += x * y;
                         }
                         o[i * n + j] = acc;
@@ -340,7 +348,12 @@ impl KernelKind {
                 }
                 store(out, o)
             }
-            KernelKind::BiasAdd { x, bias, rows, cols } => {
+            KernelKind::BiasAdd {
+                x,
+                bias,
+                rows,
+                cols,
+            } => {
                 let mut xv = fetch(x)?;
                 let bv = fetch(bias)?;
                 let (rows, cols) = (rows as usize, cols as usize);
@@ -354,7 +367,12 @@ impl KernelKind {
                 }
                 store(x, xv)
             }
-            KernelKind::BiasGrad { dy, dbias, rows, cols } => {
+            KernelKind::BiasGrad {
+                dy,
+                dbias,
+                rows,
+                cols,
+            } => {
                 let dyv = fetch(dy)?;
                 let (rows, cols) = (rows as usize, cols as usize);
                 if dyv.len() != rows * cols {
@@ -638,14 +656,24 @@ impl Encode for KernelKind {
                 trans_a.encode(buf);
                 trans_b.encode(buf);
             }
-            KernelKind::BiasAdd { x, bias, rows, cols } => {
+            KernelKind::BiasAdd {
+                x,
+                bias,
+                rows,
+                cols,
+            } => {
                 1u8.encode(buf);
                 x.encode(buf);
                 bias.encode(buf);
                 rows.encode(buf);
                 cols.encode(buf);
             }
-            KernelKind::BiasGrad { dy, dbias, rows, cols } => {
+            KernelKind::BiasGrad {
+                dy,
+                dbias,
+                rows,
+                cols,
+            } => {
                 2u8.encode(buf);
                 dy.encode(buf);
                 dbias.encode(buf);

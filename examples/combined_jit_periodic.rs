@@ -66,7 +66,10 @@ fn main() {
     )
     .expect("combined run");
     println!("JIT (+ optional PC_1/day for catastrophes): same failure");
-    println!("  → restarts: {}, redone work: at most one minibatch", out.restarts);
+    println!(
+        "  → restarts: {}, redone work: at most one minibatch",
+        out.restarts
+    );
     let layout = simcore::layout::ParallelLayout::data_parallel(2);
     if let Ok(plan) = checkpoint::assemble(&store, JobId(0), &layout) {
         for ((stage, part), c) in plan {
@@ -79,5 +82,9 @@ fn main() {
     // Demonstrate kind preference: add a newer periodic checkpoint and
     // re-assemble.
     println!("\nBoth kinds share paths/format; assembly picks the newest complete");
-    println!("checkpoint of either kind ({:?} vs {:?}).", CkptKind::Jit, CkptKind::Periodic);
+    println!(
+        "checkpoint of either kind ({:?} vs {:?}).",
+        CkptKind::Jit,
+        CkptKind::Periodic
+    );
 }

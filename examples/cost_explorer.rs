@@ -49,7 +49,10 @@ fn main() {
         let wf = wasted_fraction(wasted_rate_periodic_optimal(&p));
         // Wasted GPU-hours/month = N × 730 h × w_f; cost at $4/h.
         let monthly = n as f64 * 730.0 * wf * 4.0;
-        println!("  N = {n:>6}: w_f = {:>6.3}% → ~${monthly:>10.0}/month", wf * 100.0);
+        println!(
+            "  N = {n:>6}: w_f = {:>6.3}% → ~${monthly:>10.0}/month",
+            wf * 100.0
+        );
     }
 
     // The paper's §5.1 back-of-envelope for comparison.

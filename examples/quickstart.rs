@@ -43,7 +43,11 @@ fn main() {
     println!("recovery rounds: {}", out.rounds);
     println!("losses (rank 0):");
     for (i, l) in out.losses[0].iter().enumerate() {
-        let marker = if i == 5 { "   <- failure + JIT recovery here" } else { "" };
+        let marker = if i == 5 {
+            "   <- failure + JIT recovery here"
+        } else {
+            ""
+        };
         println!("  iter {i:2}: {l:.6}{marker}");
     }
     println!("\nPer-rank recovery reports:");

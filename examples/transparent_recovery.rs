@@ -16,21 +16,37 @@ use std::sync::Arc;
 
 fn main() {
     let scenarios = [
-        ("transient network fault (in the all-reduce)", FailureKind::TransientNetwork, Phase::AllReduce),
-        ("driver-state corruption (host round-trip)", FailureKind::DriverCorruption, Phase::Backward),
-        ("sticky CUDA error (replica copy)", FailureKind::StickyCuda, Phase::Forward),
-        ("failure inside the optimizer step (roll forward)", FailureKind::StickyCuda, Phase::OptimizerStep),
-        ("hard GPU failure (migration + CRIU)", FailureKind::GpuHardware, Phase::Backward),
+        (
+            "transient network fault (in the all-reduce)",
+            FailureKind::TransientNetwork,
+            Phase::AllReduce,
+        ),
+        (
+            "driver-state corruption (host round-trip)",
+            FailureKind::DriverCorruption,
+            Phase::Backward,
+        ),
+        (
+            "sticky CUDA error (replica copy)",
+            FailureKind::StickyCuda,
+            Phase::Forward,
+        ),
+        (
+            "failure inside the optimizer step (roll forward)",
+            FailureKind::StickyCuda,
+            Phase::OptimizerStep,
+        ),
+        (
+            "hard GPU failure (migration + CRIU)",
+            FailureKind::GpuHardware,
+            Phase::Backward,
+        ),
     ];
     for (label, kind, phase) in scenarios {
         let mut cfg = dltrain::TrainConfig::tiny_dp(1);
         cfg.layout = ParallelLayout::three_d(2, 2, 2);
-        let injector = FailureInjector::with_specs(vec![FailureSpec::new(
-            3,
-            phase,
-            RankId(5),
-            kind,
-        )]);
+        let injector =
+            FailureInjector::with_specs(vec![FailureSpec::new(3, phase, RankId(5), kind)]);
         println!("== {label} ==");
         let out = run_transparent_job(
             cfg,

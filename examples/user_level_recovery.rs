@@ -65,7 +65,10 @@ fn main() {
     for p in store.list("ckpt/") {
         println!("  {p}");
     }
-    println!("\nfinal losses (rank 0): {:?}", &out.losses[0][iters as usize - 3..]);
+    println!(
+        "\nfinal losses (rank 0): {:?}",
+        &out.losses[0][iters as usize - 3..]
+    );
     println!("Only ~1 minibatch of work was redone — vs half a checkpoint");
     println!("interval under periodic checkpointing.");
 }

@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Local CI gate: formatting, lints, tests, and the jitlint invariant
+# analyzer. Everything must pass before a change lands.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo '==> cargo fmt --check'
+cargo fmt --all -- --check
+
+echo '==> cargo clippy --workspace --all-targets -- -D warnings'
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo '==> cargo test --workspace'
+cargo test --workspace --quiet
+
+echo '==> jitlint'
+cargo run -p lint --quiet
+
+echo 'check.sh: all gates passed'

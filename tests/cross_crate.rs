@@ -47,7 +47,12 @@ fn multiple_sequential_failures_all_recover_transparently() {
     let iters = 14;
     let clean = clean_run(&cfg, iters);
     let injector = FailureInjector::with_specs(vec![
-        FailureSpec::new(2, Phase::AllReduce, RankId(0), FailureKind::TransientNetwork),
+        FailureSpec::new(
+            2,
+            Phase::AllReduce,
+            RankId(0),
+            FailureKind::TransientNetwork,
+        ),
         FailureSpec::new(6, Phase::Backward, RankId(3), FailureKind::StickyCuda),
         FailureSpec::new(10, Phase::Forward, RankId(1), FailureKind::GpuHardware),
     ]);

@@ -1,0 +1,17 @@
+//! Tier-1 enforcement: `cargo test` at the workspace root runs jitlint
+//! over every crate. See `crates/lint` and DESIGN.md ("Machine-checked
+//! invariants") for the rule families and the suppression grammar.
+
+use std::path::PathBuf;
+
+#[test]
+fn jitlint_reports_no_findings() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let findings = lint::analyze(&root).expect("workspace parses");
+    assert!(
+        findings.is_empty(),
+        "jitlint found {} violation(s) — fix them or add `// jitlint::allow(<rule>): <reason>`:\n{}",
+        findings.len(),
+        lint::report::render_text(&findings)
+    );
+}

@@ -1,0 +1,148 @@
+//! Offline, std-only substitute for the subset of `criterion` used by the
+//! bench crate: `criterion_group!`/`criterion_main!`, `Criterion`,
+//! benchmark groups, `Throughput`, and `Bencher::iter`.
+//!
+//! Measurement is a simple warmup + timed-batch loop printing
+//! mean ns/iter (and MB/s when a byte throughput is set) — adequate for
+//! relative comparisons in an environment without the real crate. The API
+//! shape matches criterion so the bench sources compile unchanged.
+
+use std::time::Instant;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Drives one benchmark's measurement loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed batch of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup.
+        for _ in 0..3 {
+            std::hint::black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+    }
+}
+
+fn report(name: &str, iters: u64, elapsed_ns: u128, throughput: Option<Throughput>) {
+    let per_iter = elapsed_ns as f64 / iters.max(1) as f64;
+    let extra = match throughput {
+        Some(Throughput::Bytes(b)) if per_iter > 0.0 => {
+            format!(" ({:.1} MB/s)", b as f64 / per_iter * 1e9 / 1e6)
+        }
+        Some(Throughput::Elements(e)) if per_iter > 0.0 => {
+            format!(" ({:.1} Melem/s)", e as f64 / per_iter * 1e9 / 1e6)
+        }
+        _ => String::new(),
+    };
+    println!("bench {name:<50} {per_iter:>12.1} ns/iter{extra}");
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    iters: u64,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (interpreted here as timed iterations).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = (n as u64).max(1);
+        self
+    }
+
+    /// Annotates per-iteration throughput for reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one named benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: self.iters,
+            elapsed_ns: 0,
+        };
+        f(&mut b);
+        let full = format!("{}/{}", self.name, id.into());
+        report(&full, b.iters, b.elapsed_ns, self.throughput);
+        self
+    }
+
+    /// Finishes the group (no-op; for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            iters: 30,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Runs one stand-alone named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 30,
+            elapsed_ns: 0,
+        };
+        f(&mut b);
+        report(&id.into(), b.iters, b.elapsed_ns, None);
+        self
+    }
+}
+
+/// Re-export of `std::hint::black_box` for API compatibility.
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

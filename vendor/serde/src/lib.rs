@@ -1,0 +1,25 @@
+//! Offline, std-only substitute for the subset of `serde` this workspace
+//! uses: the `Serialize`/`Deserialize` names as derive markers on state
+//! structs.
+//!
+//! Nothing in the workspace serializes through serde — the checkpoint
+//! codec is the hand-rolled `simcore::codec` — so the traits here are
+//! empty markers and the derives (from the vendored `serde_derive`)
+//! expand to nothing. The derive annotations still matter: `jitlint`'s
+//! checkpoint-schema rule treats `#[derive(Serialize)]` in checkpoint and
+//! replay-log modules as "this type is persisted state" and requires a
+//! schema-version marker alongside it.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Stand-in for `serde::de`.
+pub mod de {
+    /// Marker standing in for `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned {}
+}
+
+pub use serde_derive::{Deserialize, Serialize};
