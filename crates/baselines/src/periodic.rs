@@ -82,6 +82,10 @@ pub struct PeriodicConfig {
     pub every_iters: u64,
     /// Hang-detection timeout of the job monitoring plane (real time).
     pub monitor_timeout: Duration,
+    /// Sharded-write tuning (shard size, worker pool, delta mode). Delta
+    /// pays off especially here: periodic checkpoints of adjacent
+    /// generations share most of their bytes.
+    pub shards: checkpoint::ShardConfig,
 }
 
 impl PeriodicConfig {
@@ -91,6 +95,7 @@ impl PeriodicConfig {
             kind,
             every_iters: k,
             monitor_timeout: Duration::from_millis(1500),
+            shards: checkpoint::ShardConfig::default(),
         }
     }
 }
@@ -197,7 +202,7 @@ pub fn run_periodic_job(
                             cfg.ranks_per_node,
                         );
                         tr.exec.clock().advance(i, t);
-                        checkpoint::write_checkpoint(
+                        checkpoint::write_checkpoint_with(
                             &store,
                             job,
                             CkptKind::Periodic,
@@ -206,6 +211,7 @@ pub fn run_periodic_job(
                             coord.part,
                             coord.dp,
                             &state,
+                            &pcfg.shards,
                         )?;
                         *ckpts.lock() += 1;
                     }

@@ -1,0 +1,67 @@
+//! Sharded checkpoint pipeline micro-benchmarks: the §5 stall cost `o`
+//! is whatever this file measures, so the write path is benchmarked
+//! against the seed's monolithic encode+bitwise-CRC baseline at several
+//! worker-pool widths, plus the delta-mode follow-up write.
+
+use bench::ckpt::{
+    monolithic_read, monolithic_write, sharded_read, sharded_write, synthetic_state,
+    touch_optimizer_slice,
+};
+use cluster::SharedStore;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use jitckpt::checkpoint::ShardConfig;
+use std::hint::black_box;
+
+const PAYLOAD: usize = 8 << 20;
+const SHARD: usize = 512 << 10;
+
+fn bench_ckpt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ckpt");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(PAYLOAD as u64));
+    let state = synthetic_state(PAYLOAD, 5);
+
+    let store = SharedStore::new();
+    group.bench_function("monolithic_write_8MiB", |b| {
+        b.iter(|| black_box(monolithic_write(&store, black_box(&state))))
+    });
+    group.bench_function("monolithic_read_8MiB", |b| {
+        b.iter(|| black_box(monolithic_read(&store)))
+    });
+
+    for workers in [1usize, 4, 8] {
+        let cfg = ShardConfig {
+            shard_bytes: SHARD,
+            workers,
+            delta: false,
+        };
+        let store = SharedStore::new();
+        group.bench_function(format!("sharded_write_8MiB_w{workers}"), |b| {
+            b.iter(|| black_box(sharded_write(&store, black_box(&state), &cfg)))
+        });
+        if workers == 4 {
+            group.bench_function("sharded_read_8MiB", |b| {
+                b.iter(|| black_box(sharded_read(&store, state.iteration)))
+            });
+        }
+    }
+
+    // Delta: write the base once, then benchmark the follow-up write
+    // after an optimizer step that touched a small slice.
+    let cfg = ShardConfig {
+        shard_bytes: SHARD,
+        workers: 4,
+        delta: true,
+    };
+    let store = SharedStore::new();
+    let _ = sharded_write(&store, &state, &cfg);
+    let mut touched = state.clone();
+    touch_optimizer_slice(&mut touched, 256);
+    group.bench_function("sharded_delta_write_8MiB", |b| {
+        b.iter(|| black_box(sharded_write(&store, black_box(&touched), &cfg)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ckpt);
+criterion_main!(benches);

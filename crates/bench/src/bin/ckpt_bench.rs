@@ -1,0 +1,61 @@
+//! Checkpoint-pipeline benchmark: monolithic (seed path) vs sharded
+//! write/read/assemble throughput and delta-mode hit-rate, emitted as
+//! `BENCH_ckpt.json`.
+//!
+//! ```sh
+//! ckpt_bench [payload_mib] [out_path]
+//! ```
+//!
+//! Defaults: 64 MiB payload, 2 MiB shards, worker pools {1, 4, 8},
+//! report written to `BENCH_ckpt.json` in the working directory.
+
+use bench::ckpt::run_ckpt_bench;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let payload_mib: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(64);
+    let out_path = args
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| "BENCH_ckpt.json".to_string());
+    let payload = payload_mib << 20;
+    let shard_bytes = 2 << 20;
+    eprintln!(
+        "measuring checkpoint pipeline: {payload_mib} MiB payload, \
+         {} KiB shards, workers {{1, 4, 8}} ...",
+        shard_bytes >> 10
+    );
+    let report = match run_ckpt_bench(payload, shard_bytes, &[1, 4, 8], 3) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("benchmark failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "{:<12} {:>7} {:>12} {:>12} {:>14}",
+        "config", "workers", "write MB/s", "read MB/s", "assemble MB/s"
+    );
+    for c in &report.configs {
+        println!(
+            "{:<12} {:>7} {:>12.1} {:>12.1} {:>14.1}",
+            c.name, c.workers, c.write_mbps, c.read_mbps, c.assemble_mbps
+        );
+    }
+    println!(
+        "sharded write speedup vs monolithic: {:.2}x",
+        report.best_speedup()
+    );
+    println!(
+        "delta: {}/{} shards reused ({:.1}% hit rate), {:.1} MB/s",
+        report.delta.shards_reused,
+        report.delta.shards_total,
+        report.delta.hit_rate() * 100.0,
+        report.delta.write_mbps
+    );
+    if let Err(e) = std::fs::write(&out_path, report.to_json()) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
+}

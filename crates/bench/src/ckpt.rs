@@ -1,0 +1,402 @@
+//! Checkpoint-pipeline benchmark harness: monolithic-vs-sharded write,
+//! read, and assembly throughput, plus delta-mode hit-rates.
+//!
+//! The "monolithic" baseline reproduces the seed write path byte for
+//! byte: one flat `encode_framed` buffer (inner CRC pass) plus a second
+//! whole-payload CRC for the sidecar — both with the bit-at-a-time
+//! [`crc64_bitwise`] the seed shipped — funneled through a single store
+//! put. The sharded path is the production pipeline in
+//! [`jitckpt::checkpoint`]: table-driven CRC, fixed-size shards, bounded
+//! worker pool, one store object per shard. Comparing the two isolates
+//! exactly what the §5 stall model charges as the checkpoint overhead
+//! `o`.
+
+use bytes::{BufMut, BytesMut};
+use cluster::SharedStore;
+use dltrain::TrainState;
+use jitckpt::checkpoint::{self, CkptKind, ShardConfig};
+use simcore::codec::{crc64_bitwise, Decode, Encode};
+use simcore::{JobId, RankId, SimError, SimResult};
+use simgpu::BufferTag;
+use std::time::Instant;
+
+/// Builds a deterministic synthetic `TrainState` of roughly
+/// `total_bytes` of buffer payload: 3/4 model parameters, 1/4 optimizer
+/// state — the shape whose optimizer slice the delta benchmark touches.
+pub fn synthetic_state(total_bytes: usize, iteration: u64) -> TrainState {
+    let total_elems = total_bytes / 4;
+    let param_elems = total_elems / 4 * 3;
+    let optim_elems = total_elems - param_elems;
+    let fill = |n: usize, mut seed: u64| -> Vec<f32> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Take mantissa bits only: every value is a finite float in
+            // [1, 2), so round-trips are bit-exact and CRC-stable.
+            out.push(f32::from_bits(
+                0x3F80_0000 | ((seed >> 40) as u32 & 0x007F_FFFF),
+            ));
+        }
+        out
+    };
+    TrainState {
+        iteration,
+        opt_t: iteration as u32,
+        buffers: vec![
+            (
+                "model.params".into(),
+                BufferTag::Param,
+                fill(param_elems, 0xA11CE),
+            ),
+            (
+                "optim.moments".into(),
+                BufferTag::OptimState,
+                fill(optim_elems, 0xB0B),
+            ),
+        ],
+        logical_bytes: total_bytes as u64,
+    }
+}
+
+/// Mutates a small slice of the optimizer buffer (plus the iteration
+/// header), modelling one optimizer step that touched only part of the
+/// state — the delta-mode sweet spot.
+pub fn touch_optimizer_slice(state: &mut TrainState, elems: usize) {
+    state.iteration += 1;
+    state.opt_t += 1;
+    if let Some((_, _, data)) = state
+        .buffers
+        .iter_mut()
+        .find(|(_, tag, _)| *tag == BufferTag::OptimState)
+    {
+        for v in data.iter_mut().take(elems) {
+            *v += 0.5;
+        }
+    }
+}
+
+/// The seed's write path, preserved as the baseline: flat framed encode
+/// (inner bitwise CRC), a second bitwise CRC of the framed payload for
+/// the sidecar, one store object. Returns the stored payload length.
+pub fn monolithic_write(store: &SharedStore, state: &TrainState) -> SimResult<u64> {
+    // encode_framed with the seed's bitwise CRC, inlined.
+    let mut payload = BytesMut::new();
+    state.encode(&mut payload);
+    let inner_crc = crc64_bitwise(&payload);
+    let mut framed = BytesMut::with_capacity(payload.len() + 20);
+    framed.put_slice(b"JITC");
+    (payload.len() as u64).encode(&mut framed);
+    framed.put_slice(&payload);
+    inner_crc.encode(&mut framed);
+    let framed = framed.freeze();
+    // The seed then CRC'd the whole framed payload again for the sidecar.
+    let outer_crc = crc64_bitwise(&framed);
+    let len = framed.len() as u64;
+    store.put("bench/monolithic/data", framed)?;
+    let mut meta = BytesMut::new();
+    state.iteration.encode(&mut meta);
+    outer_crc.encode(&mut meta);
+    len.encode(&mut meta);
+    store.put("bench/monolithic/meta", meta.freeze())?;
+    Ok(len)
+}
+
+/// The seed's read path: fetch the single object, verify the sidecar CRC
+/// and the frame's inner CRC (both bitwise), decode.
+pub fn monolithic_read(store: &SharedStore) -> SimResult<TrainState> {
+    let mut meta = store.get("bench/monolithic/meta")?;
+    let iteration = u64::decode(&mut meta)?;
+    let outer_crc = u64::decode(&mut meta)?;
+    let len = u64::decode(&mut meta)?;
+    let framed = store.get("bench/monolithic/data")?;
+    if framed.len() as u64 != len || crc64_bitwise(&framed) != outer_crc {
+        return Err(SimError::CorruptCheckpoint(
+            "monolithic: sidecar mismatch".into(),
+        ));
+    }
+    let mut buf = framed.clone();
+    let magic = buf.split_to(4);
+    if &magic[..] != b"JITC" {
+        return Err(SimError::CorruptCheckpoint("monolithic: bad magic".into()));
+    }
+    let plen = u64::decode(&mut buf)? as usize;
+    let payload = buf.split_to(plen);
+    let inner_crc = u64::decode(&mut buf)?;
+    if crc64_bitwise(&payload) != inner_crc {
+        return Err(SimError::CorruptCheckpoint(
+            "monolithic: payload crc".into(),
+        ));
+    }
+    let mut p = payload;
+    let state = TrainState::decode(&mut p)?;
+    if state.iteration != iteration {
+        return Err(SimError::CorruptCheckpoint("monolithic: iteration".into()));
+    }
+    Ok(state)
+}
+
+/// Writes `state` through the sharded pipeline as job 0, cell (0,0),
+/// replica 0.
+pub fn sharded_write(store: &SharedStore, state: &TrainState, cfg: &ShardConfig) -> SimResult<()> {
+    checkpoint::write_checkpoint_with(
+        store,
+        JobId(0),
+        CkptKind::Jit,
+        RankId(0),
+        0,
+        0,
+        0,
+        state,
+        cfg,
+    )
+}
+
+/// Reads + validates the sharded checkpoint written by [`sharded_write`].
+pub fn sharded_read(store: &SharedStore, iteration: u64) -> SimResult<TrainState> {
+    checkpoint::read_checkpoint(store, JobId(0), CkptKind::Jit, iteration, 0, 0, 0).map(|(s, _)| s)
+}
+
+/// Times `f` over `iters` runs and returns mean seconds per run.
+pub fn time_per_iter<F: FnMut() -> SimResult<()>>(iters: usize, mut f: F) -> SimResult<f64> {
+    let start = Instant::now();
+    for _ in 0..iters.max(1) {
+        f()?;
+    }
+    Ok(start.elapsed().as_secs_f64() / iters.max(1) as f64)
+}
+
+/// One measured configuration in the report.
+#[derive(Debug, Clone)]
+pub struct ConfigResult {
+    /// Row label (`monolithic`, `sharded`, `sharded-delta`).
+    pub name: &'static str,
+    /// Worker-pool width (1 for the monolithic baseline).
+    pub workers: usize,
+    /// Write throughput, MB/s of payload.
+    pub write_mbps: f64,
+    /// Read+validate throughput, MB/s.
+    pub read_mbps: f64,
+    /// Assembly (resolve + validate + load) throughput, MB/s.
+    pub assemble_mbps: f64,
+}
+
+/// Delta-mode measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct DeltaResult {
+    /// Shards in the checkpoint.
+    pub shards_total: usize,
+    /// Shards skipped (reused from the base checkpoint).
+    pub shards_reused: usize,
+    /// Write throughput of the delta checkpoint, MB/s.
+    pub write_mbps: f64,
+}
+
+impl DeltaResult {
+    /// Fraction of shards skipped.
+    pub fn hit_rate(&self) -> f64 {
+        self.shards_reused as f64 / self.shards_total.max(1) as f64
+    }
+}
+
+/// Full checkpoint-pipeline benchmark report.
+#[derive(Debug, Clone)]
+pub struct CkptReport {
+    /// Payload size measured, bytes.
+    pub payload_bytes: usize,
+    /// Shard size used by the sharded configs, bytes.
+    pub shard_bytes: usize,
+    /// Per-configuration throughputs.
+    pub configs: Vec<ConfigResult>,
+    /// Delta-mode result (optimizer-slice update).
+    pub delta: DeltaResult,
+}
+
+impl CkptReport {
+    /// Sharded-write speedup over the monolithic baseline at the widest
+    /// measured pool (the ISSUE-2 acceptance metric).
+    pub fn best_speedup(&self) -> f64 {
+        let mono = self
+            .configs
+            .iter()
+            .find(|c| c.name == "monolithic")
+            .map(|c| c.write_mbps)
+            .unwrap_or(f64::NAN);
+        let best = self
+            .configs
+            .iter()
+            .filter(|c| c.name == "sharded")
+            .map(|c| c.write_mbps)
+            .fold(f64::NAN, f64::max);
+        best / mono
+    }
+
+    /// Renders the report as the `BENCH_ckpt.json` document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"bench\": \"ckpt\",\n");
+        out.push_str(&format!("  \"payload_bytes\": {},\n", self.payload_bytes));
+        out.push_str(&format!("  \"shard_bytes\": {},\n", self.shard_bytes));
+        out.push_str("  \"configs\": [\n");
+        for (i, c) in self.configs.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"workers\": {}, \"write_mbps\": {:.2}, \
+                 \"read_mbps\": {:.2}, \"assemble_mbps\": {:.2}}}{}\n",
+                c.name,
+                c.workers,
+                c.write_mbps,
+                c.read_mbps,
+                c.assemble_mbps,
+                if i + 1 < self.configs.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"sharded_write_speedup_vs_monolithic\": {:.2},\n",
+            self.best_speedup()
+        ));
+        out.push_str(&format!(
+            "  \"delta\": {{\"shards_total\": {}, \"shards_reused\": {}, \
+             \"hit_rate\": {:.4}, \"write_mbps\": {:.2}}}\n",
+            self.delta.shards_total,
+            self.delta.shards_reused,
+            self.delta.hit_rate(),
+            self.delta.write_mbps
+        ));
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Runs the full measurement matrix: monolithic baseline, sharded at the
+/// given worker counts, and the delta-mode optimizer-slice update.
+pub fn run_ckpt_bench(
+    payload_bytes: usize,
+    shard_bytes: usize,
+    worker_counts: &[usize],
+    iters: usize,
+) -> SimResult<CkptReport> {
+    let state = synthetic_state(payload_bytes, 5);
+    let mb = payload_bytes as f64 / 1e6;
+    let mut configs = Vec::new();
+
+    // Monolithic baseline (seed path).
+    let store = SharedStore::new();
+    let w = time_per_iter(iters, || monolithic_write(&store, &state).map(|_| ()))?;
+    let r = time_per_iter(iters, || monolithic_read(&store).map(|_| ()))?;
+    configs.push(ConfigResult {
+        name: "monolithic",
+        workers: 1,
+        write_mbps: mb / w,
+        read_mbps: mb / r,
+        // A monolithic checkpoint is one object: assembling it *is*
+        // reading it.
+        assemble_mbps: mb / r,
+    });
+
+    // Sharded pipeline at each pool width.
+    for &workers in worker_counts {
+        let cfg = ShardConfig {
+            shard_bytes,
+            workers,
+            delta: false,
+        };
+        let store = SharedStore::new();
+        let w = time_per_iter(iters, || sharded_write(&store, &state, &cfg))?;
+        let r = time_per_iter(iters, || sharded_read(&store, state.iteration).map(|_| ()))?;
+        let layout = simcore::layout::ParallelLayout::data_parallel(1);
+        let a = time_per_iter(iters, || {
+            checkpoint::assemble(&store, JobId(0), &layout).map(|_| ())
+        })?;
+        configs.push(ConfigResult {
+            name: "sharded",
+            workers,
+            write_mbps: mb / w,
+            read_mbps: mb / r,
+            assemble_mbps: mb / a,
+        });
+    }
+
+    // Delta mode: base checkpoint, then an optimizer step touching a
+    // small slice; measure the follow-up write and its hit-rate.
+    let cfg = ShardConfig {
+        shard_bytes,
+        workers: worker_counts.last().copied().unwrap_or(4),
+        delta: true,
+    };
+    let store = SharedStore::new();
+    sharded_write(&store, &state, &cfg)?;
+    let mut touched = state.clone();
+    touch_optimizer_slice(&mut touched, 256);
+    let w = time_per_iter(1, || sharded_write(&store, &touched, &cfg))?;
+    let meta = checkpoint::read_meta(&store, JobId(0), CkptKind::Jit, touched.iteration, 0, 0, 0)?;
+    let reused = meta
+        .shards
+        .iter()
+        .filter(|s| s.base_iteration.is_some())
+        .count();
+    let delta = DeltaResult {
+        shards_total: meta.shards.len(),
+        shards_reused: reused,
+        write_mbps: mb / w,
+    };
+    // The delta checkpoint must still read back exactly.
+    let back = sharded_read(&store, touched.iteration)?;
+    if back != touched {
+        return Err(SimError::CorruptCheckpoint(
+            "delta round-trip mismatch".into(),
+        ));
+    }
+
+    Ok(CkptReport {
+        payload_bytes,
+        shard_bytes,
+        configs,
+        delta,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monolithic_round_trip() -> SimResult<()> {
+        let store = SharedStore::new();
+        let state = synthetic_state(64 * 1024, 3);
+        monolithic_write(&store, &state)?;
+        let back = monolithic_read(&store)?;
+        assert_eq!(back, state);
+        Ok(())
+    }
+
+    #[test]
+    fn report_meets_acceptance_shape_on_small_payload() -> SimResult<()> {
+        // Small payload so the test is quick; the shipped BENCH_ckpt.json
+        // is produced by `scripts/bench.sh` at 64 MiB.
+        let report = run_ckpt_bench(2 << 20, 64 << 10, &[1, 4], 1)?;
+        assert_eq!(report.configs.len(), 3);
+        assert!(report.best_speedup() > 1.0, "{:.2}", report.best_speedup());
+        assert!(
+            report.delta.hit_rate() >= 0.9,
+            "{}",
+            report.delta.hit_rate()
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"ckpt\""), "{json}");
+        assert!(json.contains("hit_rate"), "{json}");
+        Ok(())
+    }
+
+    #[test]
+    fn touched_slice_changes_exactly_one_buffer() {
+        let base = synthetic_state(1 << 20, 5);
+        let mut t = base.clone();
+        touch_optimizer_slice(&mut t, 16);
+        assert_eq!(t.iteration, base.iteration + 1);
+        assert_eq!(t.buffers[0].2, base.buffers[0].2, "params untouched");
+        assert_ne!(t.buffers[1].2, base.buffers[1].2, "optimizer touched");
+    }
+}

@@ -10,6 +10,7 @@
 //! who wins, by what factor, where recovery time goes — are the
 //! reproduction targets (see EXPERIMENTS.md).
 
+pub mod ckpt;
 pub mod montecarlo;
 
 use baselines::{blocking_overhead, PolicyKind};

@@ -134,12 +134,31 @@ pub fn simulate(p: &JobParams, policy: Policy, horizon_useful: f64, seed: u64) -
     }
 }
 
-/// Runs `reps` independent replications and returns the mean wasted
-/// fraction and its sample standard deviation.
+/// Runs `reps` independent replications, fanned out across threads, and
+/// returns the mean wasted fraction and its sample standard deviation.
+///
+/// Replication `k` always uses seed `0xC0FFEE + k` and writes its result
+/// into slot `k`, and the mean/variance reductions run over the slots in
+/// index order — so the output is bit-identical to a sequential run
+/// regardless of thread count or scheduling.
 pub fn replicate(p: &JobParams, policy: Policy, horizon: f64, reps: u64) -> (f64, f64) {
-    let fractions: Vec<f64> = (0..reps)
-        .map(|k| simulate(p, policy, horizon, 0xC0FFEE + k).wasted_fraction())
-        .collect();
+    let mut fractions = vec![0.0f64; reps.max(1) as usize];
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, fractions.len());
+    let per_worker = fractions.len().div_ceil(workers);
+    std::thread::scope(|s| {
+        for (ci, chunk) in fractions.chunks_mut(per_worker).enumerate() {
+            let base = (ci * per_worker) as u64;
+            s.spawn(move || {
+                for (off, slot) in chunk.iter_mut().enumerate() {
+                    *slot = simulate(p, policy, horizon, 0xC0FFEE + base + off as u64)
+                        .wasted_fraction();
+                }
+            });
+        }
+    });
     let mean = fractions.iter().sum::<f64>() / reps as f64;
     let var = fractions
         .iter()
@@ -231,6 +250,32 @@ mod tests {
         let (high, _) = replicate(&p, Policy::Periodic { c: c_star * 4.0 }, horizon, 6);
         assert!(low > at_opt, "under-checkpointing: {low} vs {at_opt}");
         assert!(high > at_opt, "over-checkpointing: {high} vs {at_opt}");
+    }
+
+    #[test]
+    fn parallel_replicate_is_bit_identical_to_sequential() {
+        let p = params(512);
+        let horizon = 30.0 * 86_400.0;
+        for policy in [
+            Policy::PeriodicOptimal,
+            Policy::JitUser,
+            Policy::JitTransparent,
+        ] {
+            // Sequential reference, same seeds and reduction order.
+            let reps = 7u64;
+            let fractions: Vec<f64> = (0..reps)
+                .map(|k| simulate(&p, policy, horizon, 0xC0FFEE + k).wasted_fraction())
+                .collect();
+            let seq_mean = fractions.iter().sum::<f64>() / reps as f64;
+            let seq_var = fractions
+                .iter()
+                .map(|x| (x - seq_mean) * (x - seq_mean))
+                .sum::<f64>()
+                / (reps.max(2) - 1) as f64;
+            let (mean, sd) = replicate(&p, policy, horizon, reps);
+            assert_eq!(mean.to_bits(), seq_mean.to_bits(), "{policy:?}");
+            assert_eq!(sd.to_bits(), seq_var.sqrt().to_bits(), "{policy:?}");
+        }
     }
 
     #[test]

@@ -6,19 +6,44 @@
 //! assembly, and fault hooks — a write can be truncated (simulating a rank
 //! dying mid-checkpoint) or a stored object corrupted (bit rot), both of
 //! which the metadata/CRC protocol must detect.
+//!
+//! Concurrency: objects live in `STRIPES`-way lock-striped maps keyed by
+//! a path hash, so per-shard checkpoint puts arriving concurrently from
+//! every rank of a job land on different stripes instead of serializing
+//! through one global lock. Cross-stripe operations (`list`, `len`,
+//! `delete_prefix`) take the stripes one at a time; they are listing-time
+//! conveniences, not hot-path operations, and per-path atomicity is all
+//! the checkpoint protocol requires (completion is signalled by the
+//! metadata sidecar, never by store-wide state).
 
 use bytes::Bytes;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use simcore::{SimError, SimResult};
 use std::collections::BTreeMap;
+
+/// Number of lock stripes. A small power of two: enough to de-serialize
+/// the per-shard puts of a whole job's ranks, small enough to keep
+/// cross-stripe scans cheap.
+const STRIPES: usize = 16;
+
+/// An armed one-shot write fault.
+#[derive(Debug, Clone)]
+struct WriteFault {
+    /// Fraction of the payload that survives.
+    fraction: f64,
+    /// Only paths starting with this prefix trip the fault; `None`
+    /// matches any path (the legacy "next put" behavior).
+    prefix: Option<String>,
+}
 
 /// In-memory shared object store with fault injection.
 #[derive(Debug, Default)]
 pub struct SharedStore {
-    objects: RwLock<BTreeMap<String, Bytes>>,
-    /// When set, the next `put` stores only this fraction of the payload
-    /// (simulates a writer crashing mid-write), then clears.
-    truncate_next: RwLock<Option<f64>>,
+    stripes: [RwLock<BTreeMap<String, Bytes>>; STRIPES],
+    /// When set, the next `put` matching the fault's path prefix stores
+    /// only a fraction of its payload (simulates a writer crashing
+    /// mid-write), then clears.
+    truncate_next: Mutex<Option<WriteFault>>,
 }
 
 impl SharedStore {
@@ -27,25 +52,60 @@ impl SharedStore {
         SharedStore::default()
     }
 
-    /// Writes an object (replacing any previous version).
-    pub fn put(&self, path: &str, data: Bytes) -> SimResult<()> {
-        let data = {
-            let mut t = self.truncate_next.write();
-            match t.take() {
-                Some(frac) => {
-                    let keep = ((data.len() as f64) * frac) as usize;
-                    data.slice(..keep.min(data.len()))
-                }
-                None => data,
-            }
+    /// FNV-1a stripe selector: deterministic, cheap, well-spread for the
+    /// slash-delimited checkpoint paths.
+    fn stripe_of(path: &str) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in path.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        (h % STRIPES as u64) as usize
+    }
+
+    fn stripe(&self, path: &str) -> &RwLock<BTreeMap<String, Bytes>> {
+        &self.stripes[Self::stripe_of(path)]
+    }
+
+    /// Applies (and disarms) the truncation fault if it matches `path`.
+    fn apply_fault(&self, path: &str, data: Bytes) -> Bytes {
+        let mut slot = self.truncate_next.lock();
+        let matches = slot
+            .as_ref()
+            .map(|f| f.prefix.as_deref().is_none_or(|p| path.starts_with(p)))
+            .unwrap_or(false);
+        if !matches {
+            return data;
+        }
+        let fault = match slot.take() {
+            Some(f) => f,
+            None => return data,
         };
-        self.objects.write().insert(path.to_string(), data);
+        let keep = ((data.len() as f64) * fault.fraction) as usize;
+        data.slice(..keep.min(data.len()))
+    }
+
+    /// Writes an object (replacing any previous version).
+    pub fn put(&self, path: impl AsRef<str>, data: Bytes) -> SimResult<()> {
+        let path = path.as_ref();
+        let data = self.apply_fault(path, data);
+        let mut objects = self.stripe(path).write();
+        // Hot path: replace in place without re-allocating the key when
+        // the object already exists (checkpoints overwrite their own
+        // paths every generation).
+        match objects.get_mut(path) {
+            Some(slot) => *slot = data,
+            None => {
+                objects.insert(path.to_string(), data);
+            }
+        }
         Ok(())
     }
 
     /// Reads an object.
-    pub fn get(&self, path: &str) -> SimResult<Bytes> {
-        self.objects
+    pub fn get(&self, path: impl AsRef<str>) -> SimResult<Bytes> {
+        let path = path.as_ref();
+        self.stripe(path)
             .read()
             .get(path)
             .cloned()
@@ -53,49 +113,75 @@ impl SharedStore {
     }
 
     /// True if the object exists.
-    pub fn exists(&self, path: &str) -> bool {
-        self.objects.read().contains_key(path)
+    pub fn exists(&self, path: impl AsRef<str>) -> bool {
+        let path = path.as_ref();
+        self.stripe(path).read().contains_key(path)
     }
 
     /// Deletes an object (idempotent).
-    pub fn delete(&self, path: &str) {
-        self.objects.write().remove(path);
+    pub fn delete(&self, path: impl AsRef<str>) {
+        let path = path.as_ref();
+        self.stripe(path).write().remove(path);
     }
 
     /// Lists object paths with a prefix, sorted.
-    pub fn list(&self, prefix: &str) -> Vec<String> {
-        self.objects
-            .read()
-            .keys()
-            .filter(|k| k.starts_with(prefix))
-            .cloned()
-            .collect()
+    pub fn list(&self, prefix: impl AsRef<str>) -> Vec<String> {
+        let prefix = prefix.as_ref();
+        let mut out: Vec<String> = Vec::new();
+        for stripe in &self.stripes {
+            out.extend(
+                stripe
+                    .read()
+                    .keys()
+                    .filter(|k| k.starts_with(prefix))
+                    .cloned(),
+            );
+        }
+        out.sort_unstable();
+        out
     }
 
     /// Total object count.
     pub fn len(&self) -> usize {
-        self.objects.read().len()
+        self.stripes.iter().map(|s| s.read().len()).sum()
     }
 
     /// True when the store holds no objects.
     pub fn is_empty(&self) -> bool {
-        self.objects.read().is_empty()
+        self.stripes.iter().all(|s| s.read().is_empty())
     }
 
     /// Size in bytes of an object.
-    pub fn size_of(&self, path: &str) -> SimResult<usize> {
+    pub fn size_of(&self, path: impl AsRef<str>) -> SimResult<usize> {
         Ok(self.get(path)?.len())
     }
 
-    /// Arms a one-shot fault: the next `put` keeps only `fraction` of its
-    /// payload (a writer crash mid-checkpoint).
+    /// Arms a one-shot fault: the next `put` (of any path) keeps only
+    /// `fraction` of its payload (a writer crash mid-checkpoint).
     pub fn fail_next_write(&self, fraction: f64) {
-        *self.truncate_next.write() = Some(fraction.clamp(0.0, 1.0));
+        *self.truncate_next.lock() = Some(WriteFault {
+            fraction: fraction.clamp(0.0, 1.0),
+            prefix: None,
+        });
+    }
+
+    /// Arms a one-shot *targeted* fault: the next `put` whose path starts
+    /// with `prefix` keeps only `fraction` of its payload; puts of other
+    /// paths pass through untouched and leave the fault armed. Under
+    /// multi-shard checkpoint writes this is what lets a test
+    /// deterministically tear one specific shard (or the metadata
+    /// sidecar) while its siblings land whole.
+    pub fn fail_next_write_matching(&self, prefix: impl Into<String>, fraction: f64) {
+        *self.truncate_next.lock() = Some(WriteFault {
+            fraction: fraction.clamp(0.0, 1.0),
+            prefix: Some(prefix.into()),
+        });
     }
 
     /// Corrupts one byte of a stored object (bit rot / partial overwrite).
-    pub fn corrupt(&self, path: &str) -> SimResult<()> {
-        let mut objects = self.objects.write();
+    pub fn corrupt(&self, path: impl AsRef<str>) -> SimResult<()> {
+        let path = path.as_ref();
+        let mut objects = self.stripe(path).write();
         let data = objects
             .get(path)
             .ok_or_else(|| SimError::Storage(format!("no object at {path}")))?;
@@ -105,22 +191,31 @@ impl SharedStore {
         let mut v = data.to_vec();
         let mid = v.len() / 2;
         v[mid] ^= 0xFF;
-        objects.insert(path.to_string(), Bytes::from(v));
+        match objects.get_mut(path) {
+            Some(slot) => *slot = Bytes::from(v),
+            None => {
+                objects.insert(path.to_string(), Bytes::from(v));
+            }
+        }
         Ok(())
     }
 
     /// Removes all objects under a prefix (garbage collection of stale
     /// checkpoints).
-    pub fn delete_prefix(&self, prefix: &str) -> usize {
-        let mut objects = self.objects.write();
-        let victims: Vec<String> = objects
-            .keys()
-            .filter(|k| k.starts_with(prefix))
-            .cloned()
-            .collect();
-        let n = victims.len();
-        for v in victims {
-            objects.remove(&v);
+    pub fn delete_prefix(&self, prefix: impl AsRef<str>) -> usize {
+        let prefix = prefix.as_ref();
+        let mut n = 0;
+        for stripe in &self.stripes {
+            let mut objects = stripe.write();
+            let victims: Vec<String> = objects
+                .keys()
+                .filter(|k| k.starts_with(prefix))
+                .cloned()
+                .collect();
+            n += victims.len();
+            for v in victims {
+                objects.remove(&v);
+            }
         }
         n
     }
@@ -137,6 +232,15 @@ mod tests {
         assert_eq!(s.get("ckpt/rank0/data")?, Bytes::from_static(b"hello"));
         assert!(s.exists("ckpt/rank0/data"));
         assert!(!s.exists("ckpt/rank1/data"));
+        Ok(())
+    }
+
+    #[test]
+    fn owned_and_borrowed_keys_both_work() -> SimResult<()> {
+        let s = SharedStore::new();
+        s.put(String::from("a/b"), Bytes::from_static(b"x"))?;
+        assert_eq!(s.get("a/b")?, Bytes::from_static(b"x"));
+        assert_eq!(s.get(String::from("a/b"))?, Bytes::from_static(b"x"));
         Ok(())
     }
 
@@ -161,6 +265,25 @@ mod tests {
     }
 
     #[test]
+    fn list_spans_all_stripes() -> SimResult<()> {
+        // Many keys with a shared prefix hash to many different stripes;
+        // list must still see every one of them, in sorted order.
+        let s = SharedStore::new();
+        let mut expect = Vec::new();
+        for i in 0..200 {
+            let path = format!("ckpt/it7/shard{i:05}");
+            s.put(&path, Bytes::new())?;
+            expect.push(path);
+        }
+        expect.sort_unstable();
+        assert_eq!(s.list("ckpt/it7/"), expect);
+        assert_eq!(s.len(), 200);
+        assert_eq!(s.delete_prefix("ckpt/it7/"), 200);
+        assert!(s.is_empty());
+        Ok(())
+    }
+
+    #[test]
     fn truncated_write_loses_tail() -> SimResult<()> {
         let s = SharedStore::new();
         s.fail_next_write(0.5);
@@ -169,6 +292,21 @@ mod tests {
         // One-shot: subsequent writes are whole.
         s.put("y", Bytes::from(vec![1u8; 100]))?;
         assert_eq!(s.size_of("y")?, 100);
+        Ok(())
+    }
+
+    #[test]
+    fn targeted_fault_skips_non_matching_paths() -> SimResult<()> {
+        let s = SharedStore::new();
+        s.fail_next_write_matching("ckpt/a/shard00002", 0.25);
+        // Non-matching puts pass through whole and leave the fault armed.
+        s.put("ckpt/a/shard00001", Bytes::from(vec![1u8; 100]))?;
+        assert_eq!(s.size_of("ckpt/a/shard00001")?, 100);
+        s.put("ckpt/a/shard00002", Bytes::from(vec![1u8; 100]))?;
+        assert_eq!(s.size_of("ckpt/a/shard00002")?, 25);
+        // Disarmed after firing.
+        s.put("ckpt/a/shard00002", Bytes::from(vec![1u8; 100]))?;
+        assert_eq!(s.size_of("ckpt/a/shard00002")?, 100);
         Ok(())
     }
 
@@ -191,5 +329,28 @@ mod tests {
         assert_eq!(s.delete_prefix("ckpt/it5/"), 2);
         assert_eq!(s.len(), 1);
         Ok(())
+    }
+
+    #[test]
+    fn concurrent_puts_across_stripes() {
+        // Smoke test: concurrent per-shard writers on distinct paths all
+        // land (the striping must not lose or cross-wire writes).
+        let s = std::sync::Arc::new(SharedStore::new());
+        std::thread::scope(|scope| {
+            for w in 0..8 {
+                let s = s.clone();
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        let path = format!("ckpt/w{w}/shard{i:05}");
+                        s.put(&path, Bytes::from(vec![w as u8; 16])).ok();
+                    }
+                });
+            }
+        });
+        assert_eq!(s.len(), 8 * 50);
+        for w in 0..8u8 {
+            let got = s.get(format!("ckpt/w{w}/shard00049")).ok();
+            assert_eq!(got, Some(Bytes::from(vec![w; 16])));
+        }
     }
 }

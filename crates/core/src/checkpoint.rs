@@ -5,26 +5,51 @@
 //! * each rank writes to a **rank-dependent path** so concurrent JIT
 //!   checkpoints never collide;
 //! * the payload is written first, then a **metadata sidecar** carrying
-//!   the payload checksum — a missing or mismatching sidecar marks an
+//!   the payload checksums — a missing or mismatching sidecar marks an
 //!   incomplete/corrupt checkpoint (a rank may die *while* checkpointing);
 //! * on restore, [`jit_get_checkpoint_path`] finds a complete checkpoint
 //!   from **any data-parallel replica** of the reader's (pipeline stage,
 //!   tensor partition) cell, resolving the *i* vs *i+1* ambiguity by
 //!   choosing the newest iteration available for **every** cell.
 //!
+//! # Sharded payloads
+//!
+//! The paper's §5 stall model makes the checkpoint write stall `o` the
+//! dominant wasted-work term, so the payload is not one monolithic blob:
+//! a rank's `TrainState` is encoded once into a flat logical byte stream
+//! and split into fixed-size **shards** at `shard_bytes` boundaries. Each
+//! shard is its own store object (`.../shard00000`, `.../shard00001`, …)
+//! and carries its own CRC in the sidecar, which buys three things:
+//!
+//! 1. **Parallelism** — shards are checksummed and persisted by a bounded
+//!    [`std::thread::scope`] worker pool, overlapping CRC with store puts
+//!    instead of serializing the whole payload through one pass.
+//! 2. **Delta mode** — because shard boundaries are byte offsets into a
+//!    deterministic encoding, a training step that mutates only part of
+//!    the state leaves most shards bit-identical; those are *skipped* and
+//!    the sidecar records a reference to the iteration whose directory
+//!    physically holds the bytes ([`ShardMeta::base_iteration`]).
+//!    References always point at the original writer (they are collapsed
+//!    transitively at write time), so reads never chase chains.
+//! 3. **Fine-grained blame** — a torn or bit-rotted object invalidates
+//!    one shard, and [`read_checkpoint`] reports the failure *by shard
+//!    index* while still validating the siblings.
+//!
 //! The same format is used by the periodic-checkpointing baselines, which
 //! is what makes JIT + low-frequency periodic checkpointing compose
 //! (§6.3): recovery just takes the newest complete checkpoint of either
 //! kind.
 
-use bytes::Bytes;
+use bytes::{BufMut, Bytes, BytesMut};
 use cluster::SharedStore;
 use dltrain::TrainState;
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use simcore::codec::{decode_framed, encode_framed, Decode, Encode};
 use simcore::layout::ParallelLayout;
 use simcore::{JobId, RankId, SimError, SimResult};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Checkpoint flavor (JIT-on-failure or periodic), part of the path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +69,72 @@ impl CkptKind {
     }
 }
 
+/// Tuning knobs for the sharded write path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Shard payload size in bytes (boundaries in the logical stream).
+    /// Clamped to at least 1.
+    pub shard_bytes: usize,
+    /// Worker-pool width for per-shard CRC + store puts. The calling
+    /// thread always participates, so `1` means "inline, no threads".
+    pub workers: usize,
+    /// Skip shards whose bytes are unchanged since this cell's previous
+    /// checkpoint, recording a reference in the sidecar instead.
+    pub delta: bool,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            shard_bytes: 4 << 20,
+            workers: 4,
+            delta: true,
+        }
+    }
+}
+
+/// Per-shard record in the metadata sidecar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardMeta {
+    /// Position of this shard in the logical stream.
+    pub index: u32,
+    /// Shard payload length in bytes.
+    pub len: u64,
+    /// CRC-64 of the shard payload.
+    pub crc: u64,
+    /// `None` when this checkpoint's own directory holds the shard
+    /// object; `Some(it)` when the bytes were unchanged and live in
+    /// iteration `it`'s directory (delta reuse). Always the *original*
+    /// writer — never a further delta reference.
+    pub base_iteration: Option<u64>,
+}
+
+impl ShardMeta {
+    /// Versioned as part of the enclosing [`CheckpointMeta`] sidecar; a
+    /// layout change here must bump that schema version.
+    pub const SCHEMA_VERSION: u16 = CheckpointMeta::SCHEMA_VERSION;
+}
+
+impl Encode for ShardMeta {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.index.encode(buf);
+        self.len.encode(buf);
+        self.crc.encode(buf);
+        self.base_iteration.encode(buf);
+    }
+}
+
+impl Decode for ShardMeta {
+    fn decode(buf: &mut Bytes) -> SimResult<Self> {
+        Ok(ShardMeta {
+            index: u32::decode(buf)?,
+            len: u64::decode(buf)?,
+            crc: u64::decode(buf)?,
+            base_iteration: Option::<u64>::decode(buf)?,
+        })
+    }
+}
+
 /// Metadata sidecar marking a complete, verifiable checkpoint.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CheckpointMeta {
@@ -51,12 +142,19 @@ pub struct CheckpointMeta {
     pub iteration: u64,
     /// Writing rank.
     pub rank: u32,
-    /// CRC-64 of the payload object.
+    /// CRC-64 over the concatenated per-shard CRCs (little-endian), in
+    /// index order — binds the shard *set* without a second full-payload
+    /// pass (each shard's bytes are already covered by its own CRC).
     pub payload_crc: u64,
-    /// Payload length in (stored) bytes.
+    /// Total logical payload stream length in bytes (sum of shard lens).
     pub payload_len: u64,
     /// Logical checkpoint size (cost accounting on restore).
     pub logical_bytes: u64,
+    /// Shard boundary size this checkpoint was written with. Delta reuse
+    /// requires the base to have the identical value.
+    pub shard_bytes: u64,
+    /// Per-shard records, in index order.
+    pub shards: Vec<ShardMeta>,
 }
 
 impl CheckpointMeta {
@@ -64,17 +162,20 @@ impl CheckpointMeta {
     /// process that wrote it — restore runs in a *new* incarnation of the
     /// binary — so any field change must bump this and decode rejects
     /// mismatched versions instead of silently misreading old bytes.
-    pub const SCHEMA_VERSION: u16 = 1;
+    /// v2: sharded payload (per-shard CRCs, delta references).
+    pub const SCHEMA_VERSION: u16 = 2;
 }
 
 impl Encode for CheckpointMeta {
-    fn encode(&self, buf: &mut bytes::BytesMut) {
+    fn encode(&self, buf: &mut BytesMut) {
         Self::SCHEMA_VERSION.encode(buf);
         self.iteration.encode(buf);
         self.rank.encode(buf);
         self.payload_crc.encode(buf);
         self.payload_len.encode(buf);
         self.logical_bytes.encode(buf);
+        self.shard_bytes.encode(buf);
+        self.shards.encode(buf);
     }
 }
 
@@ -93,12 +194,24 @@ impl Decode for CheckpointMeta {
             payload_crc: u64::decode(buf)?,
             payload_len: u64::decode(buf)?,
             logical_bytes: u64::decode(buf)?,
+            shard_bytes: u64::decode(buf)?,
+            shards: Vec::<ShardMeta>::decode(buf)?,
         })
     }
 }
 
-/// Path of a checkpoint payload object.
-pub fn data_path(
+/// CRC binding the shard set: CRC-64 over the per-shard CRCs in order.
+fn shard_set_crc(shards: &[ShardMeta]) -> u64 {
+    let mut b = BytesMut::with_capacity(shards.len() * 8);
+    for s in shards {
+        b.put_u64_le(s.crc);
+    }
+    simcore::codec::crc64(&b)
+}
+
+/// Directory prefix of one rank-cell's checkpoint (shard objects and the
+/// metadata sidecar live under it).
+pub fn checkpoint_prefix(
     job: JobId,
     kind: CkptKind,
     iteration: u64,
@@ -107,8 +220,25 @@ pub fn data_path(
     dp: usize,
 ) -> String {
     format!(
-        "ckpt/{job}/{}/it{iteration:010}/s{stage}p{part}/dp{dp}/data",
+        "ckpt/{job}/{}/it{iteration:010}/s{stage}p{part}/dp{dp}",
         kind.dir()
+    )
+}
+
+/// Path of one checkpoint shard object.
+#[allow(clippy::too_many_arguments)]
+pub fn shard_path(
+    job: JobId,
+    kind: CkptKind,
+    iteration: u64,
+    stage: usize,
+    part: usize,
+    dp: usize,
+    index: u32,
+) -> String {
+    format!(
+        "{}/shard{index:05}",
+        checkpoint_prefix(job, kind, iteration, stage, part, dp)
     )
 }
 
@@ -122,14 +252,26 @@ pub fn meta_path(
     dp: usize,
 ) -> String {
     format!(
-        "ckpt/{job}/{}/it{iteration:010}/s{stage}p{part}/dp{dp}/meta",
-        kind.dir()
+        "{}/meta",
+        checkpoint_prefix(job, kind, iteration, stage, part, dp)
     )
 }
 
-/// Writes a rank's checkpoint: payload first, then the metadata sidecar
-/// (the completion marker). The caller charges the write cost to the
-/// rank's clock.
+/// Parses a path under `ckpt/{job}/{kind}/` into
+/// `(iteration, cell, dp, leaf)`; `None` for foreign paths.
+fn parse_rel_path(rest: &str) -> Option<(u64, &str, usize, &str)> {
+    let mut parts = rest.split('/');
+    let (it, cell, dp_s, leaf) = (parts.next()?, parts.next()?, parts.next()?, parts.next()?);
+    if parts.next().is_some() {
+        return None;
+    }
+    let iteration = it.strip_prefix("it")?.parse::<u64>().ok()?;
+    let dp = dp_s.strip_prefix("dp")?.parse::<usize>().ok()?;
+    Some((iteration, cell, dp, leaf))
+}
+
+/// Writes a rank's checkpoint with default sharding. Kept as the
+/// one-call entry point for callers that don't tune the pipeline.
 #[allow(clippy::too_many_arguments)]
 pub fn write_checkpoint(
     store: &SharedStore,
@@ -141,29 +283,199 @@ pub fn write_checkpoint(
     dp: usize,
     state: &TrainState,
 ) -> SimResult<()> {
-    let payload = encode_framed(state);
-    let crc = simcore::codec::crc64(&payload);
-    let len = payload.len() as u64;
-    store.put(
-        &data_path(job, kind, state.iteration, stage, part, dp),
-        payload,
-    )?;
+    write_checkpoint_with(
+        store,
+        job,
+        kind,
+        rank,
+        stage,
+        part,
+        dp,
+        state,
+        &ShardConfig::default(),
+    )
+}
+
+/// Writes a rank's checkpoint: shard objects first (fanned out across a
+/// bounded worker pool), then the metadata sidecar — the completion
+/// marker. The caller charges the write cost to the rank's clock.
+///
+/// With `cfg.delta`, shards bit-identical to this cell's most recent
+/// prior checkpoint (same `shard_bytes`, same shard count) are not
+/// re-written; the sidecar records where the bytes already live.
+#[allow(clippy::too_many_arguments)]
+pub fn write_checkpoint_with(
+    store: &SharedStore,
+    job: JobId,
+    kind: CkptKind,
+    rank: RankId,
+    stage: usize,
+    part: usize,
+    dp: usize,
+    state: &TrainState,
+    cfg: &ShardConfig,
+) -> SimResult<()> {
+    let shard_bytes = cfg.shard_bytes.max(1);
+    // Encode the logical stream once; shards are zero-copy slices of it.
+    let mut staged = BytesMut::new();
+    state.encode(&mut staged);
+    let stream = staged.freeze();
+    let n = stream.len().div_ceil(shard_bytes).max(1);
+    let mut slices = Vec::with_capacity(n);
+    for i in 0..n {
+        let lo = i * shard_bytes;
+        let hi = ((i + 1) * shard_bytes).min(stream.len());
+        slices.push(stream.slice(lo..hi));
+    }
+
+    // Delta base: this cell+replica's newest prior sidecar with an
+    // identical shard layout. Only the sidecar is consulted — if a base
+    // object later turns out torn or missing, the *read* path rejects
+    // that shard by index and assembly falls back, exactly as for any
+    // other incomplete checkpoint.
+    let base = if cfg.delta {
+        latest_meta_before(store, job, kind, state.iteration, stage, part, dp)
+            .filter(|m| m.shard_bytes == shard_bytes as u64 && m.shards.len() == n)
+    } else {
+        None
+    };
+
+    // Bounded worker pool: a shared cursor hands out shard indices; each
+    // worker CRCs its shard, decides reuse-vs-put, and records the
+    // resulting ShardMeta. The calling thread is always worker 0, so a
+    // failed thread spawn degrades to less parallelism, never to a lost
+    // shard.
+    let iteration = state.iteration;
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<SimResult<ShardMeta>>>> =
+        Mutex::new((0..n).map(|_| None).collect());
+    let worker = || loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        let payload = &slices[i];
+        let crc = simcore::codec::crc64(payload);
+        let reused = base.as_ref().and_then(|b| {
+            let bs = b.shards.get(i)?;
+            (bs.len == payload.len() as u64 && bs.crc == crc)
+                .then(|| bs.base_iteration.unwrap_or(b.iteration))
+        });
+        let res = match reused {
+            Some(base_it) => Ok(ShardMeta {
+                index: i as u32,
+                len: payload.len() as u64,
+                crc,
+                base_iteration: Some(base_it),
+            }),
+            None => store
+                .put(
+                    shard_path(job, kind, iteration, stage, part, dp, i as u32),
+                    payload.clone(),
+                )
+                .map(|()| ShardMeta {
+                    index: i as u32,
+                    len: payload.len() as u64,
+                    crc,
+                    base_iteration: None,
+                }),
+        };
+        results.lock()[i] = Some(res);
+    };
+    let pool = cfg.workers.clamp(1, n);
+    std::thread::scope(|s| {
+        let worker = &worker;
+        for w in 1..pool {
+            let _ = std::thread::Builder::new()
+                .name(format!("ckpt-shard-w{w}"))
+                .spawn_scoped(s, worker);
+        }
+        worker();
+    });
+
+    let mut shards = Vec::with_capacity(n);
+    for (i, slot) in results.into_inner().into_iter().enumerate() {
+        match slot {
+            Some(Ok(m)) => shards.push(m),
+            Some(Err(e)) => return Err(e),
+            None => {
+                return Err(SimError::Storage(format!(
+                    "shard {i}: no worker processed it"
+                )))
+            }
+        }
+    }
     let meta = CheckpointMeta {
-        iteration: state.iteration,
+        iteration,
         rank: rank.0,
-        payload_crc: crc,
-        payload_len: len,
+        payload_crc: shard_set_crc(&shards),
+        payload_len: stream.len() as u64,
         logical_bytes: state.logical_bytes,
+        shard_bytes: shard_bytes as u64,
+        shards,
     };
     store.put(
-        &meta_path(job, kind, state.iteration, stage, part, dp),
+        meta_path(job, kind, iteration, stage, part, dp),
         encode_framed(&meta),
     )?;
     Ok(())
 }
 
-/// Reads and fully validates one checkpoint object (metadata present,
-/// lengths match, CRC matches, payload decodes).
+/// Reads and validates a checkpoint's metadata sidecar only (no shard
+/// I/O). Used by the delta writer and by benchmarks measuring hit-rates.
+pub fn read_meta(
+    store: &SharedStore,
+    job: JobId,
+    kind: CkptKind,
+    iteration: u64,
+    stage: usize,
+    part: usize,
+    dp: usize,
+) -> SimResult<CheckpointMeta> {
+    let mpath = meta_path(job, kind, iteration, stage, part, dp);
+    decode_framed(&store.get(&mpath)?)
+        .map_err(|e| SimError::CorruptCheckpoint(format!("{mpath}: {e}")))
+}
+
+/// Newest prior iteration (strictly before `before`) with a decodable
+/// sidecar for this cell+replica; the delta writer's base.
+fn latest_meta_before(
+    store: &SharedStore,
+    job: JobId,
+    kind: CkptKind,
+    before: u64,
+    stage: usize,
+    part: usize,
+    dp: usize,
+) -> Option<CheckpointMeta> {
+    let prefix = format!("ckpt/{job}/{}/", kind.dir());
+    let cell = format!("s{stage}p{part}");
+    let mut best: Option<u64> = None;
+    for path in store.list(&prefix) {
+        let Some(rest) = path.strip_prefix(&prefix) else {
+            continue;
+        };
+        let Some((iteration, c, d, leaf)) = parse_rel_path(rest) else {
+            continue;
+        };
+        if leaf != "meta" || c != cell || d != dp || iteration >= before {
+            continue;
+        }
+        if best.is_none_or(|b| iteration > b) {
+            best = Some(iteration);
+        }
+    }
+    read_meta(store, job, kind, best?, stage, part, dp).ok()
+}
+
+/// Reads and fully validates one checkpoint (metadata present, every
+/// shard present with matching length and CRC — resolving delta
+/// references — and the reassembled payload decodes).
+///
+/// Shard failures are collected, not short-circuited: the error names
+/// every bad shard *by index* (`shard 3: checksum mismatch; shard 7:
+/// truncated …`) while healthy siblings remain validated, so callers and
+/// operators can see exactly which objects are damaged.
 pub fn read_checkpoint(
     store: &SharedStore,
     job: JobId,
@@ -173,28 +485,75 @@ pub fn read_checkpoint(
     part: usize,
     dp: usize,
 ) -> SimResult<(TrainState, CheckpointMeta)> {
-    let mpath = meta_path(job, kind, iteration, stage, part, dp);
-    let meta: CheckpointMeta = decode_framed(&store.get(&mpath)?)
-        .map_err(|e| SimError::CorruptCheckpoint(format!("{mpath}: {e}")))?;
-    let dpath = data_path(job, kind, iteration, stage, part, dp);
-    let payload = store.get(&dpath)?;
-    if payload.len() as u64 != meta.payload_len {
+    let meta = read_meta(store, job, kind, iteration, stage, part, dp)?;
+    let prefix = checkpoint_prefix(job, kind, iteration, stage, part, dp);
+    if meta.shards.is_empty() {
         return Err(SimError::CorruptCheckpoint(format!(
-            "{dpath}: truncated ({} of {} bytes)",
-            payload.len(),
+            "{prefix}: sidecar lists no shards"
+        )));
+    }
+    if shard_set_crc(&meta.shards) != meta.payload_crc {
+        return Err(SimError::CorruptCheckpoint(format!(
+            "{prefix}: shard-set checksum mismatch in sidecar"
+        )));
+    }
+    let mut bad: Vec<String> = Vec::new();
+    let mut stream = BytesMut::with_capacity(meta.payload_len as usize);
+    for (i, sm) in meta.shards.iter().enumerate() {
+        if sm.index as usize != i {
+            bad.push(format!("shard {i}: sidecar index out of order"));
+            continue;
+        }
+        let holder = sm.base_iteration.unwrap_or(meta.iteration);
+        let path = shard_path(job, kind, holder, stage, part, dp, sm.index);
+        match store.get(&path) {
+            Err(_) => bad.push(if sm.base_iteration.is_some() {
+                format!("shard {i}: missing delta base object (it{holder})")
+            } else {
+                format!("shard {i}: missing object")
+            }),
+            Ok(obj) => {
+                if obj.len() as u64 != sm.len {
+                    bad.push(format!(
+                        "shard {i}: truncated ({} of {} bytes)",
+                        obj.len(),
+                        sm.len
+                    ));
+                } else if simcore::codec::crc64(&obj) != sm.crc {
+                    bad.push(format!("shard {i}: checksum mismatch"));
+                } else {
+                    stream.put_slice(&obj);
+                }
+            }
+        }
+    }
+    if !bad.is_empty() {
+        return Err(SimError::CorruptCheckpoint(format!(
+            "{prefix}: {} of {} shards invalid [{}]",
+            bad.len(),
+            meta.shards.len(),
+            bad.join("; ")
+        )));
+    }
+    if stream.len() as u64 != meta.payload_len {
+        return Err(SimError::CorruptCheckpoint(format!(
+            "{prefix}: reassembled {} of {} bytes",
+            stream.len(),
             meta.payload_len
         )));
     }
-    if simcore::codec::crc64(&payload) != meta.payload_crc {
+    let mut buf = stream.freeze();
+    let state = TrainState::decode(&mut buf)
+        .map_err(|e| SimError::CorruptCheckpoint(format!("{prefix}: {e}")))?;
+    if !buf.is_empty() {
         return Err(SimError::CorruptCheckpoint(format!(
-            "{dpath}: checksum mismatch"
+            "{prefix}: {} trailing bytes after decode",
+            buf.len()
         )));
     }
-    let state: TrainState = decode_framed(&payload)
-        .map_err(|e| SimError::CorruptCheckpoint(format!("{dpath}: {e}")))?;
     if state.iteration != meta.iteration {
         return Err(SimError::CorruptCheckpoint(format!(
-            "{dpath}: iteration mismatch ({} vs {})",
+            "{prefix}: iteration mismatch ({} vs {})",
             state.iteration, meta.iteration
         )));
     }
@@ -223,30 +582,15 @@ fn complete_iterations_for_cell(
     // iteration → a dp replica with a *valid* checkpoint.
     let mut out = BTreeMap::new();
     let prefix = format!("ckpt/{job}/{}/", kind.dir());
+    let cell = format!("s{stage}p{part}");
     for path in store.list(&prefix) {
-        if !path.ends_with("/meta") {
-            continue;
-        }
-        // Parse it{N}/s{stage}p{part}/dp{d}/meta.
         let Some(rest) = path.strip_prefix(&prefix) else {
             continue;
         };
-        let mut parts = rest.split('/');
-        let (Some(it), Some(cell), Some(dp_s), Some(_)) =
-            (parts.next(), parts.next(), parts.next(), parts.next())
-        else {
+        let Some((iteration, c, dp, leaf)) = parse_rel_path(rest) else {
             continue;
         };
-        let Ok(iteration) = it.trim_start_matches("it").parse::<u64>() else {
-            continue;
-        };
-        if cell != format!("s{stage}p{part}") {
-            continue;
-        }
-        let Ok(dp) = dp_s.trim_start_matches("dp").parse::<usize>() else {
-            continue;
-        };
-        if dp >= layout.dp {
+        if leaf != "meta" || c != cell || dp >= layout.dp {
             continue;
         }
         if out.contains_key(&iteration) {
@@ -316,9 +660,10 @@ pub fn assemble(
     Ok(out)
 }
 
-/// §3.3's `jit_get_checkpoint_path`: the payload path a restoring rank
-/// should load — a complete checkpoint from any data-parallel replica of
-/// its own cell, at an iteration consistent across the whole job.
+/// §3.3's `jit_get_checkpoint_path`: the checkpoint directory a restoring
+/// rank should load — a complete checkpoint from any data-parallel
+/// replica of its own cell, at an iteration consistent across the whole
+/// job. Shard objects and the sidecar live under the returned prefix.
 pub fn jit_get_checkpoint_path(
     store: &SharedStore,
     job: JobId,
@@ -328,7 +673,7 @@ pub fn jit_get_checkpoint_path(
     let coord = layout.coord(rank);
     let plan = assemble(store, job, layout)?;
     let choice = plan[&(coord.stage, coord.part)];
-    Ok(data_path(
+    Ok(checkpoint_prefix(
         job,
         choice.kind,
         choice.iteration,
@@ -373,6 +718,26 @@ mod tests {
         }
     }
 
+    /// A state big enough to split into many shards at `SMALL.shard_bytes`.
+    fn big_state(it: u64, v: f32) -> TrainState {
+        TrainState {
+            iteration: it,
+            opt_t: it as u32,
+            buffers: vec![
+                ("w".into(), BufferTag::Param, vec![v; 64]),
+                ("m".into(), BufferTag::OptimState, vec![v * 2.0; 64]),
+            ],
+            logical_bytes: 512,
+        }
+    }
+
+    /// Small shards + a real pool so tests exercise the multi-shard path.
+    const SMALL: ShardConfig = ShardConfig {
+        shard_bytes: 64,
+        workers: 3,
+        delta: true,
+    };
+
     fn job() -> JobId {
         JobId(0)
     }
@@ -386,6 +751,164 @@ mod tests {
         assert_eq!(back, s);
         assert_eq!(meta.iteration, 7);
         assert_eq!(meta.logical_bytes, 16);
+        Ok(())
+    }
+
+    #[test]
+    fn multi_shard_round_trip() -> SimResult<()> {
+        let store = SharedStore::new();
+        let s = big_state(9, 0.5);
+        write_checkpoint_with(&store, job(), CkptKind::Jit, RankId(0), 0, 0, 0, &s, &SMALL)?;
+        let meta = read_meta(&store, job(), CkptKind::Jit, 9, 0, 0, 0)?;
+        assert!(
+            meta.shards.len() > 4,
+            "want many shards: {}",
+            meta.shards.len()
+        );
+        // One store object per shard plus the sidecar.
+        let objs = store.list(checkpoint_prefix(job(), CkptKind::Jit, 9, 0, 0, 0));
+        assert_eq!(objs.len(), meta.shards.len() + 1);
+        let (back, _) = read_checkpoint(&store, job(), CkptKind::Jit, 9, 0, 0, 0)?;
+        assert_eq!(back, s);
+        Ok(())
+    }
+
+    #[test]
+    fn delta_write_skips_unchanged_shards() -> SimResult<()> {
+        let store = SharedStore::new();
+        let mut s = big_state(9, 0.5);
+        write_checkpoint_with(&store, job(), CkptKind::Jit, RankId(0), 0, 0, 0, &s, &SMALL)?;
+        // Next iteration: only the optimizer buffer's first element (and
+        // the header) change; layout and sizes stay identical.
+        s.iteration = 10;
+        s.opt_t = 10;
+        s.buffers[1].2[0] = 123.0;
+        write_checkpoint_with(&store, job(), CkptKind::Jit, RankId(0), 0, 0, 0, &s, &SMALL)?;
+        let meta = read_meta(&store, job(), CkptKind::Jit, 10, 0, 0, 0)?;
+        let reused = meta
+            .shards
+            .iter()
+            .filter(|m| m.base_iteration == Some(9))
+            .count();
+        assert!(
+            reused * 2 > meta.shards.len(),
+            "most shards should be delta refs: {reused}/{}",
+            meta.shards.len()
+        );
+        // The delta checkpoint's directory holds only the fresh shards.
+        let objs = store.list(checkpoint_prefix(job(), CkptKind::Jit, 10, 0, 0, 0));
+        assert_eq!(objs.len(), meta.shards.len() - reused + 1);
+        // And it reads back whole, refs resolved.
+        let (back, _) = read_checkpoint(&store, job(), CkptKind::Jit, 10, 0, 0, 0)?;
+        assert_eq!(back, s);
+        Ok(())
+    }
+
+    #[test]
+    fn delta_refs_collapse_transitively() -> SimResult<()> {
+        // it 9 → 10 → 11 with no payload change beyond the header: it 11's
+        // refs must point straight at it 9 (the physical writer), never at
+        // it 10's refs.
+        let store = SharedStore::new();
+        let mut s = big_state(9, 0.5);
+        for it in 9..=11 {
+            s.iteration = it;
+            write_checkpoint_with(&store, job(), CkptKind::Jit, RankId(0), 0, 0, 0, &s, &SMALL)?;
+        }
+        let meta = read_meta(&store, job(), CkptKind::Jit, 11, 0, 0, 0)?;
+        assert!(meta
+            .shards
+            .iter()
+            .all(|m| m.base_iteration.is_none() || m.base_iteration == Some(9)));
+        let (back, _) = read_checkpoint(&store, job(), CkptKind::Jit, 11, 0, 0, 0)?;
+        assert_eq!(back, s);
+        Ok(())
+    }
+
+    #[test]
+    fn shard_count_change_disables_delta() -> SimResult<()> {
+        let store = SharedStore::new();
+        let mut s = big_state(9, 0.5);
+        write_checkpoint_with(&store, job(), CkptKind::Jit, RankId(0), 0, 0, 0, &s, &SMALL)?;
+        // Grow a buffer: the stream length (and shard count) changes, so
+        // no shard may be reused even though early bytes coincide.
+        s.iteration = 10;
+        s.buffers[1].2.extend_from_slice(&[1.0; 64]);
+        write_checkpoint_with(&store, job(), CkptKind::Jit, RankId(0), 0, 0, 0, &s, &SMALL)?;
+        let meta = read_meta(&store, job(), CkptKind::Jit, 10, 0, 0, 0)?;
+        assert!(meta.shards.iter().all(|m| m.base_iteration.is_none()));
+        let (back, _) = read_checkpoint(&store, job(), CkptKind::Jit, 10, 0, 0, 0)?;
+        assert_eq!(back, s);
+        Ok(())
+    }
+
+    #[test]
+    fn missing_delta_base_is_reported_and_skipped() -> SimResult<()> {
+        let store = SharedStore::new();
+        let layout = ParallelLayout::data_parallel(1);
+        let mut s = big_state(9, 0.5);
+        write_checkpoint_with(&store, job(), CkptKind::Jit, RankId(0), 0, 0, 0, &s, &SMALL)?;
+        s.iteration = 10;
+        write_checkpoint_with(&store, job(), CkptKind::Jit, RankId(0), 0, 0, 0, &s, &SMALL)?;
+        // Delete one base shard that it 10 references.
+        let meta = read_meta(&store, job(), CkptKind::Jit, 10, 0, 0, 0)?;
+        let referenced = meta
+            .shards
+            .iter()
+            .find(|m| m.base_iteration == Some(9))
+            .copied();
+        let Some(referenced) = referenced else {
+            return Err(SimError::Protocol("expected a delta ref".into()));
+        };
+        store.delete(shard_path(
+            job(),
+            CkptKind::Jit,
+            9,
+            0,
+            0,
+            0,
+            referenced.index,
+        ));
+        let err = read_checkpoint(&store, job(), CkptKind::Jit, 10, 0, 0, 0).unwrap_err();
+        let msg = format!("{err}");
+        assert!(
+            msg.contains(&format!("shard {}: missing delta base", referenced.index)),
+            "{msg}"
+        );
+        // Assembly falls back: it 9 is also damaged now (it physically
+        // held the shard), so the job reports no usable checkpoint.
+        assert!(assemble(&store, job(), &layout).is_err());
+        Ok(())
+    }
+
+    #[test]
+    fn corrupt_single_shard_reported_by_index_without_blaming_siblings() -> SimResult<()> {
+        let store = SharedStore::new();
+        let s = big_state(9, 0.5);
+        write_checkpoint_with(&store, job(), CkptKind::Jit, RankId(0), 0, 0, 0, &s, &SMALL)?;
+        let meta = read_meta(&store, job(), CkptKind::Jit, 9, 0, 0, 0)?;
+        assert!(meta.shards.len() > 3);
+        store.corrupt(shard_path(job(), CkptKind::Jit, 9, 0, 0, 0, 2))?;
+        let err = read_checkpoint(&store, job(), CkptKind::Jit, 9, 0, 0, 0).unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("shard 2: checksum mismatch"), "{msg}");
+        assert!(
+            msg.contains(&format!("1 of {} shards invalid", meta.shards.len())),
+            "siblings must stay valid: {msg}"
+        );
+        Ok(())
+    }
+
+    #[test]
+    fn targeted_fault_tears_one_shard() -> SimResult<()> {
+        let store = SharedStore::new();
+        let s = big_state(9, 0.5);
+        // Arm a truncation aimed at exactly shard 3 of this checkpoint.
+        store.fail_next_write_matching(shard_path(job(), CkptKind::Jit, 9, 0, 0, 0, 3), 0.5);
+        write_checkpoint_with(&store, job(), CkptKind::Jit, RankId(0), 0, 0, 0, &s, &SMALL)?;
+        let err = read_checkpoint(&store, job(), CkptKind::Jit, 9, 0, 0, 0).unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("shard 3: truncated"), "{msg}");
         Ok(())
     }
 
@@ -438,7 +961,7 @@ mod tests {
             0,
             &state(5, 1.0),
         )?;
-        store.corrupt(&data_path(job(), CkptKind::Jit, 5, 0, 0, 0))?;
+        store.corrupt(shard_path(job(), CkptKind::Jit, 5, 0, 0, 0, 0))?;
         let err = read_checkpoint(&store, job(), CkptKind::Jit, 5, 0, 0, 0).unwrap_err();
         assert!(matches!(err, SimError::CorruptCheckpoint(_)));
         Ok(())
@@ -458,7 +981,7 @@ mod tests {
             0,
             &state(5, 1.0),
         )?;
-        store.delete(&meta_path(job(), CkptKind::Jit, 5, 0, 0, 0));
+        store.delete(meta_path(job(), CkptKind::Jit, 5, 0, 0, 0));
         assert!(assemble(&store, job(), &layout).is_err());
         Ok(())
     }

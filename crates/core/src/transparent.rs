@@ -415,10 +415,8 @@ impl TransparentEngine {
         let cost = client.server().gpu().cost_model().clone();
         for (key, _tag, data) in &snap {
             let framed = simcore::codec::encode_framed(data);
-            self.store.put(
-                &Self::hard_path(round, coord.stage, coord.part, key),
-                framed,
-            )?;
+            self.store
+                .put(Self::hard_path(round, coord.stage, coord.part, key), framed)?;
         }
         client.charge(cost.checkpoint_write(bytes, StorageTier::Disk, cost.gpu.gpus_per_node()));
         // CRIU checkpoint + restore of the worker CPU process. The image

@@ -42,6 +42,8 @@ pub struct JitUserConfig {
     pub watchdog_timeout: Duration,
     /// Storage tier JIT checkpoints are written to.
     pub tier: StorageTier,
+    /// Sharded-write tuning (shard size, worker pool, delta mode).
+    pub shards: checkpoint::ShardConfig,
 }
 
 impl Default for JitUserConfig {
@@ -49,6 +51,7 @@ impl Default for JitUserConfig {
         JitUserConfig {
             watchdog_timeout: Duration::from_millis(1500),
             tier: StorageTier::Disk,
+            shards: checkpoint::ShardConfig::default(),
         }
     }
 }
@@ -123,6 +126,7 @@ impl JitUserClient {
         let coord = layout.coord(rank);
         let cost = exec.with_gpu(|g| g.cost_model().clone());
         let tier = cfg.tier;
+        let shards = cfg.shards;
         let watchdog = Watchdog::spawn(cfg.watchdog_timeout, move || {
             // The hang action — the library's call into the user's
             // save_checkpoint, running while the trainer thread is parked.
@@ -137,6 +141,7 @@ impl JitUserClient {
                 coord.dp,
                 &cost,
                 tier,
+                &shards,
                 &clock,
                 clock_idx,
                 &events,
@@ -172,6 +177,7 @@ fn save_checkpoint_from_watchdog(
     dp: usize,
     cost: &CostModel,
     tier: StorageTier,
+    shards: &checkpoint::ShardConfig,
     clock: &ClockBoard,
     clock_idx: usize,
     events: &Mutex<Vec<RecoveryEvent>>,
@@ -194,7 +200,17 @@ fn save_checkpoint_from_watchdog(
     };
     let t = cost.checkpoint_write(logical_bytes, tier, cost.gpu.gpus_per_node());
     clock.advance(clock_idx, t);
-    checkpoint::write_checkpoint(store, job, CkptKind::Jit, rank, stage, part, dp, &state)?;
+    checkpoint::write_checkpoint_with(
+        store,
+        job,
+        CkptKind::Jit,
+        rank,
+        stage,
+        part,
+        dp,
+        &state,
+        shards,
+    )?;
     events.lock().push(RecoveryEvent {
         rank,
         checkpoint_time: t,

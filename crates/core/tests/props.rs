@@ -82,7 +82,9 @@ proptest! {
         };
         checkpoint::write_checkpoint(&store, JobId(0), CkptKind::Jit, RankId(0), 0, 0, 0, &state)
             .unwrap();
-        let path = checkpoint::data_path(JobId(0), CkptKind::Jit, it, 0, 0, 0);
+        // Small states fit in one shard at the default shard size; flip a
+        // bit anywhere in that shard object.
+        let path = checkpoint::shard_path(JobId(0), CkptKind::Jit, it, 0, 0, 0, 0);
         let raw = store.get(&path).unwrap();
         let mut bad = raw.to_vec();
         let i = flip.index(bad.len());

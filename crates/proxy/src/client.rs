@@ -78,6 +78,11 @@ struct CreationEntry {
     freed_seq: Option<u64>,
 }
 
+/// Shard payload size for the CRIU-style CPU-state image: small enough to
+/// bound staging memory while streaming a large replay log, large enough
+/// that the per-shard frame overhead stays negligible.
+const CPU_STATE_SHARD_BYTES: usize = 256 * 1024;
+
 /// The per-rank interception client (Figure 2's "device proxy client").
 pub struct ProxyClient {
     rank: RankId,
@@ -537,26 +542,27 @@ impl ProxyClient {
     /// generation counters — everything the interception layer needs to
     /// resume on a replacement node (§4.3). The paper's CRIU image
     /// contains the whole process; this is the part our simulation's
-    /// correctness depends on, and it round-trips through the same framed
-    /// codec as checkpoints.
+    /// correctness depends on, and it round-trips through the same
+    /// sharded, per-shard-checksummed container as checkpoints: the
+    /// state streams through [`simcore::codec::Encoder`], so a large
+    /// replay log never forms a second monolithic copy and corruption in
+    /// transit is reported by shard index.
     pub fn worker_cpu_state(&self) -> bytes::Bytes {
-        use simcore::codec::Encode;
         let mut gens: Vec<(u64, u64)> = self.comm_gens.iter().map(|(t, g)| (t.0, *g)).collect();
         gens.sort_unstable();
-        let mut payload = bytes::BytesMut::new();
-        self.iteration.encode(&mut payload);
-        (self.skip_rest as u8).encode(&mut payload);
-        self.replay_log.encode(&mut payload);
-        gens.encode(&mut payload);
-        simcore::codec::encode_framed(&payload.freeze().to_vec())
+        let mut enc = simcore::codec::Encoder::new(CPU_STATE_SHARD_BYTES);
+        enc.write(&self.iteration);
+        enc.write(&(self.skip_rest as u8));
+        enc.write(&self.replay_log);
+        enc.write(&gens);
+        simcore::codec::concat_shards(&enc.finish())
     }
 
     /// Restores the CRIU-relevant CPU state captured by
     /// [`ProxyClient::worker_cpu_state`].
     pub fn restore_worker_cpu_state(&mut self, image: &bytes::Bytes) -> SimResult<()> {
         use simcore::codec::Decode;
-        let raw: Vec<u8> = simcore::codec::decode_framed(image)?;
-        let mut buf = bytes::Bytes::from(raw);
+        let mut buf = simcore::codec::split_shards(image)?;
         self.iteration = u64::decode(&mut buf)?;
         self.skip_rest = u8::decode(&mut buf)? != 0;
         self.replay_log = Vec::<LoggedOp>::decode(&mut buf)?;

@@ -189,17 +189,86 @@ impl Decode for [u64; 4] {
     }
 }
 
+/// CRC-64 ECMA generator polynomial (MSB-first form).
+const CRC64_POLY: u64 = 0x42F0_E1EB_A9EA_3693;
+
+/// Slice-by-8 lookup tables, built at compile time. `TABLES[0]` is the
+/// classic one-byte-at-a-time table; `TABLES[n]` advances a byte's
+/// contribution `n` additional zero bytes, which lets the hot loop fold
+/// eight input bytes per step instead of running the 8-cycles-per-bit
+/// shift register of the bitwise form.
+const fn crc64_tables() -> [[u64; 256]; 8] {
+    let mut t = [[0u64; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = (i as u64) << 56;
+        let mut k = 0;
+        while k < 8 {
+            crc = if crc & (1 << 63) != 0 {
+                (crc << 1) ^ CRC64_POLY
+            } else {
+                crc << 1
+            };
+            k += 1;
+        }
+        t[0][i] = crc;
+        i += 1;
+    }
+    let mut n = 1;
+    while n < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = t[n - 1][i];
+            t[n][i] = (prev << 8) ^ t[0][(prev >> 56) as usize];
+            i += 1;
+        }
+        n += 1;
+    }
+    t
+}
+
+static CRC64_TABLES: [[u64; 256]; 8] = crc64_tables();
+
 /// CRC-64 (ECMA polynomial) over a byte slice; used as the integrity check
 /// trailer on checkpoint payloads and for GPU-buffer checksums during
 /// replay-log verification (§4.1).
+///
+/// Table-driven slice-by-8: folds eight input bytes per table lookup
+/// round. Produces bit-identical output to [`crc64_bitwise`] (the
+/// reference implementation) at roughly an order of magnitude higher
+/// throughput — checkpoint stall `o` is dominated by this function plus
+/// the payload memcpy, so it sits squarely on the §5 critical path.
 pub fn crc64(data: &[u8]) -> u64 {
-    const POLY: u64 = 0x42F0_E1EB_A9EA_3693;
+    let t = &CRC64_TABLES;
+    let mut crc: u64 = !0;
+    let mut chunks = data.chunks_exact(8);
+    for c in &mut chunks {
+        let x = crc ^ u64::from_be_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]);
+        crc = t[7][(x >> 56) as usize]
+            ^ t[6][(x >> 48) as usize & 0xFF]
+            ^ t[5][(x >> 40) as usize & 0xFF]
+            ^ t[4][(x >> 32) as usize & 0xFF]
+            ^ t[3][(x >> 24) as usize & 0xFF]
+            ^ t[2][(x >> 16) as usize & 0xFF]
+            ^ t[1][(x >> 8) as usize & 0xFF]
+            ^ t[0][x as usize & 0xFF];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc << 8) ^ t[0][((crc >> 56) ^ b as u64) as usize & 0xFF];
+    }
+    !crc
+}
+
+/// Reference bit-at-a-time CRC-64: the seed implementation, kept as the
+/// ground truth the table-driven [`crc64`] is regression-tested against,
+/// and as the "monolithic" baseline in the checkpoint benchmarks.
+pub fn crc64_bitwise(data: &[u8]) -> u64 {
     let mut crc: u64 = !0;
     for &b in data {
         crc ^= (b as u64) << 56;
         for _ in 0..8 {
             crc = if crc & (1 << 63) != 0 {
-                (crc << 1) ^ POLY
+                (crc << 1) ^ CRC64_POLY
             } else {
                 crc << 1
             };
@@ -216,6 +285,140 @@ pub fn f32_checksum(data: &[f32]) -> u64 {
         bytes.extend_from_slice(&v.to_bits().to_le_bytes());
     }
     crc64(&bytes)
+}
+
+/// Magic prefix of one framed shard produced by [`Encoder`].
+pub const SHARD_MAGIC: &[u8; 4] = b"JITS";
+
+/// Framed-shard overhead: `magic(4) | index(4) | payload_len(8)` header
+/// plus the `crc64(8)` trailer.
+pub const SHARD_FRAME_OVERHEAD: usize = 4 + 4 + 8 + 8;
+
+/// Streaming sharded encoder: values stream in through [`Encoder::write`]
+/// and come out as a sequence of independently checksummed,
+/// length-prefixed shards of (at most) a configurable payload size,
+/// instead of one flat buffer.
+///
+/// Each shard is framed as
+/// `magic "JITS" (4) | shard_index (4, LE) | payload_len (8, LE) |
+/// payload | crc64(payload) (8, LE)`. The concatenation of all shard
+/// payloads, in index order, is byte-identical to what a plain
+/// [`Encode`] pass over the same values would have produced — sharding
+/// changes the container, never the content. Downstream layers can
+/// therefore checksum, persist, and validate shards independently (the
+/// checkpoint pipeline fans them out across worker threads and store
+/// stripes) while decoders see a single logical byte stream.
+#[derive(Debug)]
+pub struct Encoder {
+    shard_payload: usize,
+    staged: BytesMut,
+    shards: Vec<Bytes>,
+}
+
+impl Encoder {
+    /// Creates an encoder producing shards of at most `shard_payload`
+    /// payload bytes (clamped to at least 1).
+    pub fn new(shard_payload: usize) -> Encoder {
+        Encoder {
+            shard_payload: shard_payload.max(1),
+            staged: BytesMut::new(),
+            shards: Vec::new(),
+        }
+    }
+
+    /// Appends a value to the logical stream, sealing shards as they fill.
+    pub fn write<T: Encode>(&mut self, value: &T) {
+        value.encode(&mut self.staged);
+        if self.staged.len() >= self.shard_payload {
+            let mut whole = std::mem::take(&mut self.staged).freeze();
+            while whole.len() >= self.shard_payload {
+                self.seal(whole.split_to(self.shard_payload));
+            }
+            self.staged.extend_from_slice(&whole);
+        }
+    }
+
+    fn seal(&mut self, payload: Bytes) {
+        let framed = frame_shard(self.shards.len() as u32, &payload);
+        self.shards.push(framed);
+    }
+
+    /// Seals the trailing partial shard (if any) and returns all shards in
+    /// index order. An empty stream yields one empty shard so that every
+    /// encode produces at least one verifiable object.
+    pub fn finish(mut self) -> Vec<Bytes> {
+        if !self.staged.is_empty() || self.shards.is_empty() {
+            let payload = std::mem::take(&mut self.staged).freeze();
+            self.seal(payload);
+        }
+        self.shards
+    }
+}
+
+/// Frames one shard: `JITS | index | payload_len | payload | crc64`.
+pub fn frame_shard(index: u32, payload: &[u8]) -> Bytes {
+    let mut out = BytesMut::with_capacity(payload.len() + SHARD_FRAME_OVERHEAD);
+    out.put_slice(SHARD_MAGIC);
+    out.put_u32_le(index);
+    out.put_u64_le(payload.len() as u64);
+    out.put_slice(payload);
+    out.put_u64_le(crc64(payload));
+    out.freeze()
+}
+
+/// Decodes one framed shard from the front of `buf`, consuming its bytes
+/// and verifying magic and CRC. Returns `(index, payload)`.
+pub fn decode_shard(buf: &mut Bytes) -> SimResult<(u32, Bytes)> {
+    need(buf, 4)?;
+    let magic = buf.split_to(4);
+    if &magic[..] != SHARD_MAGIC {
+        return Err(SimError::Codec("bad shard magic".into()));
+    }
+    let index = u32::decode(buf)?;
+    let len = u64::decode(buf)? as usize;
+    need(buf, len + 8)?;
+    let payload = buf.split_to(len);
+    let stored_crc = u64::decode(buf)?;
+    if crc64(&payload) != stored_crc {
+        return Err(SimError::Codec(format!(
+            "shard {index}: checksum mismatch (corrupt payload)"
+        )));
+    }
+    Ok((index, payload))
+}
+
+/// Concatenates framed shards into one self-describing blob (the inverse
+/// of [`split_shards`]); used where a single `Bytes` must travel through
+/// an interface that predates sharding (e.g. the CRIU image).
+pub fn concat_shards(shards: &[Bytes]) -> Bytes {
+    let total: usize = shards.iter().map(|s| s.len()).sum();
+    let mut out = BytesMut::with_capacity(total);
+    for s in shards {
+        out.put_slice(s);
+    }
+    out.freeze()
+}
+
+/// Splits a [`concat_shards`] blob back into the logical payload stream,
+/// verifying every shard's magic, CRC, and index contiguity.
+pub fn split_shards(raw: &Bytes) -> SimResult<Bytes> {
+    let mut buf = raw.clone();
+    let mut payloads = BytesMut::new();
+    let mut expect: u32 = 0;
+    while buf.has_remaining() {
+        let (index, payload) = decode_shard(&mut buf)?;
+        if index != expect {
+            return Err(SimError::Codec(format!(
+                "shard index {index} out of order (expected {expect})"
+            )));
+        }
+        payloads.put_slice(&payload);
+        expect = expect.saturating_add(1);
+    }
+    if expect == 0 {
+        return Err(SimError::Codec("empty sharded stream".into()));
+    }
+    Ok(payloads.freeze())
 }
 
 /// Encodes a value into a framed, checksummed message:
@@ -335,5 +538,77 @@ mod tests {
         assert_eq!(crc64(b""), crc64(b""));
         assert_ne!(crc64(b"a"), crc64(b"b"));
         assert_ne!(crc64(b"ab"), crc64(b"ba"));
+    }
+
+    #[test]
+    fn crc64_table_matches_bitwise_reference() {
+        // Lengths straddling the 8-byte fold boundary, plus a long run.
+        let mut data = Vec::new();
+        let mut x: u64 = 0x1234_5678_9abc_def0;
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 17, 63, 64, 65, 1000] {
+            while data.len() < len {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                data.push((x >> 33) as u8);
+            }
+            assert_eq!(
+                crc64(&data[..len]),
+                crc64_bitwise(&data[..len]),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn encoder_payload_stream_matches_flat_encode() {
+        let v1 = vec![1.5f32; 1000];
+        let v2 = String::from("checkpoint entry");
+        let mut flat = BytesMut::new();
+        v1.encode(&mut flat);
+        v2.encode(&mut flat);
+        for shard_size in [1usize, 7, 64, 1 << 20] {
+            let mut enc = Encoder::new(shard_size);
+            enc.write(&v1);
+            enc.write(&v2);
+            let shards = enc.finish();
+            let blob = concat_shards(&shards);
+            let stream = split_shards(&blob).unwrap();
+            assert_eq!(&stream[..], &flat[..], "shard_size {shard_size}");
+            // Every non-final shard is exactly shard_size bytes.
+            for s in &shards[..shards.len() - 1] {
+                assert_eq!(s.len(), shard_size + SHARD_FRAME_OVERHEAD);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_stream_yields_one_empty_shard() {
+        let shards = Encoder::new(64).finish();
+        assert_eq!(shards.len(), 1);
+        let stream = split_shards(&concat_shards(&shards)).unwrap();
+        assert!(stream.is_empty());
+    }
+
+    #[test]
+    fn shard_corruption_is_detected_with_index() {
+        let mut enc = Encoder::new(16);
+        enc.write(&vec![0u64; 32]);
+        let shards = enc.finish();
+        assert!(shards.len() > 2);
+        let mut blob = concat_shards(&shards).to_vec();
+        // Flip a payload byte inside the second shard.
+        let off = shards[0].len() + SHARD_FRAME_OVERHEAD - 8;
+        blob[off] ^= 0xFF;
+        let err = split_shards(&Bytes::from(blob)).unwrap_err();
+        assert!(format!("{err}").contains("shard 1"), "{err}");
+    }
+
+    #[test]
+    fn shard_reordering_is_detected() {
+        let mut enc = Encoder::new(8);
+        enc.write(&vec![7u64; 8]);
+        let mut shards = enc.finish();
+        assert!(shards.len() >= 2);
+        shards.swap(0, 1);
+        assert!(split_shards(&concat_shards(&shards)).is_err());
     }
 }

@@ -61,6 +61,41 @@ proptest! {
     }
 
     #[test]
+    fn crc64_table_driven_equals_bitwise_reference(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        // The slice-by-8 implementation must be bit-identical to the
+        // seed's bit-at-a-time form on arbitrary inputs and lengths
+        // (including lengths straddling the 8-byte fold boundary).
+        prop_assert_eq!(
+            simcore::codec::crc64(&data),
+            simcore::codec::crc64_bitwise(&data)
+        );
+    }
+
+    #[test]
+    fn sharded_encoder_stream_equals_flat_encode(
+        data in proptest::collection::vec(any::<u64>(), 0..256),
+        tail in ".*",
+        shard_size in 1usize..512,
+    ) {
+        use simcore::codec::Encode;
+        let mut flat = bytes::BytesMut::new();
+        data.encode(&mut flat);
+        tail.encode(&mut flat);
+        let mut enc = simcore::codec::Encoder::new(shard_size);
+        enc.write(&data);
+        enc.write(&tail);
+        let shards = enc.finish();
+        let stream = simcore::codec::split_shards(&simcore::codec::concat_shards(&shards)).unwrap();
+        prop_assert_eq!(&stream[..], &flat[..]);
+        // Shard framing is exact: every non-final payload is shard_size.
+        for s in &shards[..shards.len() - 1] {
+            prop_assert_eq!(s.len(), shard_size + simcore::codec::SHARD_FRAME_OVERHEAD);
+        }
+    }
+
+    #[test]
     fn det_rng_state_resume_is_exact(seed in any::<u64>(), skip in 0usize..64, take in 1usize..64) {
         let mut r = DetRng::new(seed);
         for _ in 0..skip { r.next_u64(); }

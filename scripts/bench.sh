@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Checkpoint-pipeline benchmark driver: runs the monolithic-vs-sharded
+# write/read/assemble measurement at a 64 MiB synthetic TrainState and
+# emits BENCH_ckpt.json (throughput MB/s per config + delta hit-rate)
+# at the repository root. Optional args pass through:
+#
+#   scripts/bench.sh [payload_mib] [out_path]
+set -eu
+cd "$(dirname "$0")/.."
+
+PAYLOAD_MIB="${1:-64}"
+OUT="${2:-BENCH_ckpt.json}"
+
+echo "==> cargo run --release -p bench --bin ckpt_bench -- ${PAYLOAD_MIB} ${OUT}"
+cargo run --release --quiet -p bench --bin ckpt_bench -- "${PAYLOAD_MIB}" "${OUT}"
+
+echo "==> criterion micro-benches (ckpt)"
+cargo bench -p bench --bench ckpt --quiet
+
+echo "bench.sh: wrote ${OUT}"

@@ -13,6 +13,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo '==> cargo test --workspace'
 cargo test --workspace --quiet
 
+echo '==> benches compile'
+cargo build --benches --workspace --quiet
+
 echo '==> jitlint'
 cargo run -p lint --quiet
 
