@@ -1,0 +1,45 @@
+//! Transparent-interception micro-benchmarks: the per-op hot path at
+//! several flush capacities and replay with/without compaction. The
+//! acceptance numbers ship via `proxy_bench` (BENCH_proxy.json); this
+//! harness exists for regression tracking on the same code paths.
+
+use bench::proxybench::{build_replay_workload, measure_per_op};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_interception(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interception");
+    let ops = 2_000usize;
+    group.throughput(Throughput::Elements(ops as u64));
+    group.bench_function("direct", |b| {
+        b.iter(|| black_box(measure_per_op(None, ops, 1).unwrap()))
+    });
+    for cap in [1usize, 64, 256] {
+        group.bench_function(format!("proxied_cap{cap}"), |b| {
+            b.iter(|| black_box(measure_per_op(Some(cap), ops, 1).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replay");
+    let mut client = build_replay_workload(2_000).unwrap();
+    group.throughput(Throughput::Elements(client.replay_log_len() as u64));
+    group.bench_function("full", |b| {
+        b.iter(|| {
+            client.reset_in_place().unwrap();
+            black_box(client.replay_full().unwrap())
+        })
+    });
+    group.bench_function("compacted", |b| {
+        b.iter(|| {
+            client.reset_in_place().unwrap();
+            black_box(client.replay().unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_interception, bench_replay);
+criterion_main!(benches);

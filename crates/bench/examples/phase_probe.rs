@@ -1,0 +1,69 @@
+//! Phase probe: where a 64 MiB checkpoint write spends its time.
+//!
+//! Compares the seed's generic per-element `Vec<f32>` encode against the
+//! bulk `encode_f32_slice` path `TrainState::encode` now uses, with and
+//! without pre-sizing the staging buffer, plus the CRC pass. Run via
+//! `cargo run --release -p bench --example phase_probe`; its numbers back
+//! the scaling-ceiling discussion in EXPERIMENTS.md.
+use bench::ckpt::synthetic_state;
+use bytes::BytesMut;
+use simcore::codec::{crc64, encode_f32_slice, Encode};
+use std::time::Instant;
+
+fn main() {
+    let state = synthetic_state(64 << 20, 5);
+    for round in 0..3 {
+        // Seed path: generic per-element encode, no pre-size.
+        let t = Instant::now();
+        let mut staged = BytesMut::new();
+        state.iteration.encode(&mut staged);
+        state.opt_t.encode(&mut staged);
+        state.logical_bytes.encode(&mut staged);
+        (state.buffers.len() as u64).encode(&mut staged);
+        for (key, tag, data) in &state.buffers {
+            key.encode(&mut staged);
+            tag.encode(&mut staged);
+            data.encode(&mut staged); // generic Vec<f32> per-element path
+        }
+        let generic = t.elapsed();
+        let len = staged.len();
+
+        // Production path: bulk f32 chunks, no pre-size.
+        let t = Instant::now();
+        let mut staged = BytesMut::new();
+        state.encode(&mut staged);
+        let bulk = t.elapsed();
+        assert_eq!(staged.len(), len);
+
+        // Production path with exact pre-sizing (what the checkpoint
+        // writer does).
+        let t = Instant::now();
+        let mut staged = BytesMut::with_capacity(state.encoded_len());
+        state.encode(&mut staged);
+        let presized = t.elapsed();
+        assert_eq!(staged.len(), state.encoded_len());
+
+        // The serial CRC pass over the stream.
+        let t = Instant::now();
+        let c = crc64(&staged);
+        let crc_t = t.elapsed();
+
+        // Bulk helper alone, straight into a pre-sized buffer.
+        let t = Instant::now();
+        let mut raw = BytesMut::with_capacity(len);
+        for (_, _, data) in &state.buffers {
+            encode_f32_slice(data, &mut raw);
+        }
+        let helper = t.elapsed();
+
+        println!(
+            "round {round}: generic {:.3}s  bulk {:.3}s  bulk+presize {:.3}s  \
+             crc {:.3}s  helper-only {:.3}s  (crc {c:#x}, {len} bytes)",
+            generic.as_secs_f64(),
+            bulk.as_secs_f64(),
+            presized.as_secs_f64(),
+            crc_t.as_secs_f64(),
+            helper.as_secs_f64(),
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Transparent-interception benchmark: per-op overhead of the batched
+//! proxy hot path vs per-call flushing vs direct execution, a
+//! flush-capacity sweep, and replay with/without log compaction,
+//! emitted as `BENCH_proxy.json`.
+//!
+//! ```sh
+//! proxy_bench [ops_per_rep] [replay_ops] [out_path]
+//! ```
+//!
+//! Defaults: 20_000 ops per timed repetition, a 12_000-op replay log,
+//! report written to `BENCH_proxy.json` in the working directory.
+
+use bench::proxybench::run_proxy_bench;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ops: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(20_000);
+    let replay_ops: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(12_000);
+    let out_path = args
+        .get(2)
+        .cloned()
+        .unwrap_or_else(|| "BENCH_proxy.json".to_string());
+    let sweep = [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512];
+    eprintln!(
+        "measuring transparent interception: {ops} ops/rep, \
+         flush capacities {sweep:?}, {replay_ops}-op replay log ..."
+    );
+    let report = match run_proxy_bench(ops, 5, &sweep, replay_ops, 3) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("benchmark failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{:<20} {:>9} {:>12}", "config", "batch cap", "per-op ns");
+    for r in &report.per_op {
+        println!(
+            "{:<20} {:>9} {:>12.1}",
+            r.name, r.batch_capacity, r.per_op_ns
+        );
+    }
+    println!(
+        "interception overhead: {:.1} ns/op unbatched, {:.1} ns/op batched \
+         ({:.2}x reduction)",
+        report.overhead_ns("proxied-unbatched"),
+        report.overhead_ns("proxied-batched"),
+        report.overhead_reduction()
+    );
+    println!("flush-capacity sweep:");
+    for p in &report.sweep {
+        println!("  cap {:>4}: {:>10.1} ns/op", p.capacity, p.per_op_ns);
+    }
+    let r = &report.replay;
+    println!(
+        "replay: {} ops -> {} after compaction ({:.1}% kept); \
+         full {:.2} ms, compacted {:.2} ms ({:.2}x speedup)",
+        r.log_ops,
+        r.compacted_ops,
+        r.kept_ratio() * 100.0,
+        r.full_ms,
+        r.compacted_ms,
+        r.speedup()
+    );
+    if let Err(e) = std::fs::write(&out_path, report.to_json()) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
+}

@@ -12,6 +12,7 @@
 
 pub mod ckpt;
 pub mod montecarlo;
+pub mod proxybench;
 
 use baselines::{blocking_overhead, PolicyKind};
 use cluster::{FailureInjector, SharedStore};

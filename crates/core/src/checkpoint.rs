@@ -49,7 +49,6 @@ use simcore::codec::{decode_framed, encode_framed, Decode, Encode};
 use simcore::layout::ParallelLayout;
 use simcore::{JobId, RankId, SimError, SimResult};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Checkpoint flavor (JIT-on-failure or periodic), part of the path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -317,7 +316,9 @@ pub fn write_checkpoint_with(
 ) -> SimResult<()> {
     let shard_bytes = cfg.shard_bytes.max(1);
     // Encode the logical stream once; shards are zero-copy slices of it.
-    let mut staged = BytesMut::new();
+    // Pre-sizing to the exact encoded length avoids growing a
+    // multi-hundred-MiB buffer through a doubling realloc chain.
+    let mut staged = BytesMut::with_capacity(state.encoded_len());
     state.encode(&mut staged);
     let stream = staged.freeze();
     let n = stream.len().div_ceil(shard_bytes).max(1);
@@ -340,20 +341,13 @@ pub fn write_checkpoint_with(
         None
     };
 
-    // Bounded worker pool: a shared cursor hands out shard indices; each
-    // worker CRCs its shard, decides reuse-vs-put, and records the
-    // resulting ShardMeta. The calling thread is always worker 0, so a
-    // failed thread spawn degrades to less parallelism, never to a lost
-    // shard.
+    // Bounded worker pool ([`simcore::pool::fan_out`]): each worker CRCs
+    // its shard, decides reuse-vs-put, and records the resulting
+    // ShardMeta into an index-addressed slot.
     let iteration = state.iteration;
-    let next = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<SimResult<ShardMeta>>>> =
         Mutex::new((0..n).map(|_| None).collect());
-    let worker = || loop {
-        let i = next.fetch_add(1, Ordering::Relaxed);
-        if i >= n {
-            break;
-        }
+    simcore::pool::fan_out(n, cfg.workers, "ckpt-shard", |i| {
         let payload = &slices[i];
         let crc = simcore::codec::crc64(payload);
         let reused = base.as_ref().and_then(|b| {
@@ -381,16 +375,6 @@ pub fn write_checkpoint_with(
                 }),
         };
         results.lock()[i] = Some(res);
-    };
-    let pool = cfg.workers.clamp(1, n);
-    std::thread::scope(|s| {
-        let worker = &worker;
-        for w in 1..pool {
-            let _ = std::thread::Builder::new()
-                .name(format!("ckpt-shard-w{w}"))
-                .spawn_scoped(s, worker);
-        }
-        worker();
     });
 
     let mut shards = Vec::with_capacity(n);

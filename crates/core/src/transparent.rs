@@ -423,7 +423,7 @@ impl TransparentEngine {
         // really carries the interception state (replay log, iteration,
         // communicator generations); the worker heap's logical size is a
         // fixed multi-GB footprint for cost purposes.
-        let image = client.worker_cpu_state();
+        let image = client.worker_cpu_state()?;
         let criu_bytes = 2 << 30;
         client.charge(cost.criu(criu_bytes));
         client.restore_worker_cpu_state(&image)?;
@@ -452,7 +452,7 @@ impl TransparentEngine {
         let cost = new_gpu.cost_model().clone();
         // CRIU image taken before migration, restored on the new node —
         // the replay log and interception state survive the move.
-        let image = client.worker_cpu_state();
+        let image = client.worker_cpu_state()?;
         client.migrate_to_gpu(new_gpu)?;
         client.restore_worker_cpu_state(&image)?;
         client.charge(cost.criu(2 << 30));

@@ -653,7 +653,10 @@ impl simcore::codec::Encode for TrainState {
         for (key, tag, data) in &self.buffers {
             key.encode(buf);
             tag.encode(buf);
-            data.encode(buf);
+            // Buffer payloads dominate the stream; the bulk path emits
+            // the same bytes as `data.encode(buf)` without per-element
+            // call overhead.
+            simcore::codec::encode_f32_slice(data, buf);
         }
     }
 }
@@ -668,7 +671,7 @@ impl simcore::codec::Decode for TrainState {
         for _ in 0..n {
             let key = String::decode(buf)?;
             let tag = BufferTag::decode(buf)?;
-            let data = Vec::<f32>::decode(buf)?;
+            let data = simcore::codec::decode_f32_slice(buf)?;
             buffers.push((key, tag, data));
         }
         Ok(TrainState {
@@ -685,6 +688,19 @@ impl TrainState {
     pub fn checksum(&self) -> u64 {
         let framed = simcore::codec::encode_framed(self);
         simcore::codec::crc64(&framed)
+    }
+
+    /// Exact number of bytes `encode` will produce, so writers can size
+    /// the staging buffer once instead of growing it through a realloc
+    /// chain while tens of MiB stream in.
+    pub fn encoded_len(&self) -> usize {
+        let mut n = 8 + 4 + 8 + 8; // iteration, opt_t, logical_bytes, count
+        for (key, _tag, data) in &self.buffers {
+            n += 8 + key.len(); // length-prefixed key
+            n += 1; // BufferTag discriminant byte
+            n += simcore::codec::f32_slice_encoded_len(data);
+        }
+        n
     }
 }
 

@@ -82,3 +82,37 @@ pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
         }
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn file(crate_dir: &str, module: &str) -> SourceFile {
+        SourceFile::parse(
+            PathBuf::from(format!("crates/{crate_dir}/src/{module}.rs")),
+            crate_dir.into(),
+            module.into(),
+            "",
+        )
+    }
+
+    #[test]
+    fn proxy_wildcard_covers_the_replay_log_hot_path() {
+        // The arena-backed oplog and deferred-submission ring are the
+        // recovery path's data plane; a panic there is exactly the
+        // failure class this rule exists to ban. Guard against the
+        // wildcard entry being narrowed without noticing.
+        for module in ["oplog", "client", "server", "executor", "watchdog"] {
+            assert!(
+                in_scope(&file("proxy", module)),
+                "proxy::{module} must stay recovery-critical"
+            );
+        }
+        assert!(in_scope(&file("core", "checkpoint")));
+        assert!(
+            !in_scope(&file("bench", "proxy")),
+            "benches are out of scope"
+        );
+    }
+}

@@ -22,8 +22,8 @@
 //! recovered state is bit-identical.
 
 use crate::executor::{CommToken, Executor, PendingOp};
-use crate::oplog::{LoggedColl, LoggedOp, VirtualMap};
-use crate::server::ProxyServer;
+use crate::oplog::{LoggedColl, LoggedOp, OpLog, OpRing, VirtualMap};
+use crate::server::{encode_batch, ProxyServer, BATCH_SHARD_BYTES};
 use collectives::{CollectiveObserver, CommWorld, Communicator, NullObserver, ReduceOp};
 use simcore::failure::FailureKind;
 use simcore::time::ClockBoard;
@@ -83,6 +83,11 @@ struct CreationEntry {
 /// that the per-shard frame overhead stays negligible.
 const CPU_STATE_SHARD_BYTES: usize = 256 * 1024;
 
+/// Default capacity of the deferred-call staging ring: large enough to
+/// absorb a full fwd/bwd window of launches between synchronization
+/// points, small enough to bound worst-case staging memory.
+pub const DEFAULT_BATCH_CAPACITY: usize = 256;
+
 /// The per-rank interception client (Figure 2's "device proxy client").
 pub struct ProxyClient {
     rank: RankId,
@@ -94,7 +99,9 @@ pub struct ProxyClient {
     comms: HashMap<CommToken, Arc<Communicator>>,
     next_token: u64,
     creation_log: Vec<CreationEntry>,
-    replay_log: Vec<LoggedOp>,
+    replay_log: OpLog,
+    pending: OpRing,
+    replay_workers: usize,
     op_seq: u64,
     minibatch_start_seq: u64,
     iteration: u64,
@@ -128,7 +135,11 @@ impl ProxyClient {
             comms: HashMap::new(),
             next_token: 1,
             creation_log: Vec::new(),
-            replay_log: Vec::new(),
+            replay_log: OpLog::new(),
+            pending: OpRing::with_capacity(DEFAULT_BATCH_CAPACITY),
+            replay_workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
             op_seq: 0,
             minibatch_start_seq: 0,
             iteration: 0,
@@ -180,6 +191,32 @@ impl ProxyClient {
     /// Length of the current replay log.
     pub fn replay_log_len(&self) -> usize {
         self.replay_log.len()
+    }
+
+    /// Deferred calls currently staged for the next batched round trip.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Ops that would survive minibatch-boundary compaction of the
+    /// current replay log (diagnostics / benchmarking).
+    pub fn compacted_log_len(&self) -> usize {
+        self.replay_log.compact().len()
+    }
+
+    /// Reconfigures the deferred-call staging capacity (flush batch
+    /// size). Capacity 1 degenerates to one framed round trip per call —
+    /// the unbatched baseline. Flushes anything currently staged first.
+    pub fn set_batch_capacity(&mut self, cap: usize) -> SimResult<()> {
+        self.flush_pending()?;
+        self.pending = OpRing::with_capacity(cap);
+        Ok(())
+    }
+
+    /// Sets the worker count for parallel replay-log decode during
+    /// recovery (defaults to available CPU parallelism).
+    pub fn set_replay_workers(&mut self, workers: usize) {
+        self.replay_workers = workers.max(1);
     }
 
     /// Whether the rank was inside the optimizer step (set by the
@@ -308,6 +345,79 @@ impl ProxyClient {
         })
     }
 
+    /// Whether a call may be deferred into the batched round trip: it
+    /// returns no result, so the application cannot observe that it has
+    /// not reached the device yet (the CUDA-async submission model).
+    fn is_deferrable(call: &DeviceCall) -> bool {
+        matches!(
+            call,
+            DeviceCall::Upload { .. }
+                | DeviceCall::CopyD2D { .. }
+                | DeviceCall::Launch { .. }
+                | DeviceCall::Free { .. }
+        )
+    }
+
+    /// Stages a deferrable call instead of a per-call round trip:
+    /// translates it to physical handles *now* (binding errors stay
+    /// synchronous), logs it (the log records submission order, which is
+    /// what recovery replays), and charges only the log overhead. The
+    /// device cost is charged when the batch flushes, so virtual-time
+    /// totals at every synchronization point match per-call execution.
+    fn defer(&mut self, vcall: &DeviceCall) -> SimResult<CallResult> {
+        let pcall = self.vmap.to_physical(vcall)?;
+        if self.pending.is_full() {
+            self.flush_pending()?;
+            // The flush may have routed a failure to the recovery
+            // handler and rolled this rank forward past the minibatch.
+            if self.skip_rest {
+                return Ok(CallResult::None);
+            }
+        }
+        if self.pending.push(pcall).is_err() {
+            return Err(SimError::Protocol(
+                "deferred-call ring rejected a push right after flushing".into(),
+            ));
+        }
+        self.log_device(vcall, &CallResult::None);
+        self.clock
+            .advance(self.clock_idx, self.cost_model().effective_log_overhead());
+        Ok(CallResult::None)
+    }
+
+    /// Sends every staged call to the server in one framed round trip
+    /// and charges the summed device cost. On failure the remaining
+    /// staged calls are *discarded*, not retried: they are already in
+    /// the replay log, so the recovery handler's reset + replay
+    /// regenerates their effects (re-executing here would double-apply
+    /// whatever part of the batch ran before the fault).
+    pub fn flush_pending(&mut self) -> SimResult<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let calls = self.pending.drain();
+        let frame = encode_batch(&calls, BATCH_SHARD_BYTES);
+        match self.server.exec_batch(&frame) {
+            Ok((_, cost)) => {
+                self.clock.advance(self.clock_idx, cost);
+                Ok(())
+            }
+            Err(e) => {
+                let op = match calls.into_iter().next() {
+                    Some(first) => PendingOp::Device(first),
+                    None => PendingOp::Device(DeviceCall::DeviceSync),
+                };
+                match self.dispatch_handler(op, e)? {
+                    RecoveryOutcome::Retry => Ok(()),
+                    RecoveryOutcome::SkipToNextMinibatch => {
+                        self.skip_rest = true;
+                        Ok(())
+                    }
+                }
+            }
+        }
+    }
+
     fn record_creation(&mut self, vcall: &DeviceCall, vid: u64) {
         let persistent = match vcall {
             DeviceCall::Malloc { tag, .. } => tag.is_persistent(),
@@ -352,16 +462,13 @@ impl ProxyClient {
             DeviceCall::EventDestroy { event } => self.record_destroy(event.0),
             _ => {}
         }
-        self.replay_log.push(LoggedOp::Device {
-            call: vcall.clone(),
-            result_vid,
-        });
+        self.replay_log.push_device(vcall, result_vid);
         self.logged_calls += 1;
     }
 
     fn log_op(&mut self, op: LoggedOp) {
         self.op_seq += 1;
-        self.replay_log.push(op);
+        self.replay_log.push(&op);
         self.logged_calls += 1;
         self.clock
             .advance(self.clock_idx, self.cost_model().effective_log_overhead());
@@ -397,6 +504,7 @@ impl ProxyClient {
     /// server and all persistent buffers; drop everything replay will
     /// regenerate.
     pub fn reset_in_place(&mut self) -> SimResult<()> {
+        self.pending.clear();
         let gpu = self.server.gpu_mut();
         gpu.free_non_persistent();
         gpu.commit_frees();
@@ -409,6 +517,7 @@ impl ProxyClient {
     /// and optimizer buffer *contents* must then be restored, either from
     /// a host snapshot taken before the restart or from a replica.
     pub fn reset_with_restart(&mut self) -> SimResult<()> {
+        self.pending.clear();
         let t = self.server.restart()?;
         self.charge(t);
         self.recreate_persistent_objects()
@@ -417,6 +526,7 @@ impl ProxyClient {
     /// Migrates this rank to a replacement GPU (hard errors, §4.3), then
     /// re-creates persistent objects on it.
     pub fn migrate_to_gpu(&mut self, gpu: Gpu) -> SimResult<()> {
+        self.pending.clear();
         self.server.attach_new_gpu(gpu);
         self.recreate_persistent_objects()
     }
@@ -459,6 +569,7 @@ impl ProxyClient {
     /// Copies persistent state to host memory (before clearing a
     /// driver-corrupted device), charging the PCIe cost.
     pub fn snapshot_persistent_to_host(&mut self) -> SimResult<crate::PersistentSnapshot> {
+        self.flush_pending()?;
         let gpu = self.server.gpu();
         if !gpu.health().memory_readable() {
             return Err(SimError::CudaSticky(gpu.id));
@@ -489,6 +600,10 @@ impl ProxyClient {
         token: CommToken,
         root: RankId,
     ) -> SimResult<()> {
+        // The root's contribution must reflect every submitted call.
+        // (During recovery the ring is already empty — the reset
+        // primitives discard it — so this is a no-op there.)
+        self.flush_pending()?;
         let comm = self.comm_arc(token)?;
         let (snap, bytes) = self.server.gpu().snapshot_persistent();
         let contribution = if self.rank == root {
@@ -547,7 +662,10 @@ impl ProxyClient {
     /// state streams through [`simcore::codec::Encoder`], so a large
     /// replay log never forms a second monolithic copy and corruption in
     /// transit is reported by shard index.
-    pub fn worker_cpu_state(&self) -> bytes::Bytes {
+    pub fn worker_cpu_state(&mut self) -> SimResult<bytes::Bytes> {
+        // Deferred calls are part of the log but not yet of device
+        // state; an image must capture a synchronized worker.
+        self.flush_pending()?;
         let mut gens: Vec<(u64, u64)> = self.comm_gens.iter().map(|(t, g)| (t.0, *g)).collect();
         gens.sort_unstable();
         let mut enc = simcore::codec::Encoder::new(CPU_STATE_SHARD_BYTES);
@@ -555,7 +673,7 @@ impl ProxyClient {
         enc.write(&(self.skip_rest as u8));
         enc.write(&self.replay_log);
         enc.write(&gens);
-        simcore::codec::concat_shards(&enc.finish())
+        Ok(simcore::codec::concat_shards(&enc.finish()))
     }
 
     /// Restores the CRIU-relevant CPU state captured by
@@ -565,7 +683,7 @@ impl ProxyClient {
         let mut buf = simcore::codec::split_shards(image)?;
         self.iteration = u64::decode(&mut buf)?;
         self.skip_rest = u8::decode(&mut buf)? != 0;
-        self.replay_log = Vec::<LoggedOp>::decode(&mut buf)?;
+        self.replay_log = OpLog::decode(&mut buf)?;
         let gens: Vec<(u64, u64)> = Vec::decode(&mut buf)?;
         self.comm_gens = gens.into_iter().map(|(t, g)| (CommToken(t), g)).collect();
         Ok(())
@@ -574,14 +692,35 @@ impl ProxyClient {
     /// Replays the current minibatch's logged operations (device calls at
     /// dispatch cost, collectives/p2p for real). Returns the number of
     /// ops replayed.
+    ///
+    /// The log is first **compacted** (superseded ops dropped — see
+    /// [`OpLog::compact`]) and then decoded across per-stream lanes in
+    /// parallel ([`OpLog::decode_parallel`]); execution stays serial in
+    /// log order, which preserves every cross-stream event edge.
     pub fn replay(&mut self) -> SimResult<usize> {
+        // Deferred-but-unflushed calls are already in the log; replay
+        // regenerates their effects, so the staging ring is discarded.
+        self.pending.clear();
+        let compacted = self.replay_log.compact();
+        let ops = compacted.decode_parallel(self.replay_workers)?;
+        self.replay_ops(&ops)
+    }
+
+    /// Replays the full, uncompacted log serially (baseline for the
+    /// compaction-equivalence proptests and `proxy_bench`).
+    pub fn replay_full(&mut self) -> SimResult<usize> {
+        self.pending.clear();
+        let ops = self.replay_log.ops()?;
+        self.replay_ops(&ops)
+    }
+
+    fn replay_ops(&mut self, ops: &[LoggedOp]) -> SimResult<usize> {
         self.replay_mode = true;
-        let log = self.replay_log.clone();
         let result = (|| {
-            for op in &log {
+            for op in ops {
                 self.exec_logged(op)?;
             }
-            Ok(log.len())
+            Ok(ops.len())
         })();
         self.replay_mode = false;
         result
@@ -784,6 +923,7 @@ impl ProxyClient {
     /// rendezvous across ranks). Returns true when the log reproduces the
     /// state exactly.
     pub fn verify_replay_log(&mut self) -> SimResult<bool> {
+        self.flush_pending()?;
         let before = self.checksum_by_virtual();
         self.reset_in_place()?;
         self.replay()?;
@@ -823,6 +963,26 @@ impl Executor for ProxyClient {
         if self.skip_rest && !vcall.creates_object() {
             return Ok(self.synthesize(&vcall));
         }
+        if Self::is_deferrable(&vcall) {
+            loop {
+                match self.defer(&vcall) {
+                    Ok(res) => return Ok(res),
+                    Err(e) => match self.dispatch_handler(PendingOp::Device(vcall.clone()), e)? {
+                        RecoveryOutcome::Retry => continue,
+                        RecoveryOutcome::SkipToNextMinibatch => {
+                            self.skip_rest = true;
+                            return Ok(self.synthesize(&vcall));
+                        }
+                    },
+                }
+            }
+        }
+        // Every non-deferrable call is a synchronization point: the
+        // staged batch must reach the device first.
+        self.flush_pending()?;
+        if self.skip_rest && !vcall.creates_object() {
+            return Ok(self.synthesize(&vcall));
+        }
         loop {
             match self.exec_virtual(&vcall) {
                 Ok(res) => {
@@ -848,6 +1008,10 @@ impl Executor for ProxyClient {
     }
 
     fn all_reduce(&mut self, comm: CommToken, buf: BufferId, op: ReduceOp) -> SimResult<()> {
+        if self.skip_rest {
+            return Ok(());
+        }
+        self.flush_pending()?;
         if self.skip_rest {
             return Ok(());
         }
@@ -886,6 +1050,10 @@ impl Executor for ProxyClient {
     }
 
     fn all_gather_into(&mut self, comm: CommToken, src: BufferId, dst: BufferId) -> SimResult<()> {
+        if self.skip_rest {
+            return Ok(());
+        }
+        self.flush_pending()?;
         if self.skip_rest {
             return Ok(());
         }
@@ -933,6 +1101,10 @@ impl Executor for ProxyClient {
         if self.skip_rest {
             return Ok(());
         }
+        self.flush_pending()?;
+        if self.skip_rest {
+            return Ok(());
+        }
         let logged = LoggedColl::ReduceScatter {
             comm,
             gen: self.gen_of(comm),
@@ -972,6 +1144,10 @@ impl Executor for ProxyClient {
         if self.skip_rest {
             return Ok(());
         }
+        self.flush_pending()?;
+        if self.skip_rest {
+            return Ok(());
+        }
         let logged = LoggedColl::Broadcast {
             comm,
             gen: self.gen_of(comm),
@@ -1007,6 +1183,10 @@ impl Executor for ProxyClient {
     }
 
     fn barrier(&mut self, comm: CommToken) -> SimResult<()> {
+        if self.skip_rest {
+            return Ok(());
+        }
+        self.flush_pending()?;
         if self.skip_rest {
             return Ok(());
         }
@@ -1049,6 +1229,10 @@ impl Executor for ProxyClient {
         if self.skip_rest {
             return Ok(());
         }
+        self.flush_pending()?;
+        if self.skip_rest {
+            return Ok(());
+        }
         let logged = LoggedOp::Send {
             dst,
             tag,
@@ -1077,6 +1261,10 @@ impl Executor for ProxyClient {
         if self.skip_rest {
             return Ok(());
         }
+        self.flush_pending()?;
+        if self.skip_rest {
+            return Ok(());
+        }
         let logged = LoggedOp::Recv { src, tag, seq, buf };
         loop {
             match self.exec_logged(&logged) {
@@ -1096,6 +1284,10 @@ impl Executor for ProxyClient {
     }
 
     fn begin_minibatch(&mut self, iteration: u64) -> SimResult<()> {
+        // Deferred calls belong to the *ending* minibatch: they must hit
+        // the device (and their Frees reach the graveyard) before the
+        // boundary commits frees and clears the log.
+        self.flush_pending()?;
         self.iteration = iteration;
         self.minibatch_started = true;
         self.skip_rest = false;
@@ -1115,6 +1307,7 @@ impl Executor for ProxyClient {
         if self.skip_rest {
             return Ok(());
         }
+        self.flush_pending()?;
         if self.verification_due() {
             let ok = self.verify_replay_log()?;
             if !ok {
@@ -1130,11 +1323,13 @@ impl Executor for ProxyClient {
     }
 
     fn post_optimizer(&mut self) -> SimResult<()> {
+        self.flush_pending()?;
         self.position = MinibatchPosition::AfterOptimizer;
         Ok(())
     }
 
     fn persistent_snapshot(&mut self) -> SimResult<(Vec<(String, BufferTag, Vec<f32>)>, u64)> {
+        self.flush_pending()?;
         let gpu = self.server.gpu();
         if !gpu.health().memory_readable() {
             return Err(SimError::CudaSticky(gpu.id));
@@ -1143,6 +1338,7 @@ impl Executor for ProxyClient {
     }
 
     fn restore_persistent(&mut self, snap: &[(String, BufferTag, Vec<f32>)]) -> SimResult<()> {
+        self.flush_pending()?;
         self.server.gpu_mut().restore_persistent(snap)
     }
 
@@ -1371,8 +1567,10 @@ mod tests {
         let g = alloc(&mut c, "g", vec![1.0], BufferTag::Gradient)?;
         // Poison the context mid-minibatch.
         c.inject(FailureKind::StickyCuda);
-        // The next call fails internally, the handler recovers, the call
-        // retries and succeeds — the "application" never sees an error.
+        // The launch is deferred; the fault surfaces inside the batched
+        // flush at the next synchronization point (the download below),
+        // the handler recovers, and the "application" never sees an
+        // error.
         c.call(DeviceCall::Launch {
             stream: s,
             kernel: KernelKind::Axpy {
@@ -1381,12 +1579,13 @@ mod tests {
                 y: w,
             },
         })?;
-        assert_eq!(handler.calls.load(Ordering::SeqCst), 1);
+        assert_eq!(handler.calls.load(Ordering::SeqCst), 0);
         // Param buffer contents were wiped by the context teardown in this
         // minimal handler (no replica restore), but the object exists and
         // the replayed upload of `g` reproduced the gradient. The full
         // restore path is exercised by the jitckpt engine's tests.
         assert_eq!(download(&mut c, g)?, vec![1.0]);
+        assert_eq!(handler.calls.load(Ordering::SeqCst), 1);
         Ok(())
     }
 
@@ -1497,7 +1696,10 @@ mod verification_tests {
             data: vec![0.5; 4],
         })?;
         // The implicit channel: host pokes a value into the activation
-        // buffer WITHOUT a logged Upload, then a logged kernel consumes it.
+        // buffer WITHOUT a logged Upload, then a logged kernel consumes
+        // it. (Like any host access to device memory, the poke requires
+        // the submission queue to be drained first.)
+        c.flush_pending()?;
         let phys_ids = c.server().gpu().buffer_ids();
         let phys_act = *phys_ids
             .last()

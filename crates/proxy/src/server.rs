@@ -12,8 +12,41 @@
 //! every buffer, stream, and event — exactly what a context teardown does)
 //! and bumps the epoch so stale physical handles are detectable.
 
-use simcore::{SimResult, SimTime};
+use bytes::Bytes;
+use simcore::codec::{concat_shards, split_shards, Decode, Encoder};
+use simcore::{SimError, SimResult, SimTime};
 use simgpu::{CallResult, DeviceCall, Gpu};
+
+/// Shard payload size for batched device-call frames. Small enough that
+/// a frame fits the shared-memory channel's message slab; large enough
+/// that a typical flush (hundreds of launches) is one or two frames.
+/// Oversized calls (large `Upload` payloads) simply straddle frames —
+/// the shard codec splits at exact byte boundaries.
+pub const BATCH_SHARD_BYTES: usize = 64 * 1024;
+
+/// Encodes a batch of device calls into a single contiguous message of
+/// length-prefixed, CRC-framed shards (the checkpoint shard format from
+/// [`simcore::codec`], reused as the client→server wire format).
+pub fn encode_batch(calls: &[DeviceCall], shard_payload: usize) -> Bytes {
+    let mut enc = Encoder::new(shard_payload);
+    enc.write(&(calls.len() as u64));
+    for call in calls {
+        enc.write(call);
+    }
+    concat_shards(&enc.finish())
+}
+
+/// Decodes a batched device-call frame produced by [`encode_batch`],
+/// verifying per-shard CRCs.
+pub fn decode_batch(frame: &Bytes) -> SimResult<Vec<DeviceCall>> {
+    let mut payload = split_shards(frame)?;
+    let n = u64::decode(&mut payload)? as usize;
+    let mut calls = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        calls.push(DeviceCall::decode(&mut payload)?);
+    }
+    Ok(calls)
+}
 
 /// The device proxy server: owns the GPU context for one rank.
 #[derive(Debug)]
@@ -32,6 +65,30 @@ impl ProxyServer {
     /// duration.
     pub fn exec(&mut self, call: &DeviceCall) -> SimResult<(CallResult, SimTime)> {
         self.gpu.exec(call)
+    }
+
+    /// Executes a batched frame of deferred calls in one round trip,
+    /// returning how many calls ran and their summed virtual duration.
+    ///
+    /// Only result-less calls (`Upload`, `CopyD2D`, `Launch`, `Free`) may
+    /// be deferred into a batch — anything producing a handle or data
+    /// must go through [`ProxyServer::exec`] synchronously, so a batched
+    /// call yielding a result is a protocol error. Execution stops at
+    /// the first failing call; the client discards the rest of the batch
+    /// and lets recovery's log replay regenerate their effects.
+    pub fn exec_batch(&mut self, frame: &Bytes) -> SimResult<(usize, SimTime)> {
+        let calls = decode_batch(frame)?;
+        let mut total = SimTime::ZERO;
+        for call in &calls {
+            let (result, t) = self.gpu.exec(call)?;
+            if !matches!(result, CallResult::None) {
+                return Err(SimError::Protocol(format!(
+                    "non-deferrable call in batch: {call:?}"
+                )));
+            }
+            total += t;
+        }
+        Ok((calls.len(), total))
     }
 
     /// Restarts the server process: clears all driver/GPU state (including
@@ -109,5 +166,125 @@ mod tests {
         s.attach_new_gpu(Gpu::new(GpuId(9), CostModel::v100()));
         assert_eq!(s.epoch(), 1);
         assert!(s.exec(&DeviceCall::DeviceSync).is_ok());
+    }
+}
+
+#[cfg(test)]
+mod batch_tests {
+    use super::*;
+    use simcore::cost::CostModel;
+    use simcore::GpuId;
+    use simgpu::{AllocSite, BufferId, BufferTag, KernelKind};
+
+    fn server() -> ProxyServer {
+        ProxyServer::new(Gpu::new(GpuId(0), CostModel::v100()))
+    }
+
+    fn alloc(s: &mut ProxyServer, elems: u64) -> SimResult<BufferId> {
+        match s
+            .exec(&DeviceCall::Malloc {
+                site: AllocSite::new("b", elems),
+                elems,
+                logical_bytes: elems * 4,
+                tag: BufferTag::Activation,
+            })?
+            .0
+        {
+            CallResult::Buffer(b) => Ok(b),
+            other => Err(SimError::Protocol(format!(
+                "expected buffer, got {other:?}"
+            ))),
+        }
+    }
+
+    #[test]
+    fn batch_frame_round_trips() -> SimResult<()> {
+        let calls = vec![
+            DeviceCall::Upload {
+                buf: BufferId(7),
+                data: vec![1.0; 300],
+            },
+            DeviceCall::Free { buf: BufferId(7) },
+        ];
+        // Tiny shard payload: the upload straddles several frames.
+        let frame = encode_batch(&calls, 64);
+        assert_eq!(decode_batch(&frame)?, calls);
+        Ok(())
+    }
+
+    #[test]
+    fn empty_batch_round_trips() -> SimResult<()> {
+        let frame = encode_batch(&[], BATCH_SHARD_BYTES);
+        assert!(decode_batch(&frame)?.is_empty());
+        Ok(())
+    }
+
+    #[test]
+    fn exec_batch_matches_per_call_execution() -> SimResult<()> {
+        let mut a = server();
+        let mut b = server();
+        // Physical ids come from a process-global counter, so each
+        // server builds the same logical program over its own handles.
+        let stream_of = |s: &mut ProxyServer| match s.exec(&DeviceCall::StreamCreate) {
+            Ok((CallResult::Stream(st), _)) => Ok(st),
+            other => Err(SimError::Protocol(format!(
+                "expected stream, got {other:?}"
+            ))),
+        };
+        let (ba, sa) = (alloc(&mut a, 8)?, stream_of(&mut a)?);
+        let (bb, sb) = (alloc(&mut b, 8)?, stream_of(&mut b)?);
+        let program = |buf: BufferId, stream| {
+            vec![
+                DeviceCall::Upload {
+                    buf,
+                    data: vec![2.0; 8],
+                },
+                DeviceCall::Launch {
+                    stream,
+                    kernel: KernelKind::Scale { x: buf, alpha: 3.0 },
+                },
+            ]
+        };
+        let mut per_call = SimTime::ZERO;
+        for c in &program(ba, sa) {
+            per_call += a.exec(c)?.1;
+        }
+        let (n, batched) = b.exec_batch(&encode_batch(&program(bb, sb), BATCH_SHARD_BYTES))?;
+        assert_eq!(n, 2);
+        assert_eq!(batched, per_call, "batching must not change virtual time");
+        let download = |s: &mut ProxyServer, buf| match s.exec(&DeviceCall::Download { buf }) {
+            Ok((CallResult::Data(d), _)) => Ok(d),
+            other => Err(SimError::Protocol(format!("expected data, got {other:?}"))),
+        };
+        assert_eq!(
+            download(&mut a, ba)?,
+            download(&mut b, bb)?,
+            "batched and per-call execution reach identical device state"
+        );
+        Ok(())
+    }
+
+    #[test]
+    fn exec_batch_rejects_result_producing_calls() {
+        let mut s = server();
+        let calls = vec![DeviceCall::Malloc {
+            site: AllocSite::new("b", 4),
+            elems: 4,
+            logical_bytes: 16,
+            tag: BufferTag::Param,
+        }];
+        assert!(s
+            .exec_batch(&encode_batch(&calls, BATCH_SHARD_BYTES))
+            .is_err());
+    }
+
+    #[test]
+    fn corrupt_batch_frame_is_rejected() {
+        let calls = vec![DeviceCall::DeviceSync];
+        let mut raw = encode_batch(&calls, BATCH_SHARD_BYTES).to_vec();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0xff;
+        let frame = Bytes::copy_from_slice(&raw);
+        assert!(decode_batch(&frame).is_err(), "CRC must catch corruption");
     }
 }

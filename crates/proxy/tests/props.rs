@@ -148,12 +148,273 @@ proptest! {
             }
         }
         let log_len = c.replay_log_len();
-        let image = c.worker_cpu_state();
+        let image = c.worker_cpu_state().unwrap();
         // Clobber, restore, compare.
         c.begin_minibatch(iteration + 1).unwrap();
         prop_assert_eq!(c.replay_log_len(), 0);
         c.restore_worker_cpu_state(&image).unwrap();
         prop_assert_eq!(c.replay_log_len(), log_len);
         prop_assert_eq!(c.iteration(), iteration);
+    }
+}
+
+/// Richer program alphabet for the compaction-equivalence property:
+/// overwrites, copies, frees, and event edges — everything the compactor
+/// is allowed to drop or must keep.
+#[derive(Debug, Clone)]
+enum RichOp {
+    Upload(usize, i8),
+    Scale(usize, f32),
+    Axpy(usize, usize, f32),
+    ReluInto(usize),
+    Copy(usize, usize),
+    Free(usize),
+    EventCreate,
+    Record(usize),
+    Wait(usize),
+    Download(usize),
+}
+
+fn rich_op_strategy() -> impl Strategy<Value = RichOp> {
+    prop_oneof![
+        (0usize..8, -9i8..9).prop_map(|(i, v)| RichOp::Upload(i, v)),
+        (0usize..8, -3.0f32..3.0).prop_map(|(i, a)| RichOp::Scale(i, a)),
+        (0usize..8, 0usize..8, -3.0f32..3.0).prop_map(|(i, j, a)| RichOp::Axpy(i, j, a)),
+        (0usize..8).prop_map(RichOp::ReluInto),
+        (0usize..8, 0usize..8).prop_map(|(i, j)| RichOp::Copy(i, j)),
+        (0usize..8).prop_map(RichOp::Free),
+        Just(RichOp::EventCreate),
+        (0usize..4).prop_map(RichOp::Record),
+        (0usize..4).prop_map(RichOp::Wait),
+        (0usize..8).prop_map(RichOp::Download),
+    ]
+}
+
+/// Tracked buffers: `(id, activation)`. The reset+replay model requires
+/// params to stay read-only inside the minibatch window (the existing
+/// §4.1 property asserts exactly that), and `reset_in_place` only
+/// preserves persistent buffers — so generated programs *write to and
+/// free* only in-minibatch activations, while reads may hit anything.
+fn apply_rich(
+    c: &mut ProxyClient,
+    s: simgpu::StreamId,
+    n: usize,
+    bufs: &mut Vec<(BufferId, bool)>,
+    events: &mut Vec<simgpu::EventId>,
+    next_act: &mut usize,
+    op: &RichOp,
+) {
+    let pick = |bufs: &Vec<(BufferId, bool)>, i: usize| bufs[i % bufs.len()].0;
+    // Pick a write target: the i-th live activation buffer (at least one
+    // always exists — `Free` never removes the last).
+    let pick_act = |bufs: &Vec<(BufferId, bool)>, i: usize| {
+        let acts: Vec<BufferId> = bufs.iter().filter(|(_, a)| *a).map(|(b, _)| *b).collect();
+        acts[i % acts.len()]
+    };
+    match op {
+        RichOp::Upload(i, v) => {
+            let b = pick_act(bufs, *i);
+            c.call(DeviceCall::Upload {
+                buf: b,
+                data: vec![*v as f32; n],
+            })
+            .unwrap();
+        }
+        RichOp::Scale(i, a) => {
+            let b = pick_act(bufs, *i);
+            c.call(DeviceCall::Launch {
+                stream: s,
+                kernel: KernelKind::Scale { alpha: *a, x: b },
+            })
+            .unwrap();
+        }
+        RichOp::Axpy(i, j, a) => {
+            let (x, y) = (pick(bufs, *i), pick_act(bufs, *j));
+            c.call(DeviceCall::Launch {
+                stream: s,
+                kernel: KernelKind::Axpy { alpha: *a, x, y },
+            })
+            .unwrap();
+        }
+        RichOp::ReluInto(i) => {
+            let x = pick(bufs, *i);
+            let out = c
+                .call(DeviceCall::Malloc {
+                    site: AllocSite::new(format!("act{next_act}"), n as u64),
+                    elems: n as u64,
+                    logical_bytes: n as u64 * 4,
+                    tag: BufferTag::Activation,
+                })
+                .unwrap()
+                .buffer()
+                .unwrap();
+            *next_act += 1;
+            c.call(DeviceCall::Launch {
+                stream: s,
+                kernel: KernelKind::Relu { x, out },
+            })
+            .unwrap();
+            bufs.push((out, true));
+        }
+        RichOp::Copy(i, j) => {
+            let (src, dst) = (pick(bufs, *i), pick_act(bufs, *j));
+            if src != dst {
+                c.call(DeviceCall::CopyD2D { src, dst }).unwrap();
+            }
+        }
+        RichOp::Free(i) => {
+            let act_positions: Vec<usize> = bufs
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, act))| *act)
+                .map(|(p, _)| p)
+                .collect();
+            // Keep at least one activation alive as a write target.
+            if act_positions.len() >= 2 {
+                let (b, _) = bufs.remove(act_positions[*i % act_positions.len()]);
+                c.call(DeviceCall::Free { buf: b }).unwrap();
+            }
+        }
+        RichOp::EventCreate => {
+            let e = c.call(DeviceCall::EventCreate).unwrap().event().unwrap();
+            events.push(e);
+        }
+        RichOp::Record(i) => {
+            if !events.is_empty() {
+                let e = events[i % events.len()];
+                c.call(DeviceCall::EventRecord {
+                    stream: s,
+                    event: e,
+                })
+                .unwrap();
+            }
+        }
+        RichOp::Wait(i) => {
+            if !events.is_empty() {
+                let e = events[i % events.len()];
+                c.call(DeviceCall::StreamWaitEvent {
+                    stream: s,
+                    event: e,
+                })
+                .unwrap();
+            }
+        }
+        RichOp::Download(i) => {
+            let b = pick(bufs, *i);
+            download(c, b);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The tentpole compaction invariant: replaying the compacted log
+    /// reaches a state bit-identical to replaying the full log (which in
+    /// turn reproduces the original execution).
+    #[test]
+    fn compacted_replay_is_bit_identical_to_full_replay(
+        init in proptest::collection::vec(-8.0f32..8.0, 4),
+        ops in proptest::collection::vec(rich_op_strategy(), 1..40),
+    ) {
+        let mut c = client();
+        let s = c.call(DeviceCall::StreamCreate).unwrap().stream().unwrap();
+        let n = init.len();
+        let w = alloc(&mut c, "w", init.clone(), BufferTag::Param);
+        let g = alloc(&mut c, "g", vec![0.25; n], BufferTag::Param);
+        c.begin_minibatch(0).unwrap();
+        let a0 = alloc(&mut c, "act_seed", vec![0.5; n], BufferTag::Activation);
+        let mut bufs: Vec<(BufferId, bool)> = vec![(w, false), (g, false), (a0, true)];
+        let mut events = Vec::new();
+        let mut next_act = 0usize;
+        for op in &ops {
+            apply_rich(&mut c, s, n, &mut bufs, &mut events, &mut next_act, op);
+        }
+        let full_len = c.replay_log_len();
+        let compact_len = c.compacted_log_len();
+        prop_assert!(compact_len <= full_len);
+        let state_of = |c: &mut ProxyClient, bufs: &[(BufferId, bool)]| -> Vec<Vec<u32>> {
+            bufs.iter()
+                .map(|(b, _)| download(c, *b).iter().map(|f| f.to_bits()).collect())
+                .collect()
+        };
+        let original = state_of(&mut c, &bufs);
+        // Full replay reproduces the original execution...
+        c.reset_in_place().unwrap();
+        c.replay_full().unwrap();
+        let via_full = state_of(&mut c, &bufs);
+        prop_assert_eq!(&original, &via_full);
+        // ...and compacted + parallel-decoded replay is bit-identical.
+        c.reset_in_place().unwrap();
+        c.replay().unwrap();
+        let via_compacted = state_of(&mut c, &bufs);
+        prop_assert_eq!(&original, &via_compacted);
+    }
+
+    /// Batched submission is semantically invisible: the same program at
+    /// flush-batch capacity 1 (a framed round trip per call) and the
+    /// default capacity produces bit-identical state AND identical
+    /// virtual time (cost charging distributes over the batch).
+    #[test]
+    fn batched_and_unbatched_execution_are_equivalent(
+        init in proptest::collection::vec(-10.0f32..10.0, 4),
+        ops in proptest::collection::vec(op_strategy(), 1..12),
+    ) {
+        fn run(mut c: ProxyClient, init: &[f32], ops: &[Op]) -> (Vec<u32>, simcore::SimTime) {
+            let s = c.call(DeviceCall::StreamCreate).unwrap().stream().unwrap();
+            let w = alloc(&mut c, "w", init.to_vec(), BufferTag::Param);
+            c.begin_minibatch(0).unwrap();
+            let cur = alloc(&mut c, "act", init.to_vec(), BufferTag::Activation);
+            for op in ops {
+                match op {
+                    Op::Scale(a) => {
+                        c.call(DeviceCall::Launch { stream: s, kernel: KernelKind::Scale { alpha: *a, x: cur } }).unwrap();
+                    }
+                    Op::Axpy(a) => {
+                        c.call(DeviceCall::Launch { stream: s, kernel: KernelKind::Axpy { alpha: *a, x: w, y: cur } }).unwrap();
+                    }
+                    Op::Relu => {
+                        c.call(DeviceCall::Launch { stream: s, kernel: KernelKind::Relu { x: cur, out: cur } }).unwrap();
+                    }
+                }
+            }
+            let bits = download(&mut c, cur).iter().map(|f| f.to_bits()).collect();
+            (bits, c.now())
+        }
+        let mut unbatched = client();
+        unbatched.set_batch_capacity(1).unwrap();
+        let (bits_1, t_1) = run(unbatched, &init, &ops);
+        let (bits_n, t_n) = run(client(), &init, &ops);
+        prop_assert_eq!(bits_1, bits_n);
+        // Virtual-time charging distributes over the batch up to float
+        // summation order (addition is not associative), so compare with
+        // a relative ULP-scale tolerance rather than bitwise.
+        let (a, b) = (t_1.as_secs(), t_n.as_secs());
+        prop_assert!((a - b).abs() <= 1e-12 * b.abs().max(1.0), "t_1={a} t_n={b}");
+    }
+
+    /// The batched wire format survives arbitrary call sequences and
+    /// shard payload sizes — including payloads far smaller than a
+    /// single call's encoding (oversized ops straddle shard frames) and
+    /// empty batches.
+    #[test]
+    fn batch_framing_round_trips(
+        payload in 16usize..200,
+        calls in proptest::collection::vec(
+            prop_oneof![
+                (1u64..99, proptest::collection::vec(-1.0f32..1.0, 0..600))
+                    .prop_map(|(b, data)| DeviceCall::Upload { buf: BufferId(b), data }),
+                (1u64..99).prop_map(|b| DeviceCall::Free { buf: BufferId(b) }),
+                Just(DeviceCall::DeviceSync),
+                (1u64..99, -4.0f32..4.0).prop_map(|(b, a)| DeviceCall::Launch {
+                    stream: simgpu::StreamId(7),
+                    kernel: KernelKind::Scale { alpha: a, x: BufferId(b) },
+                }),
+            ],
+            0..20,
+        ),
+    ) {
+        let frame = proxy::encode_batch(&calls, payload);
+        prop_assert_eq!(proxy::decode_batch(&frame).unwrap(), calls);
     }
 }

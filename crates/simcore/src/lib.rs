@@ -22,6 +22,7 @@ pub mod error;
 pub mod failure;
 pub mod ids;
 pub mod layout;
+pub mod pool;
 pub mod rng;
 pub mod time;
 

@@ -1,0 +1,93 @@
+//! Bounded fan-out worker pool.
+//!
+//! One shared pattern serves every CPU-parallel stage of the pipeline:
+//! the checkpoint writer fans shard encode/CRC/put work out across
+//! threads, and the proxy's recovery path fans replay-log decode out
+//! across per-stream lanes. Both need the same guarantees:
+//!
+//! * **bounded**: at most `workers` OS threads, scoped to the call (no
+//!   detached threads, no global pool to poison);
+//! * **lossless under spawn failure**: the calling thread always runs
+//!   the worker loop itself, so a failed `spawn_scoped` degrades to less
+//!   parallelism, never to lost work items;
+//! * **complete**: a shared atomic cursor hands out each index exactly
+//!   once, and `thread::scope` joins everything before returning.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs `work(i)` for every `i in 0..n` across at most `workers` threads
+/// (including the calling thread). Returns after all items complete.
+///
+/// `work` must be safe to call concurrently from multiple threads;
+/// per-item results should be written to index-addressed slots (e.g. a
+/// `Mutex<Vec<Option<T>>>`) so no ordering is lost.
+pub fn fan_out<F>(n: usize, workers: usize, name_prefix: &str, work: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let run = || loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        work(i);
+    };
+    let pool = workers.clamp(1, n);
+    std::thread::scope(|s| {
+        let run = &run;
+        for w in 1..pool {
+            let _ = std::thread::Builder::new()
+                .name(format!("{name_prefix}-w{w}"))
+                .spawn_scoped(s, run);
+        }
+        run();
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        fan_out(1000, 4, "test", |i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn zero_items_is_a_no_op() {
+        fan_out(0, 4, "test", |_| unreachable!("no items to hand out"));
+    }
+
+    #[test]
+    fn single_worker_runs_on_calling_thread() {
+        let tid = std::thread::current().id();
+        let seen = Mutex::new(Vec::new());
+        fan_out(8, 1, "test", |i| {
+            assert_eq!(std::thread::current().id(), tid);
+            seen.lock().push(i);
+        });
+        let mut got = seen.into_inner();
+        got.sort_unstable();
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn results_land_in_index_addressed_slots() {
+        let out: Mutex<Vec<Option<usize>>> = Mutex::new(vec![None; 100]);
+        fan_out(100, 8, "test", |i| {
+            out.lock()[i] = Some(i * i);
+        });
+        let got = out.into_inner();
+        assert!(got.iter().enumerate().all(|(i, v)| *v == Some(i * i)));
+    }
+}

@@ -293,6 +293,73 @@ impl KernelKind {
         }
     }
 
+    /// Buffers whose *contents* influence this kernel's outputs.
+    ///
+    /// `Zero` and `Fill` fetch their target only for its length, so the
+    /// target is not a read: the stored result is independent of what the
+    /// buffer held before. The log compactor relies on this split — an op
+    /// may be dropped only when nothing downstream reads what it wrote.
+    pub fn reads(&self) -> Vec<BufferId> {
+        match *self {
+            KernelKind::MatMul { a, b, .. } => vec![a, b],
+            KernelKind::BiasAdd { x, bias, .. } => vec![x, bias],
+            KernelKind::BiasGrad { dy, .. } => vec![dy],
+            KernelKind::Relu { x, .. } => vec![x],
+            KernelKind::ReluBwd { x, dy, .. } => vec![x, dy],
+            KernelKind::SoftmaxXentFwd { logits, labels, .. } => vec![logits, labels],
+            KernelKind::SoftmaxXentBwd { probs, labels, .. } => vec![probs, labels],
+            KernelKind::LayerNormFwd { x, gamma, beta, .. } => vec![x, gamma, beta],
+            KernelKind::LayerNormBwd {
+                x,
+                gamma,
+                dy,
+                mean,
+                rstd,
+                ..
+            } => vec![x, gamma, dy, mean, rstd],
+            KernelKind::Zero { .. } | KernelKind::Fill { .. } => vec![],
+            KernelKind::Axpy { x, y, .. } => vec![x, y],
+            KernelKind::Scale { x, .. } => vec![x],
+            KernelKind::SgdStep {
+                param,
+                grad,
+                momentum,
+                ..
+            } => vec![param, grad, momentum],
+            KernelKind::AdamStep {
+                param, grad, m, v, ..
+            } => vec![param, grad, m, v],
+        }
+    }
+
+    /// Buffers this kernel stores into. A written buffer whose id is not
+    /// also in [`KernelKind::reads`] is fully determined by the kernel's
+    /// inputs — the compactor treats it as an overwrite.
+    pub fn writes(&self) -> Vec<BufferId> {
+        match *self {
+            KernelKind::MatMul { out, .. } => vec![out],
+            KernelKind::BiasAdd { x, .. } => vec![x],
+            KernelKind::BiasGrad { dbias, .. } => vec![dbias],
+            KernelKind::Relu { out, .. } => vec![out],
+            KernelKind::ReluBwd { dx, .. } => vec![dx],
+            KernelKind::SoftmaxXentFwd { probs, loss, .. } => vec![probs, loss],
+            KernelKind::SoftmaxXentBwd { dlogits, .. } => vec![dlogits],
+            KernelKind::LayerNormFwd {
+                out, mean, rstd, ..
+            } => vec![out, mean, rstd],
+            KernelKind::LayerNormBwd {
+                dx, dgamma, dbeta, ..
+            } => vec![dx, dgamma, dbeta],
+            KernelKind::Zero { buf } | KernelKind::Fill { buf, .. } => vec![buf],
+            KernelKind::Axpy { y, .. } => vec![y],
+            KernelKind::Scale { x, .. } => vec![x],
+            KernelKind::SgdStep {
+                param, momentum, ..
+            } => vec![param, momentum],
+            KernelKind::AdamStep { param, m, v, .. } => vec![param, m, v],
+        }
+    }
+
     /// Executes the kernel against device memory.
     ///
     /// `fetch` clones a buffer's payload; `store` writes one back. The
@@ -1197,6 +1264,123 @@ mod tests {
             let framed = encode_framed(&k);
             let back: KernelKind = decode_framed(&framed).unwrap();
             assert_eq!(back, k);
+        }
+    }
+
+    #[test]
+    fn reads_writes_partition_buffers() {
+        let b = BufferId;
+        let all = vec![
+            KernelKind::MatMul {
+                a: b(1),
+                b: b(2),
+                out: b(3),
+                m: 2,
+                k: 2,
+                n: 2,
+                trans_a: false,
+                trans_b: false,
+            },
+            KernelKind::BiasAdd {
+                x: b(1),
+                bias: b(2),
+                rows: 1,
+                cols: 1,
+            },
+            KernelKind::BiasGrad {
+                dy: b(1),
+                dbias: b(2),
+                rows: 1,
+                cols: 1,
+            },
+            KernelKind::Relu { x: b(1), out: b(2) },
+            KernelKind::ReluBwd {
+                x: b(1),
+                dy: b(2),
+                dx: b(3),
+            },
+            KernelKind::SoftmaxXentFwd {
+                logits: b(1),
+                labels: b(2),
+                probs: b(3),
+                loss: b(4),
+                rows: 1,
+                cols: 1,
+            },
+            KernelKind::SoftmaxXentBwd {
+                probs: b(1),
+                labels: b(2),
+                dlogits: b(3),
+                rows: 1,
+                cols: 1,
+            },
+            KernelKind::LayerNormFwd {
+                x: b(1),
+                gamma: b(2),
+                beta: b(3),
+                out: b(4),
+                mean: b(5),
+                rstd: b(6),
+                rows: 1,
+                cols: 1,
+            },
+            KernelKind::LayerNormBwd {
+                x: b(1),
+                gamma: b(2),
+                dy: b(3),
+                mean: b(4),
+                rstd: b(5),
+                dx: b(6),
+                dgamma: b(7),
+                dbeta: b(8),
+                rows: 1,
+                cols: 1,
+            },
+            KernelKind::Zero { buf: b(1) },
+            KernelKind::Fill {
+                buf: b(1),
+                value: 1.0,
+            },
+            KernelKind::Axpy {
+                alpha: 1.0,
+                x: b(1),
+                y: b(2),
+            },
+            KernelKind::Scale {
+                alpha: 1.0,
+                x: b(1),
+            },
+            KernelKind::SgdStep {
+                param: b(1),
+                grad: b(2),
+                momentum: b(3),
+                lr: 0.1,
+                mu: 0.9,
+                weight_decay: 0.0,
+            },
+            KernelKind::AdamStep {
+                param: b(1),
+                grad: b(2),
+                m: b(3),
+                v: b(4),
+                lr: 0.1,
+                beta1: 0.9,
+                beta2: 0.99,
+                eps: 1e-8,
+                t: 1,
+                weight_decay: 0.0,
+            },
+        ];
+        for k in &all {
+            let mut union: Vec<BufferId> = k.reads();
+            union.extend(k.writes());
+            union.sort_by_key(|id| id.0);
+            union.dedup();
+            let mut declared = k.buffers();
+            declared.sort_by_key(|id| id.0);
+            declared.dedup();
+            assert_eq!(union, declared, "reads ∪ writes ≠ buffers for {k:?}");
+            assert!(!k.writes().is_empty(), "every kernel writes: {k:?}");
         }
     }
 

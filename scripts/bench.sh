@@ -1,20 +1,33 @@
 #!/usr/bin/env sh
-# Checkpoint-pipeline benchmark driver: runs the monolithic-vs-sharded
-# write/read/assemble measurement at a 64 MiB synthetic TrainState and
-# emits BENCH_ckpt.json (throughput MB/s per config + delta hit-rate)
-# at the repository root. Optional args pass through:
+# Benchmark driver: regenerates both shipped benchmark reports at the
+# repository root.
 #
-#   scripts/bench.sh [payload_mib] [out_path]
+#   BENCH_ckpt.json  — monolithic-vs-sharded checkpoint write/read/
+#                      assemble throughput at a 64 MiB synthetic
+#                      TrainState, plus the delta-mode hit rate.
+#   BENCH_proxy.json — transparent-interception per-op overhead
+#                      (batched vs per-call flushing vs direct), the
+#                      flush-capacity sweep, and replay time with and
+#                      without log compaction.
+#
+# Optional args pass through to the checkpoint bench:
+#
+#   scripts/bench.sh [payload_mib] [ckpt_out_path]
 set -eu
 cd "$(dirname "$0")/.."
 
 PAYLOAD_MIB="${1:-64}"
 OUT="${2:-BENCH_ckpt.json}"
+PROXY_OUT="${PROXY_OUT:-BENCH_proxy.json}"
 
 echo "==> cargo run --release -p bench --bin ckpt_bench -- ${PAYLOAD_MIB} ${OUT}"
 cargo run --release --quiet -p bench --bin ckpt_bench -- "${PAYLOAD_MIB}" "${OUT}"
 
-echo "==> criterion micro-benches (ckpt)"
-cargo bench -p bench --bench ckpt --quiet
+echo "==> cargo run --release -p bench --bin proxy_bench -- 20000 12000 ${PROXY_OUT}"
+cargo run --release --quiet -p bench --bin proxy_bench -- 20000 12000 "${PROXY_OUT}"
 
-echo "bench.sh: wrote ${OUT}"
+echo "==> criterion micro-benches (ckpt, proxy)"
+cargo bench -p bench --bench ckpt --quiet
+cargo bench -p bench --bench proxy --quiet
+
+echo "bench.sh: wrote ${OUT} and ${PROXY_OUT}"

@@ -19,4 +19,7 @@ cargo build --benches --workspace --quiet
 echo '==> jitlint'
 cargo run -p lint --quiet
 
+echo '==> proxy_bench smoke (tiny sizes, throwaway output)'
+cargo run --release --quiet -p bench --bin proxy_bench -- 500 600 target/BENCH_proxy.smoke.json
+
 echo 'check.sh: all gates passed'

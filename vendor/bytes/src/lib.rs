@@ -28,9 +28,14 @@ macro_rules! fmt_bytes_debug {
 }
 
 /// A cheaply cloneable, immutable slice of a shared byte buffer.
+///
+/// Backed by `Arc<Vec<u8>>` (not `Arc<[u8]>`) so that `Bytes::from(vec)`
+/// and [`BytesMut::freeze`] take ownership of the allocation instead of
+/// copying it — freezing a multi-hundred-MiB checkpoint stream must be
+/// O(1), not O(n).
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -110,7 +115,7 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let end = v.len();
         Bytes {
-            data: v.into(),
+            data: Arc::new(v),
             start: 0,
             end,
         }
@@ -210,6 +215,16 @@ impl BytesMut {
     /// Appends a slice.
     pub fn extend_from_slice(&mut self, other: &[u8]) {
         self.data.extend_from_slice(other);
+    }
+
+    /// Reserves capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    /// Empties the buffer, keeping its allocation for reuse.
+    pub fn clear(&mut self) {
+        self.data.clear();
     }
 
     /// Freezes the buffer into an immutable [`Bytes`].
