@@ -1,0 +1,46 @@
+//! Chunked-reduction micro-benchmark: the cache-blocked per-chunk
+//! reduction at the heart of the ring engine vs the slot reference's
+//! monolithic full-vector accumulation, isolated from rendezvous and
+//! thread costs.
+
+use collectives::ring::reduce_chunked;
+use collectives::{ReduceOp, RingConfig};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+/// The slot engine's data plane: clone contribution 0, then stream the
+/// full vector through cache once per remaining peer.
+fn reduce_monolithic(contribs: &[&[f32]]) -> Vec<f32> {
+    let mut acc = contribs[0].to_vec();
+    for c in &contribs[1..] {
+        for (a, b) in acc.iter_mut().zip(*c) {
+            *a += *b;
+        }
+    }
+    acc
+}
+
+fn bench_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coll_reduce");
+    for (n, elems) in [(4usize, 1usize << 18), (8, 1 << 18)] {
+        let contribs: Vec<Vec<f32>> = (0..n)
+            .map(|r| (0..elems).map(|i| ((i + r) % 97) as f32).collect())
+            .collect();
+        let refs: Vec<&[f32]> = contribs.iter().map(Vec::as_slice).collect();
+        group.throughput(Throughput::Bytes((n * elems * 4) as u64));
+        group.bench_function(format!("monolithic_n{n}_{elems}"), |b| {
+            b.iter(|| black_box(reduce_monolithic(black_box(&refs))))
+        });
+        let cfg = RingConfig {
+            chunk_bytes: 128 * 1024,
+            workers: 1,
+        };
+        group.bench_function(format!("chunked_n{n}_{elems}"), |b| {
+            b.iter(|| black_box(reduce_chunked(black_box(&refs), ReduceOp::Sum, &cfg).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reduce);
+criterion_main!(benches);

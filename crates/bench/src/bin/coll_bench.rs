@@ -1,0 +1,85 @@
+//! Collective data-plane benchmark: slot reference vs chunked ring
+//! all-reduce wall time across world and payload sizes, bucketed-overlap
+//! minibatch time, and pipelined recovery streaming vs the store
+//! round-trip, emitted as `BENCH_coll.json`.
+//!
+//! ```sh
+//! coll_bench [reps] [recovery_mib] [out_path]
+//! ```
+//!
+//! Defaults: 6 timed repetitions per point, a 64 MiB recovery state,
+//! report written to `BENCH_coll.json` in the working directory.
+
+use bench::collbench::run_coll_bench;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let reps: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(6);
+    let recovery_mib: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(64);
+    let out_path = args
+        .get(2)
+        .cloned()
+        .unwrap_or_else(|| "BENCH_coll.json".to_string());
+    let worlds = [2usize, 4, 8];
+    let payloads = [64 << 10, 1 << 20, 4 << 20];
+    eprintln!(
+        "measuring collectives: worlds {worlds:?} x payloads {payloads:?} B, \
+         {reps} reps/point, {recovery_mib} MiB recovery state ..."
+    );
+    let report = match run_coll_bench(&worlds, &payloads, reps, 4, 3, recovery_mib) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("benchmark failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "{:<6} {:>12} {:>10} {:>10} {:>8}",
+        "world", "payload B", "slot ms", "ring ms", "speedup"
+    );
+    for p in &report.ring {
+        println!(
+            "{:<6} {:>12} {:>10.3} {:>10.3} {:>7.2}x",
+            p.world,
+            p.payload_bytes,
+            p.slot_ms,
+            p.ring_ms,
+            p.speedup()
+        );
+    }
+    println!(
+        "min speedup at scale (world >= 4, payload >= 1 MiB): {:.2}x",
+        report.min_speedup_at_scale()
+    );
+    let o = &report.overlap;
+    println!(
+        "bucket overlap (dp={}, {} iters): eager {:.6} s/mb, bucketed {:.6} s/mb \
+         ({:.6} s saved)",
+        o.dp,
+        o.iters,
+        o.eager_s,
+        o.bucketed_s,
+        o.saving_s()
+    );
+    let r = &report.recovery;
+    println!(
+        "recovery ({} MiB state): streamed {:.3} s vs store round-trip {:.3} s \
+         ({:.2}x)",
+        r.state_bytes >> 20,
+        r.streamed_s,
+        r.store_s,
+        r.speedup()
+    );
+    if report.min_speedup_at_scale() < 2.0 {
+        eprintln!(
+            "WARNING: ring speedup below the 2x acceptance floor at scale \
+             ({:.2}x)",
+            report.min_speedup_at_scale()
+        );
+    }
+    if let Err(e) = std::fs::write(&out_path, report.to_json()) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
+}

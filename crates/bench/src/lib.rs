@@ -11,6 +11,7 @@
 //! reproduction targets (see EXPERIMENTS.md).
 
 pub mod ckpt;
+pub mod collbench;
 pub mod montecarlo;
 pub mod proxybench;
 

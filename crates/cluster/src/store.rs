@@ -44,6 +44,10 @@ pub struct SharedStore {
     /// only a fraction of its payload (simulates a writer crashing
     /// mid-write), then clears.
     truncate_next: Mutex<Option<WriteFault>>,
+    /// Number of `get` calls served (object reads). Tests and benches use
+    /// this to observe store traffic — e.g. that streamed replica
+    /// recovery reads each checkpoint once instead of once per rank.
+    reads: std::sync::atomic::AtomicU64,
 }
 
 impl SharedStore {
@@ -105,11 +109,18 @@ impl SharedStore {
     /// Reads an object.
     pub fn get(&self, path: impl AsRef<str>) -> SimResult<Bytes> {
         let path = path.as_ref();
+        self.reads
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         self.stripe(path)
             .read()
             .get(path)
             .cloned()
             .ok_or_else(|| SimError::Storage(format!("no object at {path}")))
+    }
+
+    /// Number of object reads served so far.
+    pub fn read_count(&self) -> u64 {
+        self.reads.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// True if the object exists.

@@ -28,6 +28,7 @@
 //! ([`Communicator::adopt_completed_from`]).
 
 use crate::observer::{CollectiveObserver, CollectiveTicket};
+use crate::ring::{self, CollEngine};
 use crate::world::CommId;
 use parking_lot::{Condvar, Mutex};
 use simcore::cost::CostModel;
@@ -97,8 +98,17 @@ pub struct Communicator {
     cost: CostModel,
     state: Mutex<CommState>,
     cv: Condvar,
+    /// Separate condvar for `wait_for_parked` observers, so a rank
+    /// parking does not thundering-herd every other parked rank awake.
+    obs_cv: Condvar,
     aborted: AtomicBool,
     hang_timeout: Option<Duration>,
+    engine: CollEngine,
+    /// Per-hop link class of the rank-order ring (`true` = intra-node);
+    /// drives the ring cost model. Defaults to contiguous placement,
+    /// overridable from real cluster topology via
+    /// [`Communicator::set_ring_topology`].
+    hops_same_node: Vec<bool>,
 }
 
 impl Communicator {
@@ -114,6 +124,7 @@ impl Communicator {
     ) -> Arc<Self> {
         assert_eq!(ranks.len(), clock_idx.len());
         let map = ranks.iter().copied().zip(clock_idx).collect();
+        let hops = ring::ring_hop_classes(&ranks, ranks_per_node);
         Arc::new(Communicator {
             id,
             ranks,
@@ -123,8 +134,11 @@ impl Communicator {
             cost,
             state: Mutex::new(CommState::default()),
             cv: Condvar::new(),
+            obs_cv: Condvar::new(),
             aborted: AtomicBool::new(false),
             hang_timeout: None,
+            engine: CollEngine::default(),
+            hops_same_node: hops,
         })
     }
 
@@ -138,17 +152,13 @@ impl Communicator {
         self.ranks.len()
     }
 
-    /// Sets a real-time hang timeout: a rank blocked longer than this
-    /// returns [`SimError::CollectiveTimeout`] instead of waiting for an
-    /// abort. (The transparent design leaves this unset and relies on the
-    /// proxy watchdog + abort instead.)
-    pub fn set_hang_timeout(self: &Arc<Self>, timeout: Option<Duration>) -> Arc<Self> {
-        // Communicators are shared immutably; timeout is configured at
-        // creation time by rebuilding. Kept simple: construct a clone.
+    /// Communicators are shared immutably; configuration changes rebuild
+    /// a fresh clone with empty slot state.
+    fn rebuild(&self, timeout: Option<Duration>, engine: CollEngine, hops: Vec<bool>) -> Arc<Self> {
         let mut clock_idx_pairs: Vec<(RankId, usize)> =
             self.clock_idx.iter().map(|(r, i)| (*r, *i)).collect();
         clock_idx_pairs.sort();
-        let comm = Communicator {
+        Arc::new(Communicator {
             id: self.id,
             ranks: self.ranks.clone(),
             clock_idx: clock_idx_pairs.into_iter().collect(),
@@ -157,10 +167,48 @@ impl Communicator {
             cost: self.cost.clone(),
             state: Mutex::new(CommState::default()),
             cv: Condvar::new(),
+            obs_cv: Condvar::new(),
             aborted: AtomicBool::new(false),
             hang_timeout: timeout,
-        };
-        Arc::new(comm)
+            engine,
+            hops_same_node: hops,
+        })
+    }
+
+    /// Sets a real-time hang timeout: a rank blocked longer than this
+    /// returns [`SimError::CollectiveTimeout`] instead of waiting for an
+    /// abort. (The transparent design leaves this unset and relies on the
+    /// proxy watchdog + abort instead.)
+    pub fn set_hang_timeout(self: &Arc<Self>, timeout: Option<Duration>) -> Arc<Self> {
+        self.rebuild(timeout, self.engine, self.hops_same_node.clone())
+    }
+
+    /// Selects the data-plane engine (chunked ring by default; the slot
+    /// reference is kept for bit-identity checks and benchmarking).
+    pub fn set_engine(self: &Arc<Self>, engine: CollEngine) -> Arc<Self> {
+        self.rebuild(self.hang_timeout, engine, self.hops_same_node.clone())
+    }
+
+    /// Overrides the per-hop link classes of the rank-order ring
+    /// (`true` = intra-node hop) with real placement knowledge from the
+    /// cluster topology (`Cluster::ring_hop_classes`). Length must equal
+    /// the group size (or be empty for a singleton group).
+    pub fn set_ring_topology(self: &Arc<Self>, hops_same_node: Vec<bool>) -> Arc<Self> {
+        assert_eq!(
+            hops_same_node.len(),
+            if self.ranks.len() <= 1 {
+                0
+            } else {
+                self.ranks.len()
+            },
+            "one link class per ring hop"
+        );
+        self.rebuild(self.hang_timeout, self.engine, hops_same_node)
+    }
+
+    /// The data-plane engine in effect.
+    pub fn engine(&self) -> CollEngine {
+        self.engine
     }
 
     /// True once the communicator has been aborted.
@@ -172,7 +220,13 @@ impl Communicator {
     /// [`SimError::CollectiveAborted`]. Idempotent.
     pub fn abort(&self) {
         self.aborted.store(true, Ordering::Release);
+        // Completion waits are purely notify-driven, so the notify must be
+        // ordered against the waiters' abort check: holding the state lock
+        // guarantees any rank that saw `aborted == false` has since parked
+        // and receives this wake-up (no lost-wakeup window).
+        let _st = self.state.lock();
         self.cv.notify_all();
+        self.obs_cv.notify_all();
     }
 
     /// Blocks until at least `n` member threads are parked inside a
@@ -189,7 +243,7 @@ impl Communicator {
             if now >= deadline {
                 return false;
             }
-            self.cv.wait_for(&mut st, deadline - now);
+            self.obs_cv.wait_for(&mut st, deadline - now);
         }
         true
     }
@@ -200,22 +254,34 @@ impl Communicator {
     /// at the barrier — exactly how a single NIC/link fault manifests in
     /// a real job (§3.1: the victim sees an error, peers see a hang).
     pub fn inject_transient_fault(&self, victim: RankId) {
-        self.state.lock().pending_fault = Some(victim);
+        let mut st = self.state.lock();
+        st.pending_fault = Some(victim);
         self.cv.notify_all();
     }
 
     fn coll_cost(&self, kind: CollKind, bytes: u64) -> simcore::SimTime {
         let n = self.ranks.len();
         match kind {
-            CollKind::AllReduce => self.cost.all_reduce(bytes, n, self.ranks_per_node),
+            CollKind::AllReduce => match self.engine {
+                CollEngine::Slot => self.cost.all_reduce(bytes, n, self.ranks_per_node),
+                CollEngine::Ring(_) => self.cost.ring_all_reduce(bytes, n, self.inter_hops()),
+            },
             CollKind::AllGather | CollKind::ReduceScatter | CollKind::Broadcast => {
-                self.cost.all_gather(bytes, n, self.ranks_per_node)
+                match self.engine {
+                    CollEngine::Slot => self.cost.all_gather(bytes, n, self.ranks_per_node),
+                    CollEngine::Ring(_) => self.cost.ring_all_gather(bytes, n, self.inter_hops()),
+                }
             }
             CollKind::Barrier => simcore::SimTime::from_secs(
                 self.cost.coll_latency.as_secs() * (n as f64).log2().ceil().max(1.0),
             ),
             CollKind::Rendezvous => self.cost.comm_init,
         }
+    }
+
+    /// Number of ring hops crossing a node boundary.
+    fn inter_hops(&self) -> usize {
+        self.hops_same_node.iter().filter(|same| !**same).count()
     }
 
     /// Copies the predecessor communicator's completed-slot cache into
@@ -244,7 +310,12 @@ impl Communicator {
     /// Drops cached slots with `gen < floor` (memory hygiene on very long
     /// jobs; recovery never replays past the previous minibatch).
     pub fn prune_below(&self, floor: u64) {
-        self.state.lock().slots.retain(|g, _| *g >= floor);
+        let mut st = self.state.lock();
+        st.slots.retain(|g, _| *g >= floor);
+        // Completion waits are notify-driven: wake parked ranks so anyone
+        // whose (incomplete) slot was just pruned reports the protocol
+        // error instead of sleeping forever.
+        self.cv.notify_all();
     }
 
     /// Core matched-collective protocol. Returns the operation result for
@@ -350,7 +421,10 @@ impl Communicator {
         if slot.contributions.len() == n && !slot.complete {
             // Last arrival: reduce deterministically in rank order and
             // advance every member's clock past the barrier.
-            let result = reduce(slot, n)?;
+            let result = match self.engine {
+                CollEngine::Slot => reduce(slot, n)?,
+                CollEngine::Ring(cfg) => ring_reduce(slot, n, &cfg)?,
+            };
             slot.result = Some(Arc::new(result));
             slot.complete = true;
             let idxs: Vec<usize> = self.ranks.iter().map(|r| self.clock_idx[r]).collect();
@@ -378,13 +452,26 @@ impl Communicator {
                     return Err(SimError::CollectiveAborted);
                 }
                 if let Some(limit) = self.hang_timeout {
-                    if started.elapsed() > limit {
+                    if started.elapsed() >= limit {
                         return Err(SimError::CollectiveTimeout { rank });
                     }
                 }
+                // Purely notify-driven wait: completion, abort, fault
+                // injection, and prune all notify under the state lock, so
+                // there is no lost-wakeup window and no poll quantum on the
+                // hot path. With a hang timeout armed, wait exactly the
+                // remaining budget instead.
                 st.parked += 1;
-                self.cv.notify_all(); // Wake `wait_for_parked` observers.
-                self.cv.wait_for(st, Duration::from_millis(2));
+                self.obs_cv.notify_all(); // Wake `wait_for_parked` observers.
+                match self.hang_timeout {
+                    None => {
+                        self.cv.wait(st);
+                    }
+                    Some(limit) => {
+                        self.cv
+                            .wait_for(st, limit.saturating_sub(started.elapsed()));
+                    }
+                }
                 st.parked -= 1;
             }
         }
@@ -398,6 +485,9 @@ impl Communicator {
     /// All-reduce at sequence number `gen`: every rank contributes an
     /// equal-length vector, every rank receives the reduction.
     /// `logical_bytes` drives the cost model (phantom scaling).
+    ///
+    /// Delivers a private copy per rank (the seed's slot semantics); the
+    /// hot path uses [`Communicator::all_reduce_shared`] instead.
     pub fn all_reduce(
         &self,
         rank: RankId,
@@ -407,7 +497,23 @@ impl Communicator {
         logical_bytes: u64,
         obs: &dyn CollectiveObserver,
     ) -> SimResult<Vec<f32>> {
-        let res = self.run(
+        let res = self.all_reduce_shared(rank, gen, data, op, logical_bytes, obs)?;
+        Ok((*res).clone())
+    }
+
+    /// All-reduce with zero-copy shared delivery: every rank receives the
+    /// same immutable `Arc` of the reduction instead of a private
+    /// full-vector clone — the ring engine's delivery contract.
+    pub fn all_reduce_shared(
+        &self,
+        rank: RankId,
+        gen: u64,
+        data: Vec<f32>,
+        op: ReduceOp,
+        logical_bytes: u64,
+        obs: &dyn CollectiveObserver,
+    ) -> SimResult<Arc<Vec<f32>>> {
+        self.run(
             rank,
             gen,
             CollKind::AllReduce,
@@ -416,8 +522,7 @@ impl Communicator {
             Some(data),
             logical_bytes,
             obs,
-        )?;
-        Ok((*res).clone())
+        )
     }
 
     /// All-gather: concatenation of all contributions in rank order.
@@ -429,7 +534,20 @@ impl Communicator {
         logical_bytes: u64,
         obs: &dyn CollectiveObserver,
     ) -> SimResult<Vec<f32>> {
-        let res = self.run(
+        let res = self.all_gather_shared(rank, gen, data, logical_bytes, obs)?;
+        Ok((*res).clone())
+    }
+
+    /// All-gather with zero-copy shared delivery.
+    pub fn all_gather_shared(
+        &self,
+        rank: RankId,
+        gen: u64,
+        data: Vec<f32>,
+        logical_bytes: u64,
+        obs: &dyn CollectiveObserver,
+    ) -> SimResult<Arc<Vec<f32>>> {
+        self.run(
             rank,
             gen,
             CollKind::AllGather,
@@ -438,8 +556,7 @@ impl Communicator {
             Some(data),
             logical_bytes,
             obs,
-        )?;
-        Ok((*res).clone())
+        )
     }
 
     /// Reduce-scatter: reduce all contributions, then return this rank's
@@ -484,7 +601,22 @@ impl Communicator {
         logical_bytes: u64,
         obs: &dyn CollectiveObserver,
     ) -> SimResult<Vec<f32>> {
-        let res = self.run(
+        let res = self.broadcast_shared(rank, gen, root, data, logical_bytes, obs)?;
+        Ok((*res).clone())
+    }
+
+    /// Broadcast with zero-copy shared delivery.
+    #[allow(clippy::too_many_arguments)]
+    pub fn broadcast_shared(
+        &self,
+        rank: RankId,
+        gen: u64,
+        root: RankId,
+        data: Option<Vec<f32>>,
+        logical_bytes: u64,
+        obs: &dyn CollectiveObserver,
+    ) -> SimResult<Arc<Vec<f32>>> {
+        self.run(
             rank,
             gen,
             CollKind::Broadcast,
@@ -493,8 +625,7 @@ impl Communicator {
             data,
             logical_bytes,
             obs,
-        )?;
-        Ok((*res).clone())
+        )
     }
 
     /// Barrier across the group.
@@ -576,6 +707,62 @@ fn reduce(slot: &Slot, n: usize) -> SimResult<Vec<f32>> {
                 .ok_or_else(|| SimError::Protocol("broadcast root contributed no data".into()))
         }
         CollKind::Barrier | CollKind::Rendezvous => Ok(Vec::new()),
+    }
+}
+
+/// Ring-engine data plane: chunked parallel reduction / linear gather over
+/// zero-copy subslices of the parked contributions. Bit-identical to
+/// [`reduce`] (see [`crate::ring`]).
+fn ring_reduce(slot: &mut Slot, n: usize, cfg: &ring::RingConfig) -> SimResult<Vec<f32>> {
+    match slot.kind {
+        CollKind::AllReduce | CollKind::ReduceScatter => {
+            let op = slot.op.expect("reduce op present");
+            // The communicator owns every parked contribution and nothing
+            // reads them after completion (replay serves the cached
+            // result), so the rank-order first buffer is taken by value
+            // and becomes the accumulator — the ring hot path allocates
+            // and copies nothing.
+            let first_rank = *slot
+                .contributions
+                .keys()
+                .next()
+                .ok_or_else(|| SimError::Protocol("reduce without contribution".into()))?;
+            let seed = slot
+                .contributions
+                .get_mut(&first_rank)
+                .expect("first key present")
+                .take()
+                .ok_or_else(|| SimError::Protocol("missing contribution".into()))?;
+            let mut peers: Vec<&[f32]> = Vec::with_capacity(n.saturating_sub(1));
+            for (r, d) in slot.contributions.iter() {
+                if *r == first_rank {
+                    continue;
+                }
+                peers.push(
+                    d.as_deref()
+                        .ok_or_else(|| SimError::Protocol("missing contribution".into()))?,
+                );
+            }
+            let len = seed.len();
+            if slot.kind == CollKind::ReduceScatter && len % n != 0 {
+                return Err(SimError::Protocol(format!(
+                    "reduce-scatter length {len} not divisible by {n}"
+                )));
+            }
+            ring::reduce_seeded(seed, &peers, op, cfg)
+        }
+        CollKind::AllGather => {
+            let mut contribs: Vec<&[f32]> = Vec::with_capacity(n);
+            for d in slot.contributions.values() {
+                contribs.push(
+                    d.as_deref()
+                        .ok_or_else(|| SimError::Protocol("missing contribution".into()))?,
+                );
+            }
+            Ok(ring::gather_chunked(&contribs))
+        }
+        // Broadcast and the data-free kinds have no reduction to chunk.
+        CollKind::Broadcast | CollKind::Barrier | CollKind::Rendezvous => reduce(slot, n),
     }
 }
 
@@ -730,6 +917,82 @@ mod tests {
         });
         let err = h.join().unwrap().unwrap_err();
         assert!(matches!(err, SimError::CollectiveTimeout { rank } if rank == RankId(0)));
+    }
+
+    /// Both data-plane engines, including a ring config that forces
+    /// multi-chunk schedules on tiny payloads.
+    fn engines() -> [CollEngine; 2] {
+        [
+            CollEngine::Slot,
+            CollEngine::Ring(ring::RingConfig {
+                chunk_bytes: 8,
+                workers: 2,
+            }),
+        ]
+    }
+
+    #[test]
+    fn hang_and_abort_observables_are_engine_invariant() {
+        // The ring engine replaces only the data plane; a rank failing
+        // mid-ring-step must leave peers with exactly the slot
+        // protocol's §3.1 observables — parked at the barrier, then
+        // released by abort with CollectiveAborted.
+        for engine in engines() {
+            let comm = make_comm(3).set_engine(engine);
+            let c0 = comm.clone();
+            let h0 = thread::spawn(move || {
+                c0.all_reduce(
+                    RankId(0),
+                    0,
+                    vec![1.0; 16],
+                    ReduceOp::Sum,
+                    64,
+                    &NullObserver,
+                )
+            });
+            let c2 = comm.clone();
+            let h2 = thread::spawn(move || {
+                c2.all_reduce(
+                    RankId(2),
+                    0,
+                    vec![1.0; 16],
+                    ReduceOp::Sum,
+                    64,
+                    &NullObserver,
+                )
+            });
+            assert!(comm.wait_for_parked(2, Duration::from_secs(5)));
+            assert!(!h0.is_finished(), "rank 0 must be parked ({engine:?})");
+            assert!(!h2.is_finished(), "rank 2 must be parked ({engine:?})");
+            comm.abort();
+            assert_eq!(h0.join().unwrap().unwrap_err(), SimError::CollectiveAborted);
+            assert_eq!(h2.join().unwrap().unwrap_err(), SimError::CollectiveAborted);
+        }
+    }
+
+    #[test]
+    fn hang_timeout_is_engine_invariant() {
+        for engine in engines() {
+            let comm = make_comm(2)
+                .set_engine(engine)
+                .set_hang_timeout(Some(Duration::from_millis(30)));
+            let c = comm.clone();
+            let h = thread::spawn(move || {
+                c.all_reduce(
+                    RankId(0),
+                    0,
+                    vec![1.0; 16],
+                    ReduceOp::Sum,
+                    64,
+                    &NullObserver,
+                )
+            });
+            let err = h.join().unwrap().unwrap_err();
+            assert!(
+                matches!(err, SimError::CollectiveTimeout { rank } if rank == RankId(0)),
+                "unexpected {err:?} under {engine:?}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,311 @@
+//! Chunked ring collective engine.
+//!
+//! The slot-based reference protocol in [`crate::comm`] reduces every
+//! collective in a single pass over full `Vec<f32>` copies: the last
+//! arrival clones contribution 0, streams the whole vector through cache
+//! once per peer, and then every rank clones the complete result out of
+//! the slot. That is 2·n full-payload touches beyond the unavoidable
+//! n−1 accumulation passes.
+//!
+//! The ring engine keeps the exact same matched-slot rendezvous (which is
+//! what gives collectives their barrier/hang/abort semantics — see the
+//! crate docs) but replaces the data plane:
+//!
+//! * the payload is split into fixed-size **chunks**, the unit that moves
+//!   through the 2·(n−1) per-rank ring steps of reduce-scatter +
+//!   all-gather; chunks are zero-copy subslices of the parked
+//!   contributions, never re-materialized;
+//! * chunks are reduced **in parallel** on the bounded
+//!   [`simcore::pool::fan_out`] scope pool, each chunk accumulated in
+//!   canonical rank order (rank order, not ring-hop order, so results
+//!   stay bit-identical to the reference — the determinism the paper's
+//!   exact-loss-match validation requires);
+//! * the result is delivered as a **shared** `Arc` (each rank's ring
+//!   segment lands in place exactly once), instead of a private
+//!   full-vector clone per rank.
+//!
+//! Chunking also cache-blocks the reduction: a chunk's accumulator stays
+//! resident across all n−1 peer passes instead of streaming the full
+//! payload through cache n−1 times, which is where most of the measured
+//! single-core win comes from (see `BENCH_coll.json`).
+//!
+//! The simulated *time* of a ring collective is charged by
+//! [`simcore::cost::CostModel::ring_all_reduce`] /
+//! [`ring_all_gather`](simcore::cost::CostModel::ring_all_gather), which
+//! model the 2·(n−1) synchronous ring steps with per-hop link classes
+//! (NVLink vs NIC) instead of the flat per-byte charge — see
+//! [`ring_hop_classes`] for how hops are classified.
+
+use crate::comm::ReduceOp;
+use parking_lot::Mutex;
+use simcore::{pool, RankId, SimError, SimResult};
+
+/// Default chunk granularity. 128 KiB keeps a chunk's accumulator and one
+/// peer slice comfortably inside L2 while amortizing per-chunk dispatch.
+pub const DEFAULT_CHUNK_BYTES: usize = 128 * 1024;
+
+/// Tuning knobs for the chunked ring engine.
+#[derive(Debug, Clone, Copy)]
+pub struct RingConfig {
+    /// Chunk granularity in bytes of f32 payload (clamped to ≥ 4).
+    pub chunk_bytes: usize,
+    /// Upper bound on reduction workers; the effective pool is
+    /// `min(workers, chunks)` and degrades to the calling thread.
+    pub workers: usize,
+}
+
+impl Default for RingConfig {
+    fn default() -> Self {
+        RingConfig {
+            chunk_bytes: DEFAULT_CHUNK_BYTES,
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+}
+
+impl RingConfig {
+    fn chunk_elems(&self) -> usize {
+        (self.chunk_bytes / std::mem::size_of::<f32>()).max(1)
+    }
+}
+
+/// Which data-plane engine a communicator runs.
+#[derive(Debug, Clone, Copy)]
+pub enum CollEngine {
+    /// The original matched-slot reference: monolithic single-threaded
+    /// reduction, private result copy per rank, flat α–β cost.
+    Slot,
+    /// Chunked ring reduce-scatter + all-gather with shared delivery and
+    /// ring-hop topology-aware cost.
+    Ring(RingConfig),
+}
+
+impl Default for CollEngine {
+    fn default() -> Self {
+        CollEngine::Ring(RingConfig::default())
+    }
+}
+
+/// Classifies each hop of the rank-order ring `ranks[i] → ranks[i+1 mod n]`
+/// as intra-node (`true`) or inter-node (`false`) under the contiguous
+/// placement convention (`ranks_per_node` consecutive global rank ids per
+/// node). [`cluster` topology]: schedulers that know the real GPU
+/// placement override this via `Communicator::set_ring_topology`.
+pub fn ring_hop_classes(ranks: &[RankId], ranks_per_node: usize) -> Vec<bool> {
+    let n = ranks.len();
+    if n <= 1 {
+        return Vec::new();
+    }
+    let rpn = ranks_per_node.max(1);
+    (0..n)
+        .map(|i| {
+            let a = ranks[i].index() / rpn;
+            let b = ranks[(i + 1) % n].index() / rpn;
+            a == b
+        })
+        .collect()
+}
+
+fn check_equal_lengths(contribs: &[&[f32]]) -> SimResult<usize> {
+    let len = contribs
+        .first()
+        .map(|c| c.len())
+        .ok_or_else(|| SimError::Protocol("reduce without contribution".into()))?;
+    for c in contribs {
+        if c.len() != len {
+            return Err(SimError::Protocol(format!(
+                "ragged collective: {} vs {}",
+                c.len(),
+                len
+            )));
+        }
+    }
+    Ok(len)
+}
+
+#[inline(always)]
+fn fold(op: ReduceOp, a: f32, b: f32) -> f32 {
+    match op {
+        ReduceOp::Sum | ReduceOp::Avg => a + b,
+        ReduceOp::Max => a.max(b),
+    }
+}
+
+fn accumulate_chunk(dst: &mut [f32], peers: &[&[f32]], lo: usize, n: usize, op: ReduceOp) {
+    let hi = lo + dst.len();
+    // Fold four peers per pass: per-element accumulation order is still
+    // strict rank order (bit-identity with the monolithic reference), but
+    // four concurrent read streams expose memory-level parallelism where
+    // one-peer-at-a-time passes serialize on a single cold stream.
+    let mut rest = peers;
+    while rest.len() >= 4 {
+        let (g, tail) = rest.split_at(4);
+        let (p0, p1, p2, p3) = (&g[0][lo..hi], &g[1][lo..hi], &g[2][lo..hi], &g[3][lo..hi]);
+        for ((((a, b0), b1), b2), b3) in dst.iter_mut().zip(p0).zip(p1).zip(p2).zip(p3) {
+            *a = fold(op, fold(op, fold(op, fold(op, *a, *b0), *b1), *b2), *b3);
+        }
+        rest = tail;
+    }
+    for c in rest {
+        for (a, b) in dst.iter_mut().zip(&c[lo..hi]) {
+            *a = fold(op, *a, *b);
+        }
+    }
+    if op == ReduceOp::Avg {
+        let inv = 1.0 / n as f32;
+        for a in dst.iter_mut() {
+            *a *= inv;
+        }
+    }
+}
+
+/// Chunked parallel reduction of `contribs` (in rank order). Bit-identical
+/// to the slot reference: each element is accumulated rank 0 → rank n−1
+/// and (for `Avg`) scaled once at the end, exactly as the monolithic loop
+/// does — chunking only regroups independent elements.
+pub fn reduce_chunked(contribs: &[&[f32]], op: ReduceOp, cfg: &RingConfig) -> SimResult<Vec<f32>> {
+    check_equal_lengths(contribs)?;
+    reduce_seeded(contribs[0].to_vec(), &contribs[1..], op, cfg)
+}
+
+/// Chunked parallel reduction that takes ownership of the rank-order
+/// first contribution and accumulates the `peers` (ranks 1..n) into it in
+/// place. This is the zero-allocation hot path: the communicator already
+/// owns every parked contribution, so the first buffer *becomes* the
+/// result — no `vec![0.0; len]` zero-fill, no seed memcpy, no result
+/// allocation. Bit-identical to [`reduce_chunked`] (same element-wise
+/// accumulation order); `Avg` scales once at the end over `peers.len()+1`
+/// contributions.
+pub fn reduce_seeded(
+    mut seed: Vec<f32>,
+    peers: &[&[f32]],
+    op: ReduceOp,
+    cfg: &RingConfig,
+) -> SimResult<Vec<f32>> {
+    let len = seed.len();
+    for c in peers {
+        if c.len() != len {
+            return Err(SimError::Protocol(format!(
+                "ragged collective: {} vs {}",
+                c.len(),
+                len
+            )));
+        }
+    }
+    if len == 0 {
+        return Ok(seed);
+    }
+    let n = peers.len() + 1;
+    let chunk = cfg.chunk_elems();
+    let n_chunks = len.div_ceil(chunk);
+    let workers = cfg.workers.clamp(1, n_chunks);
+    if workers == 1 {
+        for (c, dst) in seed.chunks_mut(chunk).enumerate() {
+            accumulate_chunk(dst, peers, c * chunk, n, op);
+        }
+    } else {
+        // Disjoint per-chunk output slices behind uncontended mutexes:
+        // each index is handed out exactly once, so locks never block.
+        let parts: Vec<Mutex<&mut [f32]>> = seed.chunks_mut(chunk).map(Mutex::new).collect();
+        pool::fan_out(n_chunks, workers, "ring-reduce", |c| {
+            let mut dst = parts[c].lock();
+            accumulate_chunk(&mut dst, peers, c * chunk, n, op);
+        });
+    }
+    Ok(seed)
+}
+
+/// All-gather data plane: rank-order concatenation assembled in a single
+/// linear pass (the ring win for gather is shared delivery plus the
+/// per-hop cost model, not the copy itself).
+pub fn gather_chunked(contribs: &[&[f32]]) -> Vec<f32> {
+    let total: usize = contribs.iter().map(|c| c.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    for c in contribs {
+        out.extend_from_slice(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vecs(n: usize, len: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|r| {
+                (0..len)
+                    .map(|i| ((r * 31 + i * 7) % 97) as f32 * 0.37 - 11.0)
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn slot_reference(contribs: &[&[f32]], op: ReduceOp) -> Vec<f32> {
+        // The monolithic rank-order loop from the slot engine.
+        let mut acc = contribs[0].to_vec();
+        for c in &contribs[1..] {
+            for (a, b) in acc.iter_mut().zip(*c) {
+                match op {
+                    ReduceOp::Sum | ReduceOp::Avg => *a += b,
+                    ReduceOp::Max => *a = a.max(*b),
+                }
+            }
+        }
+        if op == ReduceOp::Avg {
+            let inv = 1.0 / contribs.len() as f32;
+            for a in &mut acc {
+                *a *= inv;
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn chunked_reduce_matches_reference_bitwise() {
+        for op in [ReduceOp::Sum, ReduceOp::Avg, ReduceOp::Max] {
+            // Non-chunk-aligned length and more chunks than workers.
+            for len in [1usize, 7, 1023, 4096, 4097] {
+                let data = vecs(5, len);
+                let refs: Vec<&[f32]> = data.iter().map(|v| v.as_slice()).collect();
+                let cfg = RingConfig {
+                    chunk_bytes: 1024,
+                    workers: 4,
+                };
+                let got = reduce_chunked(&refs, op, &cfg).unwrap();
+                let want = slot_reference(&refs, op);
+                assert_eq!(
+                    got.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                    want.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                    "op {op:?} len {len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ragged_contributions_are_rejected() {
+        let a = vec![1.0f32; 8];
+        let b = vec![1.0f32; 9];
+        let refs: Vec<&[f32]> = vec![&a, &b];
+        let err = reduce_chunked(&refs, ReduceOp::Sum, &RingConfig::default()).unwrap_err();
+        assert!(matches!(err, SimError::Protocol(_)));
+    }
+
+    #[test]
+    fn hop_classes_follow_contiguous_placement() {
+        let ranks: Vec<RankId> = (0..16).map(RankId).collect();
+        let hops = ring_hop_classes(&ranks, 8);
+        // Hops 0..6 intra, 7 crosses to node 1, 8..14 intra, 15 wraps back.
+        assert_eq!(hops.iter().filter(|h| !**h).count(), 2);
+        assert!(!hops[7] && !hops[15]);
+        // Single-node ring is all-NVLink; sub-node comms too.
+        assert!(ring_hop_classes(&ranks[..8], 8).iter().all(|h| *h));
+        // A dp comm spanning nodes (ranks 0 and 8) is all inter-node.
+        let dp = vec![RankId(0), RankId(8)];
+        assert!(ring_hop_classes(&dp, 8).iter().all(|h| !*h));
+        assert!(ring_hop_classes(&ranks[..1], 8).is_empty());
+    }
+}

@@ -12,6 +12,7 @@
 //! in a hung collective.
 
 use crate::comm::Communicator;
+use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
 use simcore::cost::CostModel;
 use simcore::time::ClockBoard;
@@ -40,10 +41,19 @@ struct Message {
     available_at: SimTime,
 }
 
+/// A CRC-framed shard in flight on the recovery-stream path. `Bytes` makes
+/// idempotent re-delivery a refcount bump, not a payload copy.
+struct ByteMessage {
+    frame: Bytes,
+    available_at: SimTime,
+}
+
 #[derive(Default)]
 struct MailState {
     inbox: HashMap<MailKey, Message>,
-    /// Threads currently parked in [`CommWorld::recv`].
+    byte_inbox: HashMap<MailKey, ByteMessage>,
+    /// Threads currently parked in [`CommWorld::recv`] /
+    /// [`CommWorld::recv_bytes`].
     waiters: usize,
 }
 
@@ -130,6 +140,15 @@ impl CommWorld {
         self.comms.lock().remove(&id);
     }
 
+    /// Re-registers a rebuilt communicator under its id. Configuration
+    /// changes (hang timeout, engine, ring topology) return fresh `Arc`s
+    /// with empty slot state; the registry must point at the instance the
+    /// ranks actually synchronize through, or [`CommWorld::abort_all`]
+    /// would release only the stale original.
+    pub fn replace_comm(&self, comm: Arc<Communicator>) {
+        self.comms.lock().insert(comm.id, comm);
+    }
+
     /// Aborts every communicator and wakes all mailbox waiters: the
     /// release-everything step of job teardown.
     pub fn abort_all(&self) {
@@ -162,7 +181,9 @@ impl CommWorld {
     /// Garbage-collects mailbox messages with `seq < floor` (older than
     /// any iteration recovery could still roll back to).
     pub fn prune_mail_below(&self, floor: u64) {
-        self.mail.lock().inbox.retain(|k, _| k.3 >= floor);
+        let mut mail = self.mail.lock();
+        mail.inbox.retain(|k, _| k.3 >= floor);
+        mail.byte_inbox.retain(|k, _| k.3 >= floor);
     }
 
     /// Non-blocking (buffered) point-to-point send, used by pipeline
@@ -222,6 +243,91 @@ impl CommWorld {
             self.mail_cv.wait_for(&mut mail, Duration::from_millis(2));
             mail.waiters -= 1;
         }
+    }
+
+    /// Non-blocking send of a CRC-framed byte shard (the pipelined
+    /// replica-recovery stream). Semantics mirror [`CommWorld::send`]:
+    /// buffered, keyed by `(src, dst, tag, seq)`, idempotent overwrite,
+    /// availability charged from the sender's clock plus the p2p cost of
+    /// the frame. `frame` is a zero-copy slice of the encoder's output.
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_bytes(
+        &self,
+        src: RankId,
+        src_clock_idx: usize,
+        dst: RankId,
+        tag: u64,
+        seq: u64,
+        frame: Bytes,
+        same_node: bool,
+    ) -> SimResult<()> {
+        if self.is_aborted() {
+            return Err(SimError::CollectiveAborted);
+        }
+        let now = self.clock.now(src_clock_idx);
+        let cost = self.cost.p2p(frame.len() as u64, same_node);
+        let available_at = now + cost;
+        let mut mail = self.mail.lock();
+        mail.byte_inbox.insert(
+            (src, dst, tag, seq),
+            ByteMessage {
+                frame,
+                available_at,
+            },
+        );
+        self.mail_cv.notify_all();
+        Ok(())
+    }
+
+    /// Blocking receive of a byte shard; idempotent (refcount copy, not
+    /// consume). Raises the receiver's clock to the frame's availability
+    /// time. Delivery wins over abort, like [`CommWorld::recv`].
+    pub fn recv_bytes(
+        &self,
+        src: RankId,
+        dst: RankId,
+        dst_clock_idx: usize,
+        tag: u64,
+        seq: u64,
+    ) -> SimResult<Bytes> {
+        let mut mail = self.mail.lock();
+        let key = (src, dst, tag, seq);
+        loop {
+            if let Some(msg) = mail.byte_inbox.get(&key) {
+                self.clock.raise_to(dst_clock_idx, msg.available_at);
+                return Ok(msg.frame.clone());
+            }
+            if self.is_aborted() {
+                return Err(SimError::CollectiveAborted);
+            }
+            mail.waiters += 1;
+            self.mail_cv.notify_all(); // Wake `wait_for_mail_waiters` observers.
+            self.mail_cv.wait_for(&mut mail, Duration::from_millis(2));
+            mail.waiters -= 1;
+        }
+    }
+
+    /// Non-blocking probe for a byte shard: `Ok(Some)` if available,
+    /// `Ok(None)` if not yet sent, `Err` if the world is aborted. The
+    /// recovery stream uses this to detect a dead replica without
+    /// committing to a blocking wait.
+    pub fn try_recv_bytes(
+        &self,
+        src: RankId,
+        dst: RankId,
+        dst_clock_idx: usize,
+        tag: u64,
+        seq: u64,
+    ) -> SimResult<Option<Bytes>> {
+        let mail = self.mail.lock();
+        if let Some(msg) = mail.byte_inbox.get(&(src, dst, tag, seq)) {
+            self.clock.raise_to(dst_clock_idx, msg.available_at);
+            return Ok(Some(msg.frame.clone()));
+        }
+        if self.is_aborted() {
+            return Err(SimError::CollectiveAborted);
+        }
+        Ok(None)
     }
 
     /// Blocks until at least `n` threads are parked in

@@ -2,7 +2,7 @@
 //! against sequential reference computation, idempotent re-delivery, and
 //! determinism across rank arrival orders.
 
-use collectives::{CommWorld, NullObserver, ReduceOp};
+use collectives::{CollEngine, CommWorld, NullObserver, ReduceOp, RingConfig};
 use proptest::prelude::*;
 use simcore::cost::CostModel;
 use simcore::time::ClockBoard;
@@ -23,8 +23,85 @@ fn run_ranks<T: Send + 'static>(
     handles.into_iter().map(|h| h.join().unwrap()).collect()
 }
 
+/// Runs the full collective suite (all-reduce, all-gather, broadcast,
+/// and — when the payload divides evenly — reduce-scatter) on a fresh
+/// world under the given data-plane engine, returning each rank's
+/// outputs in operation order.
+fn run_suite(rows: Arc<Vec<Vec<f32>>>, op: ReduceOp, engine: CollEngine) -> Vec<Vec<Vec<f32>>> {
+    let n = rows.len();
+    let rs_len = (rows[0].len() / n) * n;
+    let clock = Arc::new(ClockBoard::new(n));
+    let world = CommWorld::new(clock, CostModel::v100(), 8);
+    let comm = world
+        .create_comm((0..n).map(|i| RankId(i as u32)).collect(), (0..n).collect())
+        .set_engine(engine);
+    run_ranks(n, move |i| {
+        let rank = RankId(i as u32);
+        let root = RankId((n - 1) as u32);
+        let mut out = Vec::new();
+        out.push(
+            comm.all_reduce(rank, 0, rows[i].clone(), op, 64, &NullObserver)
+                .unwrap(),
+        );
+        out.push(
+            comm.all_gather(rank, 1, rows[i].clone(), 64, &NullObserver)
+                .unwrap(),
+        );
+        let payload = (rank == root).then(|| rows[i].clone());
+        out.push(
+            comm.broadcast(rank, 2, root, payload, 64, &NullObserver)
+                .unwrap(),
+        );
+        if rs_len > 0 {
+            out.push(
+                comm.reduce_scatter(rank, 3, rows[i][..rs_len].to_vec(), op, 64, &NullObserver)
+                    .unwrap(),
+            );
+        }
+        out
+    })
+}
+
+fn to_bits(results: &[Vec<Vec<f32>>]) -> Vec<Vec<Vec<u32>>> {
+    results
+        .iter()
+        .map(|ops| {
+            ops.iter()
+                .map(|v| v.iter().map(|x| x.to_bits()).collect())
+                .collect()
+        })
+        .collect()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ring_engine_is_bit_identical_to_slot_reference(
+        rows in (1usize..97).prop_flat_map(|len| proptest::collection::vec(
+            proptest::collection::vec(-100.0f32..100.0, len),
+            2..6,
+        )),
+        // Chunk sizes from degenerate (1 byte → 1 element) through
+        // non-aligned to larger-than-payload, so partial trailing
+        // chunks and the single-chunk fast case are all exercised.
+        chunk_bytes in 1usize..600,
+        op in prop::sample::select(vec![ReduceOp::Sum, ReduceOp::Avg, ReduceOp::Max]),
+        workers in 1usize..4,
+    ) {
+        let rows = Arc::new(rows);
+        let slot = run_suite(rows.clone(), op, CollEngine::Slot);
+        let ring = run_suite(
+            rows,
+            op,
+            CollEngine::Ring(RingConfig { chunk_bytes, workers }),
+        );
+        prop_assert_eq!(
+            to_bits(&slot),
+            to_bits(&ring),
+            "chunked ring output must be bit-identical to the slot reference"
+        );
+    }
 
     #[test]
     fn all_reduce_sum_matches_sequential_reference(

@@ -86,10 +86,22 @@ impl Default for ShardConfig {
     fn default() -> Self {
         ShardConfig {
             shard_bytes: 4 << 20,
-            workers: 4,
+            workers: default_shard_workers(),
             delta: true,
         }
     }
+}
+
+/// Default worker-pool width: the requested 4 clamped to the host's
+/// measured parallelism. EXPERIMENTS.md's sharded-write sweep shows
+/// over-subscription is a mild pessimization (8 workers are *slower*
+/// than 4 on a 1-vCPU host: extra threads only add scheduling churn,
+/// never CRC/encode bandwidth), so never spawn more workers than cores.
+pub fn default_shard_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(4)
 }
 
 /// Per-shard record in the metadata sidecar.
@@ -700,6 +712,16 @@ mod tests {
             buffers: vec![("w".into(), BufferTag::Param, vec![v; 4])],
             logical_bytes: 16,
         }
+    }
+
+    #[test]
+    fn default_workers_clamp_to_available_parallelism() {
+        let avail = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let d = ShardConfig::default();
+        assert_eq!(d.workers, avail.min(4), "min(requested, cores)");
+        assert!(d.workers >= 1);
     }
 
     /// A state big enough to split into many shards at `SMALL.shard_bytes`.

@@ -28,12 +28,16 @@
 //!
 //! * [`checkpoint`] — the shared checkpoint format/naming/assembly
 //!   protocol (§3.2–§3.3), also used by the periodic baselines;
+//! * [`stream`] — pipelined replica-to-replica recovery state transfer
+//!   (CRC-framed codec shards rank-to-rank, replacing the per-rank
+//!   store round-trip on restore);
 //! * [`analysis`] — the §5 wasted-work model (optimal frequency,
 //!   eq. 1–10, dollar costs);
 //! * [`workloads`] — the Table 2 workload catalog with calibration.
 
 pub mod analysis;
 pub mod checkpoint;
+pub mod stream;
 pub mod transparent;
 pub mod user_level;
 pub mod workloads;

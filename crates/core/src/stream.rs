@@ -1,0 +1,398 @@
+//! Pipelined replica-to-replica recovery state transfer.
+//!
+//! After a failure, §3.3 has every restarting rank read a data-parallel
+//! replica's JIT checkpoint back from shared storage. That is a full
+//! store round-trip per rank: the healthy replica's state was written
+//! shard by shard, and each peer reads it back through the (shared,
+//! slow) storage tier. SWIFT-style replica recovery observes that the
+//! bytes already exist one network hop away — so here only the replica
+//! that owns the chosen checkpoint touches the store, and it then
+//! streams its restored [`TrainState`] directly rank-to-rank as the
+//! same CRC-framed codec shards ([`simcore::codec::Encoder`]) the
+//! checkpoint writer produces.
+//!
+//! The transfer is pipelined in virtual time: the sender's clock pays
+//! the CPU framing cost per shard and the wire charges p2p transfer on
+//! top ([`CommWorld::send_bytes`] stamps each frame's availability),
+//! while the receiver's clock rises to each frame's arrival and then
+//! pays the verify + host→device apply cost — so shard `k+1` is being
+//! framed while shard `k` is in flight and shard `k−1` is being
+//! applied. Any stall, abort, or corruption on the stream degrades
+//! safely: the receiver falls back to the store-based restore path
+//! (`checkpoint::load_for_rank`).
+
+use bytes::{Bytes, BytesMut};
+use collectives::CommWorld;
+use dltrain::TrainState;
+use simcore::codec::{self, Decode, Encode, Encoder};
+use simcore::cost::CostModel;
+use simcore::{RankId, SimError, SimResult};
+use std::time::{Duration, Instant};
+
+/// Mailbox tag reserved for the recovery state stream (the byte inbox
+/// is disjoint from the f32 activation/gradient mailboxes, but a
+/// dedicated tag keeps frames self-describing in dumps).
+pub const TAG_STATE_STREAM: u64 = 0x53_54_41_54; // "STAT"
+
+/// Sequence number of the stream preamble; shard `i` travels at
+/// sequence `i + 1`.
+const SEQ_HEADER: u64 = 0;
+
+/// Stream preamble: what the receiver should expect before the first
+/// shard arrives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamHeader {
+    /// Iteration of the streamed state (cross-checked after decode).
+    pub iteration: u64,
+    /// Number of CRC-framed shards that follow.
+    pub n_shards: u64,
+    /// Total framed bytes on the wire (progress accounting).
+    pub total_bytes: u64,
+}
+
+impl Encode for StreamHeader {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.iteration.encode(buf);
+        self.n_shards.encode(buf);
+        self.total_bytes.encode(buf);
+    }
+}
+
+impl Decode for StreamHeader {
+    fn decode(buf: &mut Bytes) -> SimResult<Self> {
+        Ok(StreamHeader {
+            iteration: u64::decode(buf)?,
+            n_shards: u64::decode(buf)?,
+            total_bytes: u64::decode(buf)?,
+        })
+    }
+}
+
+/// Streams `state` to `dst` as CRC-framed codec shards: a framed
+/// [`StreamHeader`] preamble, then one [`codec::frame_shard`] frame per
+/// shard. The sender's clock accrues the per-shard framing cost before
+/// each frame enters the wire; `send_bytes` charges the p2p transfer on
+/// top, so downstream frames are timestamped progressively later and
+/// the receiver can overlap applying early shards with the transfer of
+/// late ones.
+#[allow(clippy::too_many_arguments)]
+pub fn send_state(
+    world: &CommWorld,
+    cost: &CostModel,
+    src: RankId,
+    src_clock_idx: usize,
+    dst: RankId,
+    same_node: bool,
+    state: &TrainState,
+    shard_bytes: usize,
+) -> SimResult<StreamHeader> {
+    send_state_frames(
+        world,
+        cost,
+        src,
+        src_clock_idx,
+        dst,
+        same_node,
+        state,
+        shard_bytes,
+        None,
+    )
+}
+
+/// Fault-injection variant of [`send_state`]: the sender dies after
+/// emitting `keep_frames` frames (the preamble counts as the first), so
+/// the receiver observes a truncated stream — exactly what a replica
+/// crashing mid-recovery-transfer produces — and must fall back to the
+/// store. `keep_frames = 0` is a sender that dies before the preamble.
+#[allow(clippy::too_many_arguments)]
+pub fn send_state_truncated(
+    world: &CommWorld,
+    cost: &CostModel,
+    src: RankId,
+    src_clock_idx: usize,
+    dst: RankId,
+    same_node: bool,
+    state: &TrainState,
+    shard_bytes: usize,
+    keep_frames: usize,
+) -> SimResult<StreamHeader> {
+    send_state_frames(
+        world,
+        cost,
+        src,
+        src_clock_idx,
+        dst,
+        same_node,
+        state,
+        shard_bytes,
+        Some(keep_frames),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn send_state_frames(
+    world: &CommWorld,
+    cost: &CostModel,
+    src: RankId,
+    src_clock_idx: usize,
+    dst: RankId,
+    same_node: bool,
+    state: &TrainState,
+    shard_bytes: usize,
+    keep_frames: Option<usize>,
+) -> SimResult<StreamHeader> {
+    let mut enc = Encoder::new(shard_bytes.max(1));
+    enc.write(state);
+    let shards = enc.finish();
+    let header = StreamHeader {
+        iteration: state.iteration,
+        n_shards: shards.len() as u64,
+        total_bytes: shards.iter().map(|s| s.len() as u64).sum(),
+    };
+    let limit = keep_frames.unwrap_or(usize::MAX);
+    if limit == 0 {
+        return Ok(header);
+    }
+    world.send_bytes(
+        src,
+        src_clock_idx,
+        dst,
+        TAG_STATE_STREAM,
+        SEQ_HEADER,
+        codec::encode_framed(&header),
+        same_node,
+    )?;
+    for (i, frame) in shards.into_iter().enumerate() {
+        if i + 1 >= limit {
+            break;
+        }
+        world
+            .clock()
+            .advance(src_clock_idx, cost.shard_encode(frame.len() as u64));
+        world.send_bytes(
+            src,
+            src_clock_idx,
+            dst,
+            TAG_STATE_STREAM,
+            i as u64 + 1,
+            frame,
+            same_node,
+        )?;
+    }
+    Ok(header)
+}
+
+/// Polls the byte mailbox for one frame until `deadline` (real time).
+/// A missing frame past the deadline is the dead-replica signature and
+/// surfaces as [`SimError::CollectiveTimeout`] naming the sender.
+fn recv_frame(
+    world: &CommWorld,
+    src: RankId,
+    dst: RankId,
+    dst_clock_idx: usize,
+    seq: u64,
+    deadline: Instant,
+) -> SimResult<Bytes> {
+    loop {
+        if let Some(frame) = world.try_recv_bytes(src, dst, dst_clock_idx, TAG_STATE_STREAM, seq)? {
+            return Ok(frame);
+        }
+        if Instant::now() >= deadline {
+            return Err(SimError::CollectiveTimeout { rank: src });
+        }
+        // jitlint::allow(virtual_time): bounded 1ms poll against a real
+        // deadline — dead-replica detection has no virtual-time signal.
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Receives a streamed [`TrainState`] from `src`, verifying every
+/// shard's CRC frame and the decoded iteration against the preamble.
+/// `patience` bounds (in real time) how long the receiver waits for any
+/// single frame before declaring the sending replica dead; the caller
+/// falls back to the store-based restore on any error.
+pub fn recv_state(
+    world: &CommWorld,
+    cost: &CostModel,
+    src: RankId,
+    dst: RankId,
+    dst_clock_idx: usize,
+    patience: Duration,
+) -> SimResult<TrainState> {
+    let deadline = Instant::now() + patience;
+    let preamble = recv_frame(world, src, dst, dst_clock_idx, SEQ_HEADER, deadline)?;
+    let header: StreamHeader = codec::decode_framed(&preamble)?;
+    if header.n_shards == 0 {
+        return Err(SimError::Protocol(format!(
+            "recovery stream from {src}: empty shard set"
+        )));
+    }
+    let mut payloads = BytesMut::with_capacity(header.total_bytes as usize);
+    for i in 0..header.n_shards {
+        let mut frame = recv_frame(world, src, dst, dst_clock_idx, i + 1, deadline)?;
+        let (index, payload) = codec::decode_shard(&mut frame)?;
+        if index as u64 != i {
+            return Err(SimError::Protocol(format!(
+                "recovery stream from {src}: shard {index} arrived at slot {i}"
+            )));
+        }
+        if !frame.is_empty() {
+            return Err(SimError::Codec(format!(
+                "recovery stream from {src}: {} trailing bytes after shard {i}",
+                frame.len()
+            )));
+        }
+        // Applying the shard: the CRC/staging pass plus the host→device
+        // upload of the payload.
+        world.clock().advance(
+            dst_clock_idx,
+            cost.shard_encode(payload.len() as u64) + cost.memcpy(payload.len() as u64),
+        );
+        payloads.extend_from_slice(&payload);
+    }
+    let mut logical = payloads.freeze();
+    let state = TrainState::decode(&mut logical)
+        .map_err(|e| SimError::Codec(format!("recovery stream from {src}: {e}")))?;
+    if !logical.is_empty() {
+        return Err(SimError::Codec(format!(
+            "recovery stream from {src}: {} trailing bytes after state decode",
+            logical.len()
+        )));
+    }
+    if state.iteration != header.iteration {
+        return Err(SimError::Protocol(format!(
+            "recovery stream from {src}: iteration {} does not match preamble {}",
+            state.iteration, header.iteration
+        )));
+    }
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::time::ClockBoard;
+    use simcore::SimTime;
+    use simgpu::BufferTag;
+    use std::sync::Arc;
+
+    fn state(elems: usize) -> TrainState {
+        let data: Vec<f32> = (0..elems).map(|i| (i as f32).sin()).collect();
+        TrainState {
+            iteration: 7,
+            opt_t: 7,
+            buffers: vec![("model.w".into(), BufferTag::Param, data)],
+            logical_bytes: (elems * 4) as u64,
+        }
+    }
+
+    fn world(n: usize) -> (Arc<CommWorld>, Arc<ClockBoard>) {
+        let clock = Arc::new(ClockBoard::new(n));
+        (CommWorld::new(clock.clone(), CostModel::v100(), 8), clock)
+    }
+
+    #[test]
+    fn streamed_state_round_trips_bitwise() -> SimResult<()> {
+        let (w, _) = world(2);
+        let cost = CostModel::v100();
+        let st = state(10_000);
+        // Non-aligned shard size forces a partial trailing shard.
+        send_state(&w, &cost, RankId(0), 0, RankId(1), true, &st, 1000)?;
+        let got = recv_state(&w, &cost, RankId(0), RankId(1), 1, Duration::from_secs(5))?;
+        assert_eq!(got.iteration, st.iteration);
+        assert_eq!(got.buffers.len(), 1);
+        let (ref name, tag, ref data) = got.buffers[0];
+        assert_eq!(name, "model.w");
+        assert_eq!(tag, BufferTag::Param);
+        let want: Vec<u32> = st.buffers[0].2.iter().map(|v| v.to_bits()).collect();
+        let have: Vec<u32> = data.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(want, have, "streamed state must be bit-identical");
+        Ok(())
+    }
+
+    #[test]
+    fn transfer_is_pipelined_not_store_priced() -> SimResult<()> {
+        let (w, clock) = world(2);
+        let cost = CostModel::v100();
+        let st = state(1 << 20); // 4 MiB of f32s
+        send_state(&w, &cost, RankId(0), 0, RankId(1), true, &st, 256 * 1024)?;
+        recv_state(&w, &cost, RankId(0), RankId(1), 1, Duration::from_secs(5))?;
+        let streamed = clock.now(1);
+        // The store round-trip the stream replaces: write then read
+        // through the disk tier (plus the process restart both paths
+        // share, omitted from both sides here).
+        let bytes = st.logical_bytes;
+        let round_trip = cost.checkpoint_write(bytes, simcore::cost::StorageTier::Disk, 8)
+            + cost.checkpoint_read(bytes, simcore::cost::StorageTier::Disk, 8);
+        assert!(
+            streamed < round_trip,
+            "pipelined stream {streamed} must beat store round-trip {round_trip}"
+        );
+        assert!(streamed > SimTime::ZERO);
+        Ok(())
+    }
+
+    #[test]
+    fn dead_sender_times_out_with_peer_signature() {
+        let (w, _) = world(2);
+        let cost = CostModel::v100();
+        // Nothing was ever sent: the receiver must not hang forever.
+        let err = recv_state(
+            &w,
+            &cost,
+            RankId(0),
+            RankId(1),
+            1,
+            Duration::from_millis(30),
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::CollectiveTimeout { rank: RankId(0) });
+    }
+
+    #[test]
+    fn truncated_stream_times_out_mid_transfer() -> SimResult<()> {
+        let (w, _) = world(2);
+        let cost = CostModel::v100();
+        let st = state(10_000);
+        // Replica dies mid-stream: only the preamble and shard 0 ever
+        // reach the wire.
+        let mut enc = Encoder::new(1000);
+        enc.write(&st);
+        let shards = enc.finish();
+        assert!(shards.len() > 2, "expected a multi-shard stream");
+        let header = StreamHeader {
+            iteration: st.iteration,
+            n_shards: shards.len() as u64,
+            total_bytes: shards.iter().map(|s| s.len() as u64).sum(),
+        };
+        w.send_bytes(
+            RankId(0),
+            0,
+            RankId(1),
+            TAG_STATE_STREAM,
+            SEQ_HEADER,
+            codec::encode_framed(&header),
+            true,
+        )?;
+        w.send_bytes(
+            RankId(0),
+            0,
+            RankId(1),
+            TAG_STATE_STREAM,
+            1,
+            shards[0].clone(),
+            true,
+        )?;
+        let err = recv_state(
+            &w,
+            &cost,
+            RankId(0),
+            RankId(1),
+            1,
+            Duration::from_millis(30),
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::CollectiveTimeout { rank: RankId(0) });
+        Ok(())
+    }
+}

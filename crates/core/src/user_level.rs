@@ -21,8 +21,10 @@
 //! used by tests, examples, and the Table 4 bench.
 
 use crate::checkpoint::{self, CkptKind};
+use crate::stream;
 use cluster::scheduler::CheckpointAck;
 use cluster::{FailureInjector, Scheduler, SharedStore};
+use collectives::{CommId, Communicator};
 use dltrain::{JobSetup, RankTrainer, TrainConfig, TrainState};
 use parking_lot::Mutex;
 use parking_lot::Mutex as PlMutex;
@@ -44,6 +46,19 @@ pub struct JitUserConfig {
     pub tier: StorageTier,
     /// Sharded-write tuning (shard size, worker pool, delta mode).
     pub shards: checkpoint::ShardConfig,
+    /// Restore non-owner replicas by streaming state rank-to-rank from
+    /// the replica that owns the chosen checkpoint ([`crate::stream`]),
+    /// falling back to the store on any stream failure. Off = every
+    /// rank pays the store round-trip (the §3.3 baseline).
+    pub stream_recovery: bool,
+    /// Real-time patience per stream frame before declaring the sending
+    /// replica dead and falling back to the store.
+    pub stream_patience: Duration,
+    /// Fault injection: when set, the streaming replica "dies" after
+    /// emitting this many frames of each recovery stream (see
+    /// [`stream::send_state_truncated`]) — receivers must time out and
+    /// fall back to the store. `None` = healthy sender.
+    pub stream_truncate: Option<usize>,
 }
 
 impl Default for JitUserConfig {
@@ -52,6 +67,9 @@ impl Default for JitUserConfig {
             watchdog_timeout: Duration::from_millis(1500),
             tier: StorageTier::Disk,
             shards: checkpoint::ShardConfig::default(),
+            stream_recovery: true,
+            stream_patience: Duration::from_secs(2),
+            stream_truncate: None,
         }
     }
 }
@@ -257,7 +275,8 @@ pub fn run_user_level_job(
     let mut restarts = 0u32;
     let max_generations = injector.pending_count() as u32 + 2;
     loop {
-        let setup = JobSetup::build(layout, cost.clone(), cfg.ranks_per_node);
+        let mut setup = JobSetup::build(layout, cost.clone(), cfg.ranks_per_node);
+        apply_ring_topology(&mut setup, &scheduler, &assignment);
         let world = setup.world.clone();
         let per_rank = setup.per_rank.clone();
         let resume = checkpoint::assemble(&store, job, &layout).ok();
@@ -296,23 +315,113 @@ pub fn run_user_level_job(
                     let mut tr =
                         RankTrainer::new(exec, cfg.clone(), &per_rank[i], injector.clone())?;
                     // Resume from an assembled checkpoint if one exists,
-                    // paying the fixed restart + read costs (the `r` of §5).
-                    if resume.is_some() {
-                        let (state, meta) = checkpoint::load_for_rank(&store, job, &layout, rank)?;
-                        let t_restore = cost.process_restart
-                            + cost.checkpoint_read(
-                                meta.logical_bytes,
-                                jit.tier,
-                                cfg.ranks_per_node,
-                            );
-                        tr.exec.clock().advance(i, t_restore);
-                        tr.restore(&state)?;
-                        events.lock().push(RecoveryEvent {
-                            rank,
-                            checkpoint_time: SimTime::ZERO,
-                            restore_time: t_restore,
-                            iteration: state.iteration,
+                    // paying the fixed restart + read costs (the `r` of
+                    // §5). With stream recovery, only the replica that
+                    // owns the chosen checkpoint reads the store; the
+                    // cell's other replicas receive the state as a
+                    // pipelined rank-to-rank shard stream and fall back
+                    // to the store if the owner is dead.
+                    if let Some(plan) = resume.as_ref() {
+                        let coord = layout.coord(rank);
+                        let choice = plan[&(coord.stage, coord.part)];
+                        let owner = layout.rank_at(simcore::layout::GridCoord {
+                            dp: choice.dp,
+                            stage: coord.stage,
+                            part: coord.part,
                         });
+                        let gpn = cost.gpu.gpus_per_node();
+                        if !jit.stream_recovery || rank == owner {
+                            let (state, meta) =
+                                checkpoint::load_for_rank(&store, job, &layout, rank)?;
+                            let t_restore = cost.process_restart
+                                + cost.checkpoint_read(
+                                    meta.logical_bytes,
+                                    jit.tier,
+                                    cfg.ranks_per_node,
+                                );
+                            tr.exec.clock().advance(i, t_restore);
+                            if jit.stream_recovery {
+                                for dp in 0..layout.dp {
+                                    if dp == choice.dp {
+                                        continue;
+                                    }
+                                    let peer = layout.rank_at(simcore::layout::GridCoord {
+                                        dp,
+                                        stage: coord.stage,
+                                        part: coord.part,
+                                    });
+                                    let sn = assignment_now[i].0 as usize / gpn
+                                        == assignment_now[peer.index()].0 as usize / gpn;
+                                    match jit.stream_truncate {
+                                        None => stream::send_state(
+                                            &world,
+                                            &cost,
+                                            rank,
+                                            i,
+                                            peer,
+                                            sn,
+                                            &state,
+                                            jit.shards.shard_bytes,
+                                        )?,
+                                        Some(keep) => stream::send_state_truncated(
+                                            &world,
+                                            &cost,
+                                            rank,
+                                            i,
+                                            peer,
+                                            sn,
+                                            &state,
+                                            jit.shards.shard_bytes,
+                                            keep,
+                                        )?,
+                                    };
+                                }
+                            }
+                            tr.restore(&state)?;
+                            events.lock().push(RecoveryEvent {
+                                rank,
+                                checkpoint_time: SimTime::ZERO,
+                                restore_time: t_restore,
+                                iteration: state.iteration,
+                            });
+                        } else {
+                            tr.exec.clock().advance(i, cost.process_restart);
+                            let before = tr.exec.clock().now(i);
+                            let state = match stream::recv_state(
+                                &world,
+                                &cost,
+                                owner,
+                                rank,
+                                i,
+                                jit.stream_patience,
+                            ) {
+                                Ok(state) => state,
+                                Err(_) => {
+                                    // Dead or corrupt replica stream:
+                                    // §3.3 store round-trip instead.
+                                    let (state, meta) =
+                                        checkpoint::load_for_rank(&store, job, &layout, rank)?;
+                                    tr.exec.clock().advance(
+                                        i,
+                                        cost.checkpoint_read(
+                                            meta.logical_bytes,
+                                            jit.tier,
+                                            cfg.ranks_per_node,
+                                        ),
+                                    );
+                                    state
+                                }
+                            };
+                            let t_restore =
+                                cost.process_restart + (tr.exec.clock().now(i) - before);
+                            tr.restore(&state)?;
+                            events.lock().push(RecoveryEvent {
+                                rank,
+                                checkpoint_time: SimTime::ZERO,
+                                restore_time: t_restore,
+                                iteration: state.iteration,
+                            });
+                        }
                     }
                     let start = tr.iteration();
                     let mut losses: Vec<(u64, f32)> = Vec::new();
@@ -434,6 +543,51 @@ where
             Err(_) => Err(SimError::Protocol("rank thread panicked".into())),
         })
         .collect()
+}
+
+/// Rewires every communicator's ring cost model with the real per-hop
+/// link classes of the job's current GPU assignment (the scheduler's
+/// cluster placement), replacing the contiguous-placement default — a
+/// data-parallel group whose replicas land on different nodes pays NIC
+/// ring hops even when its rank indices are adjacent. Each logical
+/// communicator is rebuilt once (bundles share the rebuilt `Arc`) and
+/// re-registered so [`collectives::CommWorld::abort_all`] reaches the
+/// instance the ranks actually synchronize through.
+fn apply_ring_topology(setup: &mut JobSetup, scheduler: &Scheduler, assignment: &[GpuId]) {
+    let mut rebuilt: std::collections::HashMap<CommId, Arc<Communicator>> =
+        std::collections::HashMap::new();
+    let world = setup.world.clone();
+    let mut remap = |c: &Arc<Communicator>| -> Arc<Communicator> {
+        rebuilt
+            .entry(c.id)
+            .or_insert_with(|| {
+                let gpus: Vec<GpuId> = c
+                    .ranks()
+                    .iter()
+                    .filter_map(|r| assignment.get(r.index()).copied())
+                    .collect();
+                if gpus.len() != c.ranks().len() {
+                    // Assignment shorter than the world (harness misuse):
+                    // keep the contiguous-placement default.
+                    return c.clone();
+                }
+                let hops = scheduler.with_cluster(|cl| cl.ring_hop_classes(&gpus));
+                let fresh = c.set_ring_topology(hops);
+                world.replace_comm(fresh.clone());
+                fresh
+            })
+            .clone()
+    };
+    for bundle in &mut setup.per_rank {
+        bundle.global = remap(&bundle.global);
+        bundle.extras = bundle.extras.iter().map(&mut remap).collect();
+        if let Some(dp) = bundle.dp.take() {
+            bundle.dp = Some(remap(&dp));
+        }
+        if let Some(tp) = bundle.tp.take() {
+            bundle.tp = Some(remap(&tp));
+        }
+    }
 }
 
 /// Allocates simulated GPUs for an assignment (helper for harnesses).

@@ -67,6 +67,22 @@ impl TrainConfig {
 const TAG_ACT: u64 = 1;
 const TAG_GRAD: u64 = 2;
 
+/// Default gradient-bucket capacity in logical bytes. Backward-pass
+/// gradients accumulate until this much is pending, then the bucket's
+/// fused all-reduce launches on the comm stream — DDP-style overlap of
+/// communication with the rest of backward (Figure 3). Setting the
+/// trainer's bucket size to 0 restores the eager per-buffer reference
+/// path.
+pub const DEFAULT_BUCKET_BYTES: u64 = 4 << 20;
+
+/// Pending data-parallel gradients for one backward pass: buffers in
+/// parameter-completion order plus their accumulated logical size.
+#[derive(Debug, Default)]
+struct GradBucket {
+    bufs: Vec<BufferId>,
+    bytes: u64,
+}
+
 /// Registered communicator tokens for one rank.
 #[derive(Debug, Clone, Copy)]
 pub struct RankTokens {
@@ -115,6 +131,9 @@ pub struct RankTrainer<E: Executor> {
     loader: DataLoader,
     compute: StreamId,
     comm_stream: StreamId,
+    /// Gradient-bucket fill threshold in logical bytes (`0` selects the
+    /// eager per-buffer reference path).
+    bucket_bytes: u64,
     iteration: u64,
     /// Per-iteration losses observed by this rank (`NaN` on stages that
     /// never see the loss).
@@ -252,6 +271,7 @@ impl<E: Executor> RankTrainer<E> {
             loader,
             compute,
             comm_stream,
+            bucket_bytes: DEFAULT_BUCKET_BYTES,
             iteration: 0,
             losses: Vec::new(),
             injector,
@@ -387,8 +407,16 @@ impl<E: Executor> RankTrainer<E> {
         Ok(shard_grads)
     }
 
+    /// Sets the gradient-bucket fill threshold in logical bytes. `0`
+    /// disables bucketing and restores the eager per-buffer all-reduce
+    /// path (the bit-identity reference).
+    pub fn set_bucket_bytes(&mut self, bytes: u64) {
+        self.bucket_bytes = bytes;
+    }
+
     /// Data-parallel gradient all-reduce for one bucket (averaging), with
-    /// the Figure-3 event pattern.
+    /// the Figure-3 event pattern — the eager per-buffer reference path
+    /// used when bucketing is disabled.
     fn dp_all_reduce_bucket(&mut self, grads: &[BufferId]) -> SimResult<()> {
         if let Some(dp) = self.tokens.dp {
             for g in grads {
@@ -396,6 +424,48 @@ impl<E: Executor> RankTrainer<E> {
             }
             self.bucket_sync_events()?;
         }
+        Ok(())
+    }
+
+    /// Queues one gradient group (`elems` logical elements) on the
+    /// data-parallel bucket, launching the fused bucket all-reduce as
+    /// soon as the bucket fills. Accumulation order is the caller's
+    /// issue order, so the fused reduction is bit-identical to the eager
+    /// path (each buffer reduces independently either way).
+    fn bucket_grads(
+        &mut self,
+        bucket: &mut GradBucket,
+        grads: &[BufferId],
+        elems: usize,
+    ) -> SimResult<()> {
+        if self.tokens.dp.is_none() {
+            return Ok(());
+        }
+        if self.bucket_bytes == 0 {
+            return self.dp_all_reduce_bucket(grads);
+        }
+        bucket.bufs.extend_from_slice(grads);
+        bucket.bytes += ((elems * 4) as f64 * self.cfg.model.phantom_scale).ceil() as u64;
+        if bucket.bytes >= self.bucket_bytes {
+            self.flush_bucket(bucket)?;
+        }
+        Ok(())
+    }
+
+    /// Launches the pending bucket's fused all-reduce (no-op when
+    /// empty). The final flush runs immediately before `pre_optimizer`,
+    /// so a bucketed minibatch still ends at the single observable
+    /// optimizer-step barrier the JIT watchdog keys on.
+    fn flush_bucket(&mut self, bucket: &mut GradBucket) -> SimResult<()> {
+        if bucket.bufs.is_empty() {
+            return Ok(());
+        }
+        let dp = self.tokens.dp.expect("bucket only fills with a dp group");
+        self.exec
+            .all_reduce_bucket(dp, &bucket.bufs, ReduceOp::Avg)?;
+        self.bucket_sync_events()?;
+        bucket.bufs.clear();
+        bucket.bytes = 0;
         Ok(())
     }
 
@@ -448,6 +518,7 @@ impl<E: Executor> RankTrainer<E> {
             cur = a.y;
         }
         // Stage boundary / head.
+        let mut bucket = GradBucket::default();
         let mut grads_rev: Vec<[BufferId; 5]> = Vec::new();
         let mut head_grad: Option<BufferId> = None;
         let mut loss_val: Option<f32> = None;
@@ -503,13 +574,14 @@ impl<E: Executor> RankTrainer<E> {
                 )?;
                 self.poll_inject(Phase::AllReduce)?;
                 if !fsdp_mode {
-                    self.dp_all_reduce_bucket(&g.list())?;
+                    let elems = 2 * blk.d * blk.h_local + blk.h_local + 2 * blk.d;
+                    self.bucket_grads(&mut bucket, &g.list(), elems)?;
                 }
                 grads_rev.push(g.list());
                 dy = dx;
             }
             if !fsdp_mode {
-                self.dp_all_reduce_bucket(&[dw])?;
+                self.bucket_grads(&mut bucket, &[dw], head.d * head.classes)?;
             }
             if let Some(prev) = self.prev {
                 self.exec
@@ -557,7 +629,8 @@ impl<E: Executor> RankTrainer<E> {
                 )?;
                 self.poll_inject(Phase::AllReduce)?;
                 if !fsdp_mode {
-                    self.dp_all_reduce_bucket(&g.list())?;
+                    let elems = 2 * blk.d * blk.h_local + blk.h_local + 2 * blk.d;
+                    self.bucket_grads(&mut bucket, &g.list(), elems)?;
                 }
                 grads_rev.push(g.list());
                 dy = dx;
@@ -581,9 +654,13 @@ impl<E: Executor> RankTrainer<E> {
             // then average shard gradients across the replica groups.
             let shard_grads = self.fsdp_shard_grads(&grad_list, &mut scratch)?;
             self.poll_inject(Phase::AllReduce)?;
-            self.dp_all_reduce_bucket(&shard_grads)?;
+            let g = self.cfg.layout.tp;
+            let elems: usize = self.fsdp_params.iter().map(|p| p.full_elems / g).sum();
+            self.bucket_grads(&mut bucket, &shard_grads, elems)?;
             grad_list = shard_grads;
         }
+        // Drain any straggler gradients before the optimizer barrier.
+        self.flush_bucket(&mut bucket)?;
         self.exec.pre_optimizer()?;
         self.poll_inject(Phase::OptimizerStep)?;
         self.opt.step(&mut self.exec, self.compute, &grad_list)?;

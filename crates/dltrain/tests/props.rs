@@ -12,6 +12,12 @@ use simcore::{GpuId, RankId};
 use simgpu::Gpu;
 
 fn run_job(cfg: TrainConfig, iters: u64) -> Vec<Vec<f32>> {
+    run_job_bucketed(cfg, iters, None)
+}
+
+/// Like [`run_job`], but overriding the gradient-bucket threshold
+/// (`Some(0)` selects the eager per-buffer reference path).
+fn run_job_bucketed(cfg: TrainConfig, iters: u64, bucket_bytes: Option<u64>) -> Vec<Vec<f32>> {
     let setup = JobSetup::build(cfg.layout, CostModel::v100(), cfg.ranks_per_node);
     let world = setup.world.clone();
     let per_rank = setup.per_rank.clone();
@@ -19,6 +25,9 @@ fn run_job(cfg: TrainConfig, iters: u64) -> Vec<Vec<f32>> {
         let gpu = Gpu::new(GpuId(i as u32), CostModel::v100());
         let exec = DirectExecutor::new(RankId(i as u32), i, gpu, world.clone());
         let mut tr = RankTrainer::new(exec, cfg.clone(), &per_rank[i], FailureInjector::none())?;
+        if let Some(bytes) = bucket_bytes {
+            tr.set_bucket_bytes(bytes);
+        }
         tr.train(iters)
     });
     results.into_iter().map(|r| r.unwrap()).collect()
@@ -100,6 +109,31 @@ proptest! {
         fsdp.fsdp = true;
         let sharded = run_job(fsdp, 4);
         prop_assert_eq!(plain, sharded);
+    }
+
+    #[test]
+    fn bucketed_overlap_matches_unbucketed(
+        seed in any::<u64>(),
+        dp in prop::sample::select(vec![2usize, 4]),
+        sgd in any::<bool>(),
+        fsdp in any::<bool>(),
+        // From flush-per-gradient (1 byte) through partial fusion to
+        // everything-in-one-bucket (well past this model's total bytes).
+        bucket in prop::sample::select(vec![1u64, 512, 4 << 20]),
+    ) {
+        // Bucketing only changes *when* all-reduces launch, never the
+        // rank-order summation inside each gradient — so model losses
+        // must stay bit-identical to the eager per-buffer path.
+        let mut cfg = cfg_with(seed, 16, 2, 4, sgd);
+        if fsdp {
+            cfg.layout = ParallelLayout::three_d(1, 1, dp);
+            cfg.fsdp = true;
+        } else {
+            cfg.layout = ParallelLayout::data_parallel(dp);
+        }
+        let eager = run_job_bucketed(cfg.clone(), 4, Some(0));
+        let bucketed = run_job_bucketed(cfg, 4, Some(bucket));
+        prop_assert_eq!(eager, bucketed);
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub const RULE: &str = "panic_path";
 /// `(crate_dir, module)` pairs the rule applies to; `"*"` = all modules.
 pub const RECOVERY_CRITICAL: &[(&str, &str)] = &[
     ("core", "checkpoint"),
+    ("core", "stream"),
     ("core", "user_level"),
     ("core", "transparent"),
     ("proxy", "*"),

@@ -83,10 +83,11 @@ struct CreationEntry {
 /// that the per-shard frame overhead stays negligible.
 const CPU_STATE_SHARD_BYTES: usize = 256 * 1024;
 
-/// Default capacity of the deferred-call staging ring: large enough to
-/// absorb a full fwd/bwd window of launches between synchronization
-/// points, small enough to bound worst-case staging memory.
-pub const DEFAULT_BATCH_CAPACITY: usize = 256;
+/// Default capacity of the deferred-call staging ring. The
+/// `BENCH_proxy.json` capacity sweep shows per-op overhead knees at 64
+/// (926 ns at 1, 449 ns at 64) with diminishing returns beyond — larger
+/// rings only add staging memory, so 64 is the default.
+pub const DEFAULT_BATCH_CAPACITY: usize = 64;
 
 /// The per-rank interception client (Figure 2's "device proxy client").
 pub struct ProxyClient {
@@ -196,6 +197,11 @@ impl ProxyClient {
     /// Deferred calls currently staged for the next batched round trip.
     pub fn pending_len(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Current flush-batch capacity of the deferred-call staging ring.
+    pub fn batch_capacity(&self) -> usize {
+        self.pending.capacity()
     }
 
     /// Ops that would survive minibatch-boundary compaction of the
@@ -1372,6 +1378,15 @@ mod tests {
         let clock = Arc::new(ClockBoard::new(1));
         let world = CommWorld::new(clock, CostModel::v100(), 8);
         ProxyClient::new(RankId(0), 0, Gpu::new(GpuId(0), CostModel::v100()), world)
+    }
+
+    #[test]
+    fn default_batch_capacity_is_the_sweep_knee() {
+        // The BENCH_proxy.json capacity sweep knees at 64; pin the default
+        // so it cannot silently regress to the unbatched (or oversized)
+        // configurations.
+        assert_eq!(DEFAULT_BATCH_CAPACITY, 64);
+        assert_eq!(client().batch_capacity(), DEFAULT_BATCH_CAPACITY);
     }
 
     fn alloc(

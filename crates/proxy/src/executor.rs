@@ -70,6 +70,23 @@ pub trait Executor: Send {
     /// All-reduce the contents of `buf` in place across the group.
     fn all_reduce(&mut self, comm: CommToken, buf: BufferId, op: ReduceOp) -> SimResult<()>;
 
+    /// All-reduce a gradient bucket — several buffers fused into one
+    /// collective launch — in place across the group. Backends that can
+    /// fuse override this; the default preserves per-buffer semantics.
+    /// Either way the result is bit-identical: fusing only concatenates
+    /// independent elementwise reductions.
+    fn all_reduce_bucket(
+        &mut self,
+        comm: CommToken,
+        bufs: &[BufferId],
+        op: ReduceOp,
+    ) -> SimResult<()> {
+        for b in bufs {
+            self.all_reduce(comm, *b, op)?;
+        }
+        Ok(())
+    }
+
     /// All-gather `src` (equal shards) into `dst` on every rank.
     fn all_gather_into(&mut self, comm: CommToken, src: BufferId, dst: BufferId) -> SimResult<()>;
 
@@ -261,9 +278,52 @@ impl Executor for DirectExecutor {
         let (data, logical) = self.fetch(buf)?;
         let arc = self.comm(comm)?;
         let gen = self.gen_of(comm);
-        let out = arc.all_reduce(self.rank, gen, data, op, logical, self.observer.as_ref())?;
+        let out =
+            arc.all_reduce_shared(self.rank, gen, data, op, logical, self.observer.as_ref())?;
         self.bump_gen(comm);
         self.gpu.lock().load_buffer(buf, &out)
+    }
+
+    fn all_reduce_bucket(
+        &mut self,
+        comm: CommToken,
+        bufs: &[BufferId],
+        op: ReduceOp,
+    ) -> SimResult<()> {
+        if bufs.len() <= 1 {
+            return match bufs.first() {
+                Some(b) => self.all_reduce(comm, *b, op),
+                None => Ok(()),
+            };
+        }
+        self.check_comm_health()?;
+        // Fuse the bucket into one collective: concatenate in caller
+        // order, reduce once, scatter the slices back. One generation per
+        // bucket keeps retry idempotent at bucket granularity.
+        let mut fused = Vec::new();
+        let mut lens = Vec::with_capacity(bufs.len());
+        let mut logical = 0u64;
+        {
+            let gpu = self.gpu.lock();
+            for buf in bufs {
+                let b = gpu.buffer(*buf)?;
+                lens.push(b.data.len());
+                logical += b.logical_bytes;
+                fused.extend_from_slice(&b.data);
+            }
+        }
+        let arc = self.comm(comm)?;
+        let gen = self.gen_of(comm);
+        let out =
+            arc.all_reduce_shared(self.rank, gen, fused, op, logical, self.observer.as_ref())?;
+        self.bump_gen(comm);
+        let mut gpu = self.gpu.lock();
+        let mut off = 0usize;
+        for (buf, len) in bufs.iter().zip(lens) {
+            gpu.load_buffer(*buf, &out[off..off + len])?;
+            off += len;
+        }
+        Ok(())
     }
 
     fn all_gather_into(&mut self, comm: CommToken, src: BufferId, dst: BufferId) -> SimResult<()> {
@@ -271,7 +331,7 @@ impl Executor for DirectExecutor {
         let (data, logical) = self.fetch(src)?;
         let arc = self.comm(comm)?;
         let gen = self.gen_of(comm);
-        let out = arc.all_gather(self.rank, gen, data, logical, self.observer.as_ref())?;
+        let out = arc.all_gather_shared(self.rank, gen, data, logical, self.observer.as_ref())?;
         self.bump_gen(comm);
         self.gpu.lock().load_buffer(dst, &out)
     }
@@ -298,7 +358,7 @@ impl Executor for DirectExecutor {
         let (data, logical) = self.fetch(buf)?;
         let contribution = if self.rank == root { Some(data) } else { None };
         let gen = self.gen_of(comm);
-        let out = comm_arc.broadcast(
+        let out = comm_arc.broadcast_shared(
             self.rank,
             gen,
             root,

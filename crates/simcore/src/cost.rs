@@ -86,8 +86,11 @@ pub struct CostModel {
     pub tmpfs_bw: f64,
     /// Per-node remote blob store bandwidth (shared by ranks).
     pub remote_bw: f64,
-    /// Base latency per collective operation (the α in α–β).
+    /// Base latency per collective operation (the α in α–β); also the
+    /// per-hop latency of an inter-node (NIC) ring step.
     pub coll_latency: SimTime,
+    /// Per-hop latency of an intra-node (NVLink) ring step.
+    pub nvlink_latency: SimTime,
     /// Rendezvous + bootstrap time to create one NCCL-style communicator.
     pub comm_init: SimTime,
     /// Time to tear down communicators and device handles during recovery.
@@ -132,6 +135,7 @@ impl CostModel {
             tmpfs_bw: 8.0e9,
             remote_bw: 2.5e9,
             coll_latency: SimTime::from_micros(40.0),
+            nvlink_latency: SimTime::from_micros(8.0),
             comm_init: SimTime::from_secs(1.0),
             comm_teardown: SimTime::from_secs(0.85),
             handle_create: SimTime::from_micros(120.0),
@@ -158,6 +162,7 @@ impl CostModel {
             tmpfs_bw: 12.0e9,
             remote_bw: 4.0e9,
             coll_latency: SimTime::from_micros(30.0),
+            nvlink_latency: SimTime::from_micros(6.0),
             comm_init: SimTime::from_secs(1.1),
             comm_teardown: SimTime::from_secs(0.8),
             handle_create: SimTime::from_micros(100.0),
@@ -225,6 +230,55 @@ impl CostModel {
         let transfer = (n - 1.0) / n * bytes as f64 / bw;
         let alpha = self.coll_latency.as_secs() * (n.log2().ceil().max(1.0));
         SimTime::from_secs(transfer + alpha)
+    }
+
+    /// Duration of one synchronous step of a chunked ring schedule moving
+    /// one `seg_bytes` segment per rank. Every rank sends simultaneously,
+    /// so the step takes as long as its slowest hop: an inter-node (NIC)
+    /// hop if the ring crosses a node boundary, an NVLink hop otherwise.
+    fn ring_step_secs(&self, seg_bytes: f64, crosses_nodes: bool) -> f64 {
+        let (bw, lat) = if crosses_nodes {
+            (self.nic_bw, self.coll_latency)
+        } else {
+            (self.nvlink_bw, self.nvlink_latency)
+        };
+        lat.as_secs() + seg_bytes / bw
+    }
+
+    /// Chunked ring all-reduce (reduce-scatter then all-gather) of `bytes`
+    /// over `n_ranks`, where `inter_hops` of the ring's hops cross a node
+    /// boundary (0 means the whole ring rides NVLink).
+    ///
+    /// Unlike the flat [`CostModel::all_reduce`] charge, the latency term
+    /// reflects the actual 2·(n−1) ring steps, each gated by the slowest
+    /// link class present in the ring — so a ring spanning nodes pays
+    /// linear-in-n NIC hop latencies, while an intra-node ring pays much
+    /// cheaper NVLink hops. The bandwidth term is the usual 2·(n−1)/n
+    /// volume through the bottleneck link.
+    pub fn ring_all_reduce(&self, bytes: u64, n_ranks: usize, inter_hops: usize) -> SimTime {
+        if n_ranks <= 1 {
+            return self.coll_latency;
+        }
+        let n = n_ranks as f64;
+        let steps = 2.0 * (n - 1.0);
+        SimTime::from_secs(steps * self.ring_step_secs(bytes as f64 / n, inter_hops > 0))
+    }
+
+    /// Chunked ring all-gather / reduce-scatter / broadcast cost: n−1 ring
+    /// steps (half the all-reduce volume).
+    pub fn ring_all_gather(&self, bytes: u64, n_ranks: usize, inter_hops: usize) -> SimTime {
+        if n_ranks <= 1 {
+            return self.coll_latency;
+        }
+        let n = n_ranks as f64;
+        let steps = n - 1.0;
+        SimTime::from_secs(steps * self.ring_step_secs(bytes as f64 / n, inter_hops > 0))
+    }
+
+    /// CPU-side cost to CRC-frame one recovery-stream shard of `bytes`
+    /// (a host-memory pass over the payload).
+    pub fn shard_encode(&self, bytes: u64) -> SimTime {
+        SimTime::from_secs(bytes as f64 / self.tmpfs_bw)
     }
 
     /// Point-to-point transfer cost (pipeline activations, replica state
@@ -323,6 +377,31 @@ mod tests {
         let intra = cm.all_reduce(1 << 30, 8, 8);
         let inter = cm.all_reduce(1 << 30, 16, 8);
         assert!(inter > intra, "crossing nodes must be slower");
+    }
+
+    #[test]
+    fn ring_cost_tracks_link_classes() {
+        let cm = CostModel::v100();
+        // An all-NVLink ring is cheaper than one crossing nodes.
+        let intra = cm.ring_all_reduce(1 << 30, 8, 0);
+        let inter = cm.ring_all_reduce(1 << 30, 8, 2);
+        assert!(intra < inter, "NIC hops must dominate the ring step");
+        // Hop latency scales linearly with ring length, unlike the flat
+        // log-scaled charge.
+        let lat_small = cm.ring_all_reduce(0, 4, 1).as_secs();
+        let lat_big = cm.ring_all_reduce(0, 16, 1).as_secs();
+        assert!((lat_big / lat_small - 5.0).abs() < 1e-9, "2(n-1) steps");
+        // At large payloads the ring converges to the classic 2(n-1)/n
+        // volume through the bottleneck link (the flat model's bw term).
+        let flat = cm.all_reduce(1 << 30, 16, 8).as_secs();
+        let ring = cm.ring_all_reduce(1 << 30, 16, 2).as_secs();
+        assert!((ring / flat - 1.0).abs() < 0.05, "ring {ring} flat {flat}");
+        // Single rank degenerates like the flat model.
+        assert_eq!(cm.ring_all_reduce(1 << 30, 1, 0), cm.coll_latency);
+        // All-gather is n-1 steps, half the all-reduce schedule.
+        let ag = cm.ring_all_gather(1 << 30, 8, 1).as_secs();
+        let ar = cm.ring_all_reduce(1 << 30, 8, 1).as_secs();
+        assert!((ar / ag - 2.0).abs() < 1e-9);
     }
 
     #[test]

@@ -9,6 +9,10 @@
 #                      (batched vs per-call flushing vs direct), the
 #                      flush-capacity sweep, and replay time with and
 #                      without log compaction.
+#   BENCH_coll.json  — slot-vs-ring all-reduce wall time across world
+#                      and payload sizes, bucketed-overlap minibatch
+#                      time, and pipelined recovery streaming vs the
+#                      store round-trip.
 #
 # Optional args pass through to the checkpoint bench:
 #
@@ -19,6 +23,7 @@ cd "$(dirname "$0")/.."
 PAYLOAD_MIB="${1:-64}"
 OUT="${2:-BENCH_ckpt.json}"
 PROXY_OUT="${PROXY_OUT:-BENCH_proxy.json}"
+COLL_OUT="${COLL_OUT:-BENCH_coll.json}"
 
 echo "==> cargo run --release -p bench --bin ckpt_bench -- ${PAYLOAD_MIB} ${OUT}"
 cargo run --release --quiet -p bench --bin ckpt_bench -- "${PAYLOAD_MIB}" "${OUT}"
@@ -26,8 +31,12 @@ cargo run --release --quiet -p bench --bin ckpt_bench -- "${PAYLOAD_MIB}" "${OUT
 echo "==> cargo run --release -p bench --bin proxy_bench -- 20000 12000 ${PROXY_OUT}"
 cargo run --release --quiet -p bench --bin proxy_bench -- 20000 12000 "${PROXY_OUT}"
 
-echo "==> criterion micro-benches (ckpt, proxy)"
+echo "==> cargo run --release -p bench --bin coll_bench -- 6 64 ${COLL_OUT}"
+cargo run --release --quiet -p bench --bin coll_bench -- 6 64 "${COLL_OUT}"
+
+echo "==> criterion micro-benches (ckpt, proxy, coll)"
 cargo bench -p bench --bench ckpt --quiet
 cargo bench -p bench --bench proxy --quiet
+cargo bench -p bench --bench coll --quiet
 
-echo "bench.sh: wrote ${OUT} and ${PROXY_OUT}"
+echo "bench.sh: wrote ${OUT}, ${PROXY_OUT}, and ${COLL_OUT}"

@@ -108,6 +108,19 @@ pub mod strategy {
             Map { inner: self, f }
         }
 
+        /// Maps generated values into a dependent strategy and draws
+        /// from it (`prop_flat_map`): the standard way to generate a
+        /// value whose shape depends on an earlier draw, e.g. a vector
+        /// whose length was itself generated.
+        fn prop_flat_map<U, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            U: Strategy,
+            F: Fn(Self::Value) -> U,
+        {
+            FlatMap { inner: self, f }
+        }
+
         /// Boxes the strategy for heterogeneous composition.
         fn boxed(self) -> BoxedStrategy<Self::Value>
         where
@@ -152,6 +165,24 @@ pub mod strategy {
         type Value = U;
         fn sample(&self, rng: &mut TestRng) -> U {
             (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, U, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        U: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U::Value;
+        fn sample(&self, rng: &mut TestRng) -> U::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
         }
     }
 
