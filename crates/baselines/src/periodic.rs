@@ -3,9 +3,9 @@
 use cluster::{FailureInjector, Scheduler, SharedStore};
 use dltrain::{JobSetup, RankTrainer, TrainConfig};
 use jitckpt::checkpoint::{self, CkptKind};
-use parking_lot::Mutex;
 use proxy::{DirectExecutor, Executor, Watchdog};
 use simcore::cost::{CostModel, StorageTier};
+use simcore::sync::Mutex;
 use simcore::{RankId, SimError, SimResult, SimTime};
 use simgpu::Gpu;
 use std::sync::Arc;

@@ -8,8 +8,8 @@
 //! (that is also where real faults manifest — at the next device/NCCL
 //! call).
 
-use parking_lot::Mutex;
 use simcore::failure::{FailureKind, FailureSpec, Phase};
+use simcore::sync::Mutex;
 use simcore::RankId;
 use std::sync::Arc;
 

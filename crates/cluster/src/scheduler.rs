@@ -11,8 +11,8 @@
 //!    failed device.
 
 use crate::topology::Cluster;
-use parking_lot::Mutex;
 use simcore::layout::ParallelLayout;
+use simcore::sync::Mutex;
 use simcore::{GpuId, JobId, RankId, SimError, SimResult};
 use std::collections::{HashMap, HashSet};
 

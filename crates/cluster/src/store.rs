@@ -17,7 +17,7 @@
 //! metadata sidecar, never by store-wide state).
 
 use bytes::Bytes;
-use parking_lot::{Mutex, RwLock};
+use simcore::sync::{Mutex, RwLock};
 use simcore::{SimError, SimResult};
 use std::collections::BTreeMap;
 

@@ -30,8 +30,8 @@
 use crate::observer::{CollectiveObserver, CollectiveTicket};
 use crate::ring::{self, CollEngine};
 use crate::world::CommId;
-use parking_lot::{Condvar, Mutex};
 use simcore::cost::CostModel;
+use simcore::sync::{Condvar, Mutex};
 use simcore::time::ClockBoard;
 use simcore::{RankId, SimError, SimResult};
 use std::collections::{BTreeMap, HashMap};
@@ -357,7 +357,6 @@ impl Communicator {
         if self.is_aborted() {
             return Err(SimError::CollectiveAborted);
         }
-        let mut st = self.state.lock();
         let ticket = CollectiveTicket {
             comm: self.id,
             generation: gen,
@@ -365,8 +364,17 @@ impl Communicator {
             kind,
             entered_at: Instant::now(),
         };
+        // Observer callbacks run outside the state lock: the hang
+        // watchdog's observer takes its own `outstanding` lock, and
+        // calling into it with `state` held would hold one lock across a
+        // module that takes another (`guard_across_call`). Registering
+        // the ticket a moment before entering the slot (and clearing it a
+        // moment after leaving) only widens the watchdog's view of the
+        // collective, which is the conservative direction.
         obs.collective_started(&ticket);
+        let mut st = self.state.lock();
         let result = self.run_inner(&mut st, rank, gen, kind, op, root, data, logical_bytes);
+        drop(st);
         obs.collective_finished(&ticket);
         result
     }
@@ -374,7 +382,7 @@ impl Communicator {
     #[allow(clippy::too_many_arguments)]
     fn run_inner(
         &self,
-        st: &mut parking_lot::MutexGuard<'_, CommState>,
+        st: &mut simcore::sync::MutexGuard<'_, CommState>,
         rank: RankId,
         gen: u64,
         kind: CollKind,

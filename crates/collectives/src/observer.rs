@@ -52,7 +52,7 @@ impl CollectiveObserver for NullObserver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parking_lot::Mutex;
+    use simcore::sync::Mutex;
     use std::sync::Arc;
 
     #[derive(Default)]

@@ -37,7 +37,7 @@
 //! [`ring_hop_classes`] for how hops are classified.
 
 use crate::comm::ReduceOp;
-use parking_lot::Mutex;
+use simcore::sync::Mutex;
 use simcore::{pool, RankId, SimError, SimResult};
 
 /// Default chunk granularity. 128 KiB keeps a chunk's accumulator and one

@@ -13,8 +13,8 @@
 
 use crate::comm::Communicator;
 use bytes::Bytes;
-use parking_lot::{Condvar, Mutex};
 use simcore::cost::CostModel;
+use simcore::sync::{Condvar, Mutex};
 use simcore::time::ClockBoard;
 use simcore::{RankId, SimError, SimResult, SimTime};
 use std::collections::HashMap;
@@ -153,9 +153,19 @@ impl CommWorld {
     /// release-everything step of job teardown.
     pub fn abort_all(&self) {
         self.aborted.store(true, Ordering::Release);
-        for comm in self.comms.lock().values() {
+        // Snapshot the registry first: each abort() takes that
+        // communicator's state lock, and holding the registry lock across
+        // those acquisitions would order `comms` before every comm's
+        // `state` — exactly the long-hold shape `guard_across_call` bans.
+        let comms: Vec<Arc<Communicator>> = self.comms.lock().values().cloned().collect();
+        for comm in comms {
             comm.abort();
         }
+        // Wake mailbox waiters while holding their lock: a receiver that
+        // checked the abort flag but has not parked yet would otherwise
+        // miss this notify and sleep through teardown (the PR-5
+        // lost-wakeup class, here on the p2p path).
+        let _mail = self.mail.lock();
         self.mail_cv.notify_all();
     }
 

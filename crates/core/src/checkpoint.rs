@@ -43,10 +43,10 @@
 use bytes::{BufMut, Bytes, BytesMut};
 use cluster::SharedStore;
 use dltrain::TrainState;
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use simcore::codec::{decode_framed, encode_framed, Decode, Encode};
 use simcore::layout::ParallelLayout;
+use simcore::sync::Mutex;
 use simcore::{JobId, RankId, SimError, SimResult};
 use std::collections::BTreeMap;
 

@@ -31,13 +31,13 @@
 
 use cluster::SharedStore;
 use dltrain::{build_comms, JobComms};
-use parking_lot::{Condvar, Mutex};
 use proxy::{
     CommToken, Executor, MinibatchPosition, PendingOp, ProxyClient, RecoveryHandler,
     RecoveryOutcome, Watchdog,
 };
 use simcore::cost::StorageTier;
 use simcore::layout::ParallelLayout;
+use simcore::sync::{Condvar, Mutex};
 use simcore::{GpuId, RankId, SimError, SimResult, SimTime};
 use simgpu::{Gpu, GpuHealth};
 use std::collections::HashMap;

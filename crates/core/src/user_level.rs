@@ -26,10 +26,10 @@ use cluster::scheduler::CheckpointAck;
 use cluster::{FailureInjector, Scheduler, SharedStore};
 use collectives::{CommId, Communicator};
 use dltrain::{JobSetup, RankTrainer, TrainConfig, TrainState};
-use parking_lot::Mutex;
-use parking_lot::Mutex as PlMutex;
 use proxy::{DirectExecutor, Executor, Watchdog};
 use simcore::cost::{CostModel, StorageTier};
+use simcore::sync::Mutex;
+use simcore::sync::Mutex as PlMutex;
 use simcore::time::ClockBoard;
 use simcore::{GpuId, JobId, RankId, SimError, SimResult, SimTime};
 use simgpu::Gpu;

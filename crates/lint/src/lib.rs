@@ -29,56 +29,80 @@
 pub mod report;
 pub mod rules;
 pub mod source;
+pub mod witness;
 
 use report::Finding;
-use source::SourceFile;
+use source::{FileKind, SourceFile};
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Loads and parses every `crates/*/src/**/*.rs` file under `root`.
+/// Loads and parses every Rust file under `root` the analyzer covers:
+/// `crates/*/{src,tests,examples}` plus the workspace-level `src/`,
+/// `tests/`, and `examples/` (attributed to the pseudo-crate
+/// `workspace`). Per-rule scoping happens via [`FileKind`]: library,
+/// integration-test, and example files are distinguished so panic rules
+/// can stand down in test code while the concurrency rules stay on
+/// everywhere. Paths containing a `fixtures` component are skipped —
+/// jitlint's own test fixtures contain deliberate violations.
 pub fn load_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
     let crates_dir = root.join("crates");
-    let mut crate_dirs: Vec<PathBuf> = Vec::new();
+    let mut units: Vec<(PathBuf, String)> = Vec::new(); // (crate dir, crate name)
     for entry in std::fs::read_dir(&crates_dir)? {
         let entry = entry?;
         if entry.file_type()?.is_dir() {
-            crate_dirs.push(entry.path());
+            if let Some(name) = entry.path().file_name().and_then(|n| n.to_str()) {
+                units.push((entry.path(), name.to_string()));
+            }
         }
     }
-    crate_dirs.sort();
+    units.sort();
+    units.push((root.to_path_buf(), "workspace".to_string()));
 
     let mut files = Vec::new();
-    for crate_dir in &crate_dirs {
-        let Some(crate_name) = crate_dir.file_name().and_then(|n| n.to_str()) else {
-            continue;
-        };
-        let src = crate_dir.join("src");
-        if !src.is_dir() {
-            continue;
-        }
-        let mut rs_files = Vec::new();
-        collect_rs_files(&src, &mut rs_files)?;
-        rs_files.sort();
-        for path in rs_files {
-            let text = std::fs::read_to_string(&path)?;
-            let rel_path = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
-            let module = module_name(&path);
-            files.push(SourceFile::parse(
-                rel_path,
-                crate_name.to_string(),
-                module,
-                &text,
-            ));
+    for (unit_dir, crate_name) in &units {
+        for (sub, kind) in [
+            ("src", FileKind::Lib),
+            ("tests", FileKind::Test),
+            ("examples", FileKind::Example),
+        ] {
+            let dir = unit_dir.join(sub);
+            if !dir.is_dir() {
+                continue;
+            }
+            let mut rs_files = Vec::new();
+            collect_rs_files(&dir, &mut rs_files)?;
+            rs_files.sort();
+            for path in rs_files {
+                let rel_path = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+                // Relative to the analyzed root: the analyzer's own test
+                // fixtures (deliberate violations) stay invisible when the
+                // real workspace is scanned, but a fixture tree *used as*
+                // the root is scanned normally.
+                if rel_path.components().any(|c| c.as_os_str() == "fixtures") {
+                    continue;
+                }
+                let text = std::fs::read_to_string(&path)?;
+                let module = module_name(&path);
+                files.push(SourceFile::parse_kind(
+                    rel_path,
+                    crate_name.clone(),
+                    module,
+                    kind,
+                    &text,
+                ));
+            }
         }
     }
     Ok(files)
 }
 
-/// Runs every rule over the parsed files.
+/// Runs every rule over the parsed files, then the `unused_allow` meta
+/// check (which needs the other rules' suppression hits).
 pub fn run_rules(files: &[SourceFile]) -> Vec<Finding> {
     let mut findings = Vec::new();
     rules::run_file_rules(files, &mut findings);
     rules::lock_order::check(files, &mut findings);
+    rules::check_unused_allows(files, &mut findings);
     findings.sort();
     findings
 }

@@ -1,11 +1,18 @@
 //! `jitlint` CLI.
 //!
 //! ```text
-//! cargo run -p lint --                 # text report, exit 1 on findings
-//! cargo run -p lint -- --format json   # machine-readable output
-//! cargo run -p lint -- --fix-allow     # insert TODO allow directives
-//! cargo run -p lint -- --root <path>   # analyze another workspace root
+//! cargo run -p lint --                     # text report, exit 1 on findings
+//! cargo run -p lint -- --format json       # machine-readable output
+//! cargo run -p lint -- --fix-allow         # insert TODO allow directives
+//! cargo run -p lint -- --root <path>       # analyze another workspace root
+//! cargo run -p lint -- --witness <trace>   # diff a runtime lock trace
+//!                                          # against the static graph
 //! ```
+//!
+//! `--witness` replaces the normal rule run: it resolves the records a
+//! `lock_witness`-instrumented test run wrote to `JIT_LOCK_WITNESS`
+//! against the static acquisition graph and fails on edges the analyzer
+//! did not predict (see `lint::witness`).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -14,6 +21,7 @@ struct Options {
     root: PathBuf,
     format: Format,
     fix_allow: bool,
+    witness: Option<PathBuf>,
 }
 
 #[derive(PartialEq)]
@@ -23,7 +31,7 @@ enum Format {
 }
 
 fn usage() -> &'static str {
-    "usage: jitlint [--format text|json] [--fix-allow] [--root <path>]"
+    "usage: jitlint [--format text|json] [--fix-allow] [--root <path>] [--witness <trace>]"
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -31,6 +39,7 @@ fn parse_args() -> Result<Options, String> {
         root: find_workspace_root()?,
         format: Format::Text,
         fix_allow: false,
+        witness: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -46,6 +55,11 @@ fn parse_args() -> Result<Options, String> {
             "--fix-allow" => opts.fix_allow = true,
             "--root" => {
                 opts.root = PathBuf::from(args.next().ok_or("--root needs a value")?);
+            }
+            "--witness" => {
+                opts.witness = Some(PathBuf::from(
+                    args.next().ok_or("--witness needs a trace file path")?,
+                ));
             }
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown argument `{other}`\n{}", usage())),
@@ -70,6 +84,42 @@ fn find_workspace_root() -> Result<PathBuf, String> {
     }
 }
 
+fn run_witness(opts: &Options, trace_path: &PathBuf) -> ExitCode {
+    let trace = match std::fs::read_to_string(trace_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "jitlint: failed to read witness trace {}: {e}\n\
+                 (run the tests with JIT_LOCK_WITNESS={} and \
+                 --features simcore/lock_witness first)",
+                trace_path.display(),
+                trace_path.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let files = match lint::load_workspace(&opts.root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!(
+                "jitlint: failed to read workspace at {}: {e}",
+                opts.root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let report = lint::witness::check_witness(&files, &trace);
+    match opts.format {
+        Format::Text => print!("{}", lint::witness::render_text(&report)),
+        Format::Json => print!("{}", lint::report::render_json(&report.findings)),
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -78,6 +128,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(trace_path) = opts.witness.clone() {
+        return run_witness(&opts, &trace_path);
+    }
     let findings = match lint::analyze(&opts.root) {
         Ok(f) => f,
         Err(e) => {

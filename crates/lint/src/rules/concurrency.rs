@@ -1,0 +1,312 @@
+//! Condvar discipline rules: `condvar_wait_loop`, `notify_under_lock`,
+//! and `blocking_under_lock`.
+//!
+//! These target the bug class PR 5 fixed in `Communicator::abort()`: a
+//! `notify_all` issued *after* the state lock was released can race a
+//! waiter that has checked its predicate but not yet parked — the wake
+//! is lost, and the recovery path (the one moment the system must make
+//! progress, §3.1) hangs. The discipline that makes condvars sound:
+//!
+//! * every wait sits in a predicate loop (spurious wakeups, multi-waiter
+//!   races) — `condvar_wait_loop`;
+//! * every notify happens while a mutex guard is held, so the
+//!   predicate-check/park window is closed to the notifier —
+//!   `notify_under_lock`;
+//! * nothing *else* blocks while a mutex guard is held (a parked waiter
+//!   releases its own lock; a `join`/`recv` does not) —
+//!   `blocking_under_lock`.
+//!
+//! Unlike the panic rules, these apply to test and example code too: a
+//! lost wakeup hangs a test run just as hard as it hangs production
+//! recovery.
+
+use super::body::{condvar_names, Body};
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+/// `condvar_wait_loop` rule name.
+pub const WAIT_LOOP: &str = "condvar_wait_loop";
+/// `notify_under_lock` rule name.
+pub const NOTIFY: &str = "notify_under_lock";
+/// `blocking_under_lock` rule name.
+pub const BLOCKING: &str = "blocking_under_lock";
+
+/// Blocking call patterns beyond condvar waits. `.join()` parks on
+/// another thread; `.recv()`/`.recv_timeout(` park on a channel. None of
+/// them release a held mutex the way `Condvar::wait` does.
+const BLOCKING_PATTERNS: &[(&str, &str)] = &[
+    (".join()", "thread join"),
+    (".recv()", "channel recv"),
+    (".recv_timeout(", "channel recv"),
+];
+
+/// Runs all three condvar rules over every function of `files`.
+pub fn check(files: &[SourceFile], findings: &mut Vec<Finding>) {
+    let condvars = condvar_names(files);
+    for file in files {
+        for span in &file.functions {
+            let body = Body::build(file, span, &condvars);
+            check_wait_loop(file, &body, findings);
+            check_notify(file, &body, findings);
+            check_blocking(file, &body, findings);
+        }
+    }
+}
+
+/// Every `wait`/`wait_for`/`wait_timeout` must have a `while`/`loop`/
+/// `for` ancestor so the predicate is re-checked after wakeup.
+/// `wait_while` carries its own predicate loop and is exempt.
+fn check_wait_loop(file: &SourceFile, body: &Body, findings: &mut Vec<Finding>) {
+    for wait in &body.waits {
+        if wait.method == "wait_while" {
+            continue;
+        }
+        if body.in_loop(wait.offset) {
+            continue;
+        }
+        if file.allowed(WAIT_LOOP, wait.line).is_some() {
+            continue;
+        }
+        findings.push(Finding {
+            rule: WAIT_LOOP.into(),
+            file: file.rel_path.clone(),
+            line: wait.line,
+            message: format!(
+                "`{}.{}` outside a predicate loop — spurious wakeups and \
+                 multi-waiter races require re-checking the condition in a \
+                 `while`/`loop` around the wait",
+                wait.field, wait.method
+            ),
+        });
+    }
+}
+
+/// Every `notify_one`/`notify_all` must run while a mutex guard is held
+/// in the enclosing scope. Notifying after the guard drops races a
+/// waiter between predicate check and park (the PR-5 `abort()` bug).
+fn check_notify(file: &SourceFile, body: &Body, findings: &mut Vec<Finding>) {
+    for notify in &body.notifies {
+        let held = body.live_guards_at(notify.offset).iter().any(|g| g.mutex);
+        if held {
+            continue;
+        }
+        if file.allowed(NOTIFY, notify.line).is_some() {
+            continue;
+        }
+        findings.push(Finding {
+            rule: NOTIFY.into(),
+            file: file.rel_path.clone(),
+            line: notify.line,
+            message: format!(
+                "`{}.{}` without a mutex guard held — a waiter that checked \
+                 its predicate but has not parked yet misses this wake \
+                 (lost-wakeup race; hold the predicate's lock across the \
+                 notify)",
+                notify.field, notify.method
+            ),
+        });
+    }
+}
+
+/// No blocking call while holding a mutex guard other than the one the
+/// wait itself releases: condvar waits check their guard argument,
+/// `join`/`recv` never release anything.
+fn check_blocking(file: &SourceFile, body: &Body, findings: &mut Vec<Finding>) {
+    // Condvar waits: any live mutex guard that is not the wait's own
+    // argument stays held for the whole park.
+    for wait in &body.waits {
+        let offenders: Vec<usize> = body
+            .live_guards_at(wait.offset)
+            .iter()
+            .filter(|g| g.mutex && g.line > 0)
+            .filter(|g| match (&g.name, &wait.arg_ident) {
+                (Some(n), Some(a)) => n != a,
+                // A nameless temporary can't be the wait's argument.
+                (None, _) => true,
+                // Unnamed wait arg: be conservative only when more than
+                // one guard is live (the single guard is the argument).
+                (Some(_), None) => false,
+            })
+            .map(|g| g.line)
+            .collect();
+        if offenders.is_empty() {
+            continue;
+        }
+        if file.allowed(BLOCKING, wait.line).is_some() {
+            continue;
+        }
+        findings.push(Finding {
+            rule: BLOCKING.into(),
+            file: file.rel_path.clone(),
+            line: wait.line,
+            message: format!(
+                "`{}.{}` parks while a second mutex guard (acquired line {}) \
+                 stays held — the wait only releases its own lock, so every \
+                 other thread needing that second lock hangs for the whole park",
+                wait.field,
+                wait.method,
+                offenders
+                    .iter()
+                    .map(|l| l.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        });
+    }
+
+    // Non-releasing blocking calls: flag if any mutex guard is live.
+    for (pat, what) in BLOCKING_PATTERNS {
+        let mut search = 0;
+        while let Some(rel) = body.text[search..].find(pat) {
+            let at = search + rel;
+            search = at + pat.len();
+            let offenders: Vec<usize> = body
+                .live_guards_at(at)
+                .iter()
+                .filter(|g| g.mutex && g.line > 0)
+                .map(|g| g.line)
+                .collect();
+            if offenders.is_empty() {
+                continue;
+            }
+            let line = body.line_of(at);
+            if file.allowed(BLOCKING, line).is_some() {
+                continue;
+            }
+            findings.push(Finding {
+                rule: BLOCKING.into(),
+                file: file.rel_path.clone(),
+                line,
+                message: format!(
+                    "{what} while a mutex guard (acquired line {}) is held — \
+                     blocking calls under a lock serialize every contender \
+                     and can deadlock against the blocked thread",
+                    offenders
+                        .iter()
+                        .map(|l| l.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn findings_for(text: &str) -> Vec<Finding> {
+        let file = SourceFile::parse(PathBuf::from("x.rs"), "c".into(), "m".into(), text);
+        let mut findings = Vec::new();
+        check(std::slice::from_ref(&file), &mut findings);
+        findings
+    }
+
+    #[test]
+    fn bare_wait_flagged_looped_wait_clean() {
+        let text = "\
+struct S { cv: Condvar }
+impl S {
+    fn bad(&self) {
+        let mut st = self.state.lock();
+        if st.n == 0 {
+            self.cv.wait(&mut st);
+        }
+    }
+    fn good(&self) {
+        let mut st = self.state.lock();
+        while st.n == 0 {
+            self.cv.wait(&mut st);
+        }
+    }
+}
+";
+        let f = findings_for(text);
+        let waits: Vec<_> = f.iter().filter(|x| x.rule == WAIT_LOOP).collect();
+        assert_eq!(waits.len(), 1);
+        assert_eq!(waits[0].line, 6);
+    }
+
+    #[test]
+    fn notify_after_guard_drop_flagged() {
+        // The PR-5 abort() shape: guard in a narrow scope, notify outside.
+        let text = "\
+struct S { cv: Condvar }
+impl S {
+    fn abort(&self) {
+        {
+            let mut st = self.state.lock();
+            st.aborted = true;
+        }
+        self.cv.notify_all();
+    }
+    fn fixed(&self) {
+        let mut st = self.state.lock();
+        st.aborted = true;
+        self.cv.notify_all();
+    }
+}
+";
+        let f = findings_for(text);
+        let notifies: Vec<_> = f.iter().filter(|x| x.rule == NOTIFY).collect();
+        assert_eq!(notifies.len(), 1);
+        assert_eq!(notifies[0].line, 8);
+    }
+
+    #[test]
+    fn second_guard_across_wait_flagged() {
+        let text = "\
+struct S { cv: Condvar }
+impl S {
+    fn bad(&self) {
+        let _peers = self.peers.lock();
+        let mut st = self.state.lock();
+        while st.n == 0 {
+            self.cv.wait(&mut st);
+        }
+    }
+}
+";
+        let f = findings_for(text);
+        let blocking: Vec<_> = f.iter().filter(|x| x.rule == BLOCKING).collect();
+        assert_eq!(blocking.len(), 1);
+        assert_eq!(blocking[0].line, 7);
+    }
+
+    #[test]
+    fn join_under_lock_flagged() {
+        let text = "\
+fn bad(&self) {
+    let st = self.state.lock();
+    self.handle.join();
+    drop(st);
+}
+fn good(&self) {
+    let st = self.state.lock();
+    drop(st);
+    self.handle.join();
+}
+";
+        let f = findings_for(text);
+        let blocking: Vec<_> = f.iter().filter(|x| x.rule == BLOCKING).collect();
+        assert_eq!(blocking.len(), 1);
+        assert_eq!(blocking[0].line, 3);
+    }
+
+    #[test]
+    fn allow_suppresses_each_rule() {
+        let text = "\
+struct S { cv: Condvar }
+impl S {
+    fn f(&self) {
+        // jitlint::allow(notify_under_lock): wake-all on shutdown, waiters re-check aborted flag under their own lock
+        self.cv.notify_all();
+    }
+}
+";
+        let f = findings_for(text);
+        assert!(f.is_empty(), "suppressed: {f:?}");
+    }
+}

@@ -1,4 +1,4 @@
-//! The four `jitlint` rule families.
+//! The `jitlint` rule families.
 //!
 //! Each rule maps a paper invariant to a machine check (section numbers
 //! refer to *Just-In-Time Checkpointing*, EuroSys '24):
@@ -6,10 +6,19 @@
 //! | rule | invariant | paper |
 //! |---|---|---|
 //! | `panic_path` | the recovery path never panics | §3.1 watchdog, §4 proxy |
-//! | `lock_order` | watchdog/trainer lock acquisition is cycle-free | §3.1 hang detection |
+//! | `lock_order` | workspace lock acquisition is cycle-free (interprocedural) | §3.1 hang detection |
+//! | `guard_across_call` | no guard held across calls into other locking modules | §3.1 hang detection |
 //! | `virtual_time` | simulation code never blocks on wall-clock sleeps | §6 methodology |
 //! | `checkpoint_schema` | persisted state declares a schema version | §3.2 metadata, §4.1 replay logs |
+//! | `condvar_wait_loop` | every condvar wait re-checks its predicate in a loop | §3.1 rendezvous |
+//! | `notify_under_lock` | every notify holds the predicate's mutex (PR-5 bug class) | §3.1 rendezvous |
+//! | `blocking_under_lock` | nothing blocks while holding an unrelated mutex | §3.1 hang detection |
+//!
+//! Plus two meta checks: `allow_syntax` (malformed suppressions) and
+//! `unused_allow` (suppressions whose rule no longer fires).
 
+pub mod body;
+pub mod concurrency;
 pub mod lock_order;
 pub mod panic_path;
 pub mod schema;
@@ -17,6 +26,18 @@ pub mod virtual_time;
 
 use crate::report::Finding;
 use crate::source::SourceFile;
+
+/// Every rule name `jitlint::allow` may reference.
+pub const ALL_RULES: &[&str] = &[
+    panic_path::RULE,
+    lock_order::RULE,
+    lock_order::ACROSS_CALL,
+    virtual_time::RULE,
+    schema::RULE,
+    concurrency::WAIT_LOOP,
+    concurrency::NOTIFY,
+    concurrency::BLOCKING,
+];
 
 /// Scans every file-local rule over `files` and appends findings.
 pub fn run_file_rules(files: &[SourceFile], findings: &mut Vec<Finding>) {
@@ -31,6 +52,36 @@ pub fn run_file_rules(files: &[SourceFile], findings: &mut Vec<Finding>) {
                 line: *line,
                 message: msg.clone(),
             });
+        }
+    }
+    concurrency::check(files, findings);
+}
+
+/// Reports `jitlint::allow` directives that suppressed nothing this run.
+/// Must be called after every other rule so `allow_hits` is complete.
+/// Keeps the suppression inventory honest: when a refactor removes the
+/// violation, the stale directive is flagged instead of silently
+/// blessing whatever lands on that line next.
+pub fn check_unused_allows(files: &[SourceFile], findings: &mut Vec<Finding>) {
+    for file in files {
+        let hits = file.allow_hits.borrow();
+        for allow in &file.allows {
+            for rule in &allow.rules {
+                if hits.contains(&(allow.comment_line, rule.clone())) {
+                    continue;
+                }
+                findings.push(Finding {
+                    rule: "unused_allow".into(),
+                    file: file.rel_path.clone(),
+                    line: allow.comment_line,
+                    message: format!(
+                        "`jitlint::allow({rule})` suppresses nothing — the \
+                         violation is gone; delete the directive (or it will \
+                         silently bless the next edit of line {})",
+                        allow.target_line
+                    ),
+                });
+            }
         }
     }
 }

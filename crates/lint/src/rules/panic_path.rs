@@ -17,7 +17,7 @@
 //! `// jitlint::allow(panic_path): <why it cannot fail>`.
 
 use crate::report::Finding;
-use crate::source::{find_word, SourceFile};
+use crate::source::{find_word, FileKind, SourceFile};
 
 /// Rule name used in findings and allow directives.
 pub const RULE: &str = "panic_path";
@@ -33,11 +33,16 @@ pub const RECOVERY_CRITICAL: &[(&str, &str)] = &[
     ("baselines", "periodic"),
 ];
 
-/// Whether the rule applies to this file.
+/// Whether the rule applies to this file. Integration tests and examples
+/// are out of scope: a `crates/proxy/tests/*.rs` harness may unwrap
+/// freely — only the library's recovery path is held to the no-panic
+/// bar. (In-file `#[cfg(test)]` modules of recovery-critical libraries
+/// stay covered, as before.)
 pub fn in_scope(file: &SourceFile) -> bool {
-    RECOVERY_CRITICAL
-        .iter()
-        .any(|(c, m)| *c == file.crate_dir && (*m == "*" || *m == file.module))
+    file.kind == FileKind::Lib
+        && RECOVERY_CRITICAL
+            .iter()
+            .any(|(c, m)| *c == file.crate_dir && (*m == "*" || *m == file.module))
 }
 
 /// Forbidden constructs: `(needle, must_be_word, description)`.

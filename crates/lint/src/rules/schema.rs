@@ -10,7 +10,7 @@
 //! `impl` block.
 
 use crate::report::Finding;
-use crate::source::{contains_word, SourceFile};
+use crate::source::{contains_word, FileKind, SourceFile};
 
 /// Rule name used in findings and allow directives.
 pub const RULE: &str = "checkpoint_schema";
@@ -18,9 +18,10 @@ pub const RULE: &str = "checkpoint_schema";
 /// Module names (in any crate) that persist state across failures.
 pub const PERSISTENCE_MODULES: &[&str] = &["checkpoint", "oplog", "criu", "store"];
 
-/// Scans one file.
+/// Scans one file. Library code only: test fixtures don't outlive the
+/// process that wrote them.
 pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
-    if !PERSISTENCE_MODULES.contains(&file.module.as_str()) {
+    if file.kind != FileKind::Lib || !PERSISTENCE_MODULES.contains(&file.module.as_str()) {
         return;
     }
     let mut idx = 0;

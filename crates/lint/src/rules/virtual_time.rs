@@ -12,7 +12,7 @@
 //! `#[cfg(test)]` modules (tests may pace real threads).
 
 use crate::report::Finding;
-use crate::source::{contains_word, find_word, SourceFile};
+use crate::source::{contains_word, find_word, FileKind, SourceFile};
 
 /// Rule name used in findings and allow directives.
 pub const RULE: &str = "virtual_time";
@@ -20,8 +20,12 @@ pub const RULE: &str = "virtual_time";
 /// `(crate_dir, module)` pairs allowed to sleep: the sim clock itself.
 pub const SLEEP_ALLOWLIST: &[(&str, &str)] = &[("simcore", "time")];
 
-/// Scans one file.
+/// Scans one file. Library code only: integration tests and examples may
+/// pace real threads, like `#[cfg(test)]` modules always could.
 pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
+    if file.kind != FileKind::Lib {
+        return;
+    }
     if SLEEP_ALLOWLIST
         .iter()
         .any(|(c, m)| *c == file.crate_dir && *m == file.module)

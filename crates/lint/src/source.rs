@@ -13,7 +13,23 @@
 //! * **function spans** — `(impl_type, fn_name, body_range)` triples used
 //!   by the lock-order rule.
 
+use std::cell::RefCell;
+use std::collections::BTreeSet;
 use std::path::PathBuf;
+
+/// What kind of compilation unit a file belongs to. Rules opt in or out
+/// per kind: test and example code may panic freely, but a lost wakeup
+/// hangs a test run just as hard as it hangs production recovery, so the
+/// concurrency rules stay on everywhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// `src/` of a crate (library / binary code).
+    Lib,
+    /// An integration-test file (`crates/*/tests`, top-level `tests/`).
+    Test,
+    /// An example (`examples/`).
+    Example,
+}
 
 /// One analyzed source file.
 #[derive(Debug)]
@@ -24,6 +40,8 @@ pub struct SourceFile {
     pub crate_dir: String,
     /// Module name derived from the file stem (`lib`, `checkpoint`, …).
     pub module: String,
+    /// Which compilation unit the file belongs to.
+    pub kind: FileKind,
     /// Raw source lines (1-indexed via `line - 1`).
     pub lines: Vec<String>,
     /// Lines with comments and literals blanked to spaces.
@@ -36,6 +54,9 @@ pub struct SourceFile {
     pub malformed_allows: Vec<(usize, String)>,
     /// Function spans for per-function analyses.
     pub functions: Vec<FnSpan>,
+    /// `(comment_line, rule)` pairs whose allow directive suppressed at
+    /// least one finding this run — the complement feeds `unused_allow`.
+    pub allow_hits: RefCell<BTreeSet<(usize, String)>>,
 }
 
 /// A resolved `jitlint::allow` directive.
@@ -58,6 +79,8 @@ pub struct FnSpan {
     pub impl_type: Option<String>,
     /// Function name.
     pub name: String,
+    /// Line containing the `fn` keyword (start of the signature).
+    pub sig_start: usize,
     /// First line of the body (the line containing the opening brace).
     pub body_start: usize,
     /// Last line of the body (the line containing the closing brace).
@@ -67,6 +90,17 @@ pub struct FnSpan {
 impl SourceFile {
     /// Parses `text` into the source model.
     pub fn parse(rel_path: PathBuf, crate_dir: String, module: String, text: &str) -> SourceFile {
+        Self::parse_kind(rel_path, crate_dir, module, FileKind::Lib, text)
+    }
+
+    /// Parses `text` into the source model with an explicit [`FileKind`].
+    pub fn parse_kind(
+        rel_path: PathBuf,
+        crate_dir: String,
+        module: String,
+        kind: FileKind,
+        text: &str,
+    ) -> SourceFile {
         let lines: Vec<String> = text.lines().map(str::to_owned).collect();
         let (masked, comments) = mask_lines(text, lines.len());
         let in_test = find_test_regions(&masked);
@@ -76,20 +110,31 @@ impl SourceFile {
             rel_path,
             crate_dir,
             module,
+            kind,
             lines,
             masked,
             in_test,
             allows,
             malformed_allows,
             functions,
+            allow_hits: RefCell::new(BTreeSet::new()),
         }
     }
 
     /// Whether `rule` is suppressed at `line` by an allow directive.
+    /// A match is recorded so `unused_allow` can report directives that
+    /// no longer suppress anything.
     pub fn allowed(&self, rule: &str, line: usize) -> Option<&Allow> {
-        self.allows
+        let hit = self
+            .allows
             .iter()
-            .find(|a| a.target_line == line && a.rules.iter().any(|r| r == rule))
+            .find(|a| a.target_line == line && a.rules.iter().any(|r| r == rule));
+        if let Some(a) = hit {
+            self.allow_hits
+                .borrow_mut()
+                .insert((a.comment_line, rule.to_string()));
+        }
+        hit
     }
 
     /// Whether the (1-indexed) line lies in a `#[cfg(test)]` module.
@@ -301,7 +346,9 @@ fn find_test_regions(masked: &[String]) -> Vec<bool> {
     let mut pending_mod = false;
 
     for (idx, line) in masked.iter().enumerate() {
-        if test_until_depth.is_none() && line.contains("#[cfg(test)]") {
+        if test_until_depth.is_none()
+            && (line.contains("#[cfg(test)]") || line.contains("#[cfg(all(test"))
+        {
             pending_attr = true;
         }
         if pending_attr && !pending_mod && contains_word(line, "mod") {
@@ -419,8 +466,8 @@ fn find_functions(masked: &[String]) -> Vec<FnSpan> {
     let mut depth: i64 = 0;
     // Stack of (depth_at_open, Option<impl_type>) for impl blocks.
     let mut impl_stack: Vec<(i64, String)> = Vec::new();
-    // Pending fn awaiting its opening brace: (impl_type, name, sig_depth).
-    let mut pending_fn: Option<(Option<String>, String)> = None;
+    // Pending fn awaiting its opening brace: (impl_type, name, sig_line).
+    let mut pending_fn: Option<(Option<String>, String, usize)> = None;
     // Open fn bodies: (close_depth, index into out).
     let mut fn_stack: Vec<(i64, usize)> = Vec::new();
     // Pending impl type awaiting `{`.
@@ -433,16 +480,17 @@ fn find_functions(masked: &[String]) -> Vec<FnSpan> {
         }
         if let Some(name) = parse_fn_name(line) {
             let impl_ty = impl_stack.last().map(|(_, t)| t.clone());
-            pending_fn = Some((impl_ty, name));
+            pending_fn = Some((impl_ty, name, line_no));
         }
         for c in line.chars() {
             match c {
                 '{' => {
                     depth += 1;
-                    if let Some((impl_ty, name)) = pending_fn.take() {
+                    if let Some((impl_ty, name, sig_line)) = pending_fn.take() {
                         out.push(FnSpan {
                             impl_type: impl_ty,
                             name,
+                            sig_start: sig_line,
                             body_start: line_no,
                             body_end: line_no,
                         });

@@ -1,0 +1,325 @@
+//! `--witness` mode: diff a runtime lock-witness trace against the
+//! static acquisition graph.
+//!
+//! The `lock_witness` feature of `simcore::sync` records what a test run
+//! *actually did* — observed lock-order edges, condvar parks, and
+//! notifies with their held/unheld state — to the file named by
+//! `JIT_LOCK_WITNESS`. This module resolves those records back to static
+//! graph nodes via [`lock_order::Graph::sites`] and reports:
+//!
+//! * **hard findings** — a runtime edge between two *library* acquisition
+//!   sites that the static graph does not contain (an analyzer blind
+//!   spot: the fixpoint missed a caller→callee path, or a closure/field
+//!   indirection defeated name resolution), and a `notify` that ran with
+//!   no mutex held at a library site (the PR-5 lost-wakeup shape,
+//!   dynamically confirmed);
+//! * **informational lines** — static edges no test exercised (coverage
+//!   gaps), and records whose sites the static index cannot resolve
+//!   (`parts[i].lock()`-style receivers are invisible to both sides, so
+//!   an unresolved record is consistent blindness, not a contradiction).
+//!
+//! Record grammar, one per line (see `crates/simcore/src/sync.rs`):
+//!
+//! ```text
+//! edge <file:line> <file:line>
+//! wait <file:line>
+//! notify <file:line> held|unheld
+//! ```
+
+use crate::report::Finding;
+use crate::rules::lock_order;
+use crate::source::{FileKind, SourceFile};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Rule name carried by witness findings.
+pub const RULE: &str = "lock_witness";
+
+/// Outcome of the cross-check.
+#[derive(Debug, Default)]
+pub struct WitnessReport {
+    /// Hard failures: unpredicted library-to-library edges, unheld
+    /// notifies at library sites.
+    pub findings: Vec<Finding>,
+    /// Coverage and resolution notes, one line each.
+    pub info: Vec<String>,
+    /// Runtime edges parsed from the trace.
+    pub runtime_edges: usize,
+    /// Runtime edges whose endpoints both resolved to static nodes.
+    pub resolved_edges: usize,
+    /// Condvar parks recorded.
+    pub waits: usize,
+}
+
+/// Cross-checks `trace` (the contents of a `JIT_LOCK_WITNESS` file)
+/// against the static graph of `files`.
+pub fn check_witness(files: &[SourceFile], trace: &str) -> WitnessReport {
+    let graph = lock_order::build_graph(files, None);
+    let mut report = WitnessReport::default();
+    // Static (from, to) node pairs some runtime edge landed on.
+    let mut exercised: BTreeSet<(String, String)> = BTreeSet::new();
+
+    for (lineno, raw) in trace.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("edge") => {
+                let (Some(a), Some(b)) = (parts.next(), parts.next()) else {
+                    report
+                        .info
+                        .push(format!("witness:{}: malformed edge record", lineno + 1));
+                    continue;
+                };
+                report.runtime_edges += 1;
+                check_edge(&graph, a, b, &mut exercised, &mut report);
+            }
+            Some("wait") => {
+                report.waits += 1;
+            }
+            Some("notify") => {
+                let (Some(site), Some(state)) = (parts.next(), parts.next()) else {
+                    report
+                        .info
+                        .push(format!("witness:{}: malformed notify record", lineno + 1));
+                    continue;
+                };
+                if state == "unheld" {
+                    check_unheld_notify(files, site, &mut report);
+                }
+            }
+            Some(other) => {
+                report.info.push(format!(
+                    "witness:{}: unknown record kind `{other}`",
+                    lineno + 1
+                ));
+            }
+            None => {}
+        }
+    }
+
+    // Static edges no runtime edge landed on: coverage gaps, not errors —
+    // the graph is deliberately an over-approximation.
+    for ((from, to), w) in &graph.edges {
+        if !exercised.contains(&(from.clone(), to.clone())) {
+            report.info.push(format!(
+                "unexercised static edge `{from}` -> `{to}` (witness: {} at {}:{})",
+                w.function,
+                w.file.display(),
+                w.to_line
+            ));
+        }
+    }
+
+    // Each test process appends its own deduplicated records, so the
+    // merged trace repeats lines; one finding per distinct site is enough.
+    report.findings.sort();
+    report.findings.dedup();
+    report.info.sort();
+    report.info.dedup();
+    report
+}
+
+/// Resolves one runtime edge and classifies it.
+fn check_edge(
+    graph: &lock_order::Graph,
+    a: &str,
+    b: &str,
+    exercised: &mut BTreeSet<(String, String)>,
+    report: &mut WitnessReport,
+) {
+    let (Some((fa, la)), Some((fb, lb))) = (parse_site(a), parse_site(b)) else {
+        report.info.push(format!("unparseable edge `{a}` `{b}`"));
+        return;
+    };
+    let sa = graph.sites.get(&(fa.clone(), la));
+    let sb = graph.sites.get(&(fb.clone(), lb));
+    let (Some(sa), Some(sb)) = (sa, sb) else {
+        // Unresolvable receiver (`parts[i].lock()`, local temporaries):
+        // the static side has no node for it either — consistent
+        // blindness, reported but not fatal.
+        report.info.push(format!(
+            "runtime edge {a} -> {b} has no static site for {}",
+            if sa.is_none() { a } else { b }
+        ));
+        return;
+    };
+    report.resolved_edges += 1;
+    if sa.node == sb.node {
+        // Two instances of the same field (e.g. striped shards): the
+        // static graph collapses them to one node and cannot order them.
+        return;
+    }
+    exercised.insert((sa.node.clone(), sb.node.clone()));
+    if graph
+        .edges
+        .contains_key(&(sa.node.clone(), sb.node.clone()))
+    {
+        return;
+    }
+    if !(sa.lib && sb.lib) {
+        // Test-code acquisitions are excluded from the static graph by
+        // design; an unpredicted edge touching one is expected.
+        report.info.push(format!(
+            "test-code runtime edge `{}` -> `{}` ({a} -> {b}) not in static graph",
+            sa.node, sb.node
+        ));
+        return;
+    }
+    report.findings.push(Finding {
+        rule: RULE.into(),
+        file: fa,
+        line: la,
+        message: format!(
+            "runtime lock-order edge `{}` -> `{}` (acquired {a}, then {b}) \
+             is missing from the static graph — the analyzer has a blind \
+             spot here; the cycle check cannot be trusted until the edge \
+             is visible statically",
+            sa.node, sb.node
+        ),
+    });
+}
+
+/// A `notify … unheld` record at a library (non-test) site is the PR-5
+/// lost-wakeup shape observed live; fail unless the site carries a
+/// `notify_under_lock` allow.
+fn check_unheld_notify(files: &[SourceFile], site: &str, report: &mut WitnessReport) {
+    let Some((path, line)) = parse_site(site) else {
+        report
+            .info
+            .push(format!("unparseable notify site `{site}`"));
+        return;
+    };
+    let Some(file) = files.iter().find(|f| f.rel_path == path) else {
+        report
+            .info
+            .push(format!("notify site {site} is outside the workspace"));
+        return;
+    };
+    if file.kind != FileKind::Lib || file.is_test_line(line) {
+        return;
+    }
+    if file
+        .allowed(crate::rules::concurrency::NOTIFY, line)
+        .is_some()
+    {
+        return;
+    }
+    report.findings.push(Finding {
+        rule: RULE.into(),
+        file: path,
+        line,
+        message: "notify observed at runtime with no mutex held — a waiter \
+                  between its predicate check and its park misses this wake \
+                  (the lost-wakeup race, dynamically confirmed)"
+            .into(),
+    });
+}
+
+/// Splits `path:line` (the line is after the *last* colon, so Windows
+/// drive letters and `::` never confuse it).
+fn parse_site(s: &str) -> Option<(PathBuf, usize)> {
+    let (path, line) = s.rsplit_once(':')?;
+    Some((PathBuf::from(path), line.parse().ok()?))
+}
+
+/// Renders the report for terminal use; findings come first, then a
+/// summary with the informational lines.
+pub fn render_text(report: &WitnessReport) -> String {
+    let mut out = crate::report::render_text(&report.findings);
+    let _ = writeln!(
+        out,
+        "witness: {} runtime edge(s), {} resolved, {} wait(s), {} note(s)",
+        report.runtime_edges,
+        report.resolved_edges,
+        report.waits,
+        report.info.len()
+    );
+    for line in &report.info {
+        let _ = writeln!(out, "  note: {line}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(crate_dir: &str, module: &str, text: &str) -> SourceFile {
+        SourceFile::parse(
+            PathBuf::from(format!("crates/{crate_dir}/src/{module}.rs")),
+            crate_dir.into(),
+            module.into(),
+            text,
+        )
+    }
+
+    #[test]
+    fn predicted_edge_passes_unpredicted_edge_fails() {
+        // Static: f orders x before y. Runtime trace 1 agrees; trace 2
+        // reverses it, which the graph does not contain.
+        let f1 = file(
+            "core",
+            "a",
+            "fn f(&self) {\n    let g = self.x.lock();\n    let h = self.y.lock();\n}\n",
+        );
+        let files = [f1];
+        let ok = check_witness(
+            &files,
+            "edge crates/core/src/a.rs:2 crates/core/src/a.rs:3\n",
+        );
+        assert!(ok.findings.is_empty(), "{:?}", ok.findings);
+        assert_eq!(ok.resolved_edges, 1);
+
+        let bad = check_witness(
+            &files,
+            "edge crates/core/src/a.rs:3 crates/core/src/a.rs:2\n",
+        );
+        assert_eq!(bad.findings.len(), 1);
+        assert!(bad.findings[0].message.contains("missing from the static"));
+    }
+
+    #[test]
+    fn unresolved_sites_are_notes_not_findings() {
+        let f1 = file(
+            "core",
+            "a",
+            "fn f(&self) {\n    let g = self.x.lock();\n}\n",
+        );
+        let r = check_witness(
+            &[f1],
+            "edge crates/core/src/a.rs:2 crates/core/src/nosuch.rs:9\n",
+        );
+        assert!(r.findings.is_empty());
+        assert_eq!(r.resolved_edges, 0);
+        assert!(r.info.iter().any(|l| l.contains("no static site")));
+    }
+
+    #[test]
+    fn unexercised_static_edges_reported_as_notes() {
+        let f1 = file(
+            "core",
+            "a",
+            "fn f(&self) {\n    let g = self.x.lock();\n    let h = self.y.lock();\n}\n",
+        );
+        let r = check_witness(&[f1], "");
+        assert!(r.findings.is_empty());
+        assert!(r
+            .info
+            .iter()
+            .any(|l| l.contains("unexercised static edge `core::x` -> `core::y`")));
+    }
+
+    #[test]
+    fn unheld_notify_in_lib_fails_held_passes() {
+        let f1 = file("core", "a", "fn f(&self) {\n    self.cv.notify_all();\n}\n");
+        let files = [f1];
+        let bad = check_witness(&files, "notify crates/core/src/a.rs:2 unheld\n");
+        assert_eq!(bad.findings.len(), 1);
+        let ok = check_witness(&files, "notify crates/core/src/a.rs:2 held\n");
+        assert!(ok.findings.is_empty());
+    }
+}

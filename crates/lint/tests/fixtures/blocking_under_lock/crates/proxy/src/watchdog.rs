@@ -1,0 +1,54 @@
+//! blocking_under_lock fixture: nothing may park while holding a mutex
+//! the blocking call does not itself release.
+
+struct Watchdog {
+    outstanding: Mutex<Ops>,
+    registry: Mutex<Peers>,
+    cv: Condvar,
+}
+
+impl Watchdog {
+    // VIOLATION: the wait releases `st` (its own guard) but keeps
+    // `peers` held for the whole park — every other thread needing
+    // `registry` hangs until this waiter wakes.
+    fn drain_with_registry(&self) {
+        let peers = self.registry.lock();
+        let mut st = self.outstanding.lock();
+        while st.inflight > 0 {
+            self.cv.wait(&mut st);
+        }
+    }
+
+    // VIOLATION: a join releases nothing; the worker being joined may
+    // itself need `outstanding`.
+    fn shutdown(&self) {
+        let st = self.outstanding.lock();
+        self.worker.join();
+        drop(st);
+    }
+
+    // Clean: guard dropped before the blocking call.
+    fn shutdown_narrowed(&self) {
+        let st = self.outstanding.lock();
+        drop(st);
+        self.worker.join();
+    }
+
+    // Clean: the wait's own guard is the only lock held.
+    fn drain(&self) {
+        let mut st = self.outstanding.lock();
+        while st.inflight > 0 {
+            self.cv.wait(&mut st);
+        }
+    }
+
+    // Suppressed with a reason.
+    fn drain_allowed(&self) {
+        let peers = self.registry.lock();
+        let mut st = self.outstanding.lock();
+        while st.inflight > 0 {
+            // jitlint::allow(blocking_under_lock): registry is read-only during drain and no waker path acquires it
+            self.cv.wait(&mut st);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! condvar_wait_loop fixture: waits must sit in a predicate loop.
+
+struct Comm {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Comm {
+    // VIOLATION: `if` is not a loop — a spurious wakeup or a second
+    // waiter racing the predicate leaves this thread running on a stale
+    // condition.
+    fn bare_wait(&self) {
+        let mut st = self.state.lock();
+        if st.pending > 0 {
+            self.cv.wait(&mut st);
+        }
+    }
+
+    // Clean: predicate re-checked in a `while`.
+    fn looped_wait(&self) {
+        let mut st = self.state.lock();
+        while st.pending > 0 {
+            self.cv.wait(&mut st);
+        }
+    }
+
+    // Clean: `wait_while` carries its own predicate loop.
+    fn predicate_wait(&self) {
+        let mut st = self.state.lock();
+        self.cv.wait_while(&mut st, |s| s.pending > 0);
+    }
+
+    // Suppressed with a reason: single-waiter startup handshake.
+    fn allowed_wait(&self) {
+        let mut st = self.state.lock();
+        // jitlint::allow(condvar_wait_loop): one-shot startup handshake, single waiter, no spurious-wakeup hazard in the sim
+        self.cv.wait(&mut st);
+    }
+}

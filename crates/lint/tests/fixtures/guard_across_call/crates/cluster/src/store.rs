@@ -1,0 +1,13 @@
+//! guard_across_call fixture, callee side: a module with a lock of its
+//! own that the caller's held guard gets ordered against.
+
+struct SharedStore {
+    s: Mutex<Shards>,
+}
+
+impl SharedStore {
+    fn persist_batch(&self, batch: &Batch) {
+        let mut s = self.s.lock();
+        s.write(batch);
+    }
+}

@@ -1,0 +1,32 @@
+//! guard_across_call fixture, caller side: holding a guard across a
+//! call into another locking module.
+
+struct Server {
+    outstanding: Mutex<Ops>,
+}
+
+impl Server {
+    // VIOLATION: `outstanding` stays held across `persist_batch`, which
+    // lives in another crate and takes the store lock — a long hold
+    // that orders `proxy::outstanding` before `cluster::s` forever.
+    fn flush(&self, store: &SharedStore) {
+        let ops = self.outstanding.lock();
+        store.persist_batch(&ops.batch);
+    }
+
+    // Clean: copy what you need, drop, then call.
+    fn flush_narrowed(&self, store: &SharedStore) {
+        let batch = {
+            let ops = self.outstanding.lock();
+            ops.batch.clone()
+        };
+        store.persist_batch(&batch);
+    }
+
+    // Suppressed with a reason.
+    fn flush_allowed(&self, store: &SharedStore) {
+        let ops = self.outstanding.lock();
+        // jitlint::allow(guard_across_call): store never calls back into proxy, and the batch is too large to clone per flush
+        store.persist_batch(&ops.batch);
+    }
+}

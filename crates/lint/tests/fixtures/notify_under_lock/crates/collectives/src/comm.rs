@@ -1,0 +1,36 @@
+//! notify_under_lock fixture: a minimal reproduction of the PR-5
+//! `Communicator::abort()` bug — the notify raced waiters because it ran
+//! after the state lock was released.
+
+struct Comm {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Comm {
+    // VIOLATION (the PR-5 shape): the guard dies at the inner block's
+    // end, so the notify runs unlocked. A waiter that observed
+    // `aborted == false` but has not parked yet misses the wake and
+    // sleeps through the abort.
+    fn abort(&self) {
+        {
+            let mut st = self.state.lock();
+            st.aborted = true;
+        }
+        self.cv.notify_all();
+    }
+
+    // Clean (the PR-5 fix): the lock is held across the notify, closing
+    // the predicate-check/park window.
+    fn abort_fixed(&self) {
+        let mut st = self.state.lock();
+        st.aborted = true;
+        self.cv.notify_all();
+    }
+
+    // Suppressed with a reason.
+    fn poke(&self) {
+        // jitlint::allow(notify_under_lock): waiters use wait_for and re-poll an atomic; a lost wake only costs one 2ms tick
+        self.cv.notify_one();
+    }
+}

@@ -1,0 +1,16 @@
+//! unused_allow fixture: suppressions must suppress something.
+
+impl Writer {
+    // VIOLATION: this directive hits nothing — the line below it never
+    // trips panic_path, so the exemption is stale and must be removed.
+    fn save(&self) {
+        // jitlint::allow(panic_path): historical unwrap, since refactored away
+        let n = self.frames.len();
+    }
+
+    // Clean: the directive below earns its keep.
+    fn load(&self) {
+        // jitlint::allow(panic_path): length checked by the caller's schema validation
+        let first = self.frames.first().unwrap();
+    }
+}

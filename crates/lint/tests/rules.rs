@@ -93,6 +93,63 @@ fn allow_syntax_flags_malformed_directives() {
 }
 
 #[test]
+fn condvar_wait_loop_requires_predicate_loops() {
+    let findings = fixture("condvar_wait_loop");
+    let lines = rule_lines(&findings, "condvar_wait_loop", "comm.rs");
+    // The bare `if`-guarded wait; looped, wait_while, and allowed waits
+    // stay silent.
+    assert_eq!(lines, vec![15], "found: {findings:#?}");
+    assert_eq!(findings.len(), 1, "no other rules fire: {findings:#?}");
+}
+
+#[test]
+fn notify_under_lock_catches_the_pr5_abort_shape() {
+    let findings = fixture("notify_under_lock");
+    let lines = rule_lines(&findings, "notify_under_lock", "comm.rs");
+    // The notify after the guard's narrow block closes — the exact
+    // lost-wakeup bug PR 5 fixed in `Communicator::abort()`. The
+    // lock-held fix and the justified suppression stay silent.
+    assert_eq!(lines, vec![20], "found: {findings:#?}");
+    assert_eq!(findings.len(), 1, "no other rules fire: {findings:#?}");
+}
+
+#[test]
+fn blocking_under_lock_flags_second_guard_and_join() {
+    let findings = fixture("blocking_under_lock");
+    let lines = rule_lines(&findings, "blocking_under_lock", "watchdog.rs");
+    // A wait parking with a second guard held, and a join under a lock;
+    // the narrowed and single-guard variants stay silent.
+    assert_eq!(lines, vec![18, 26], "found: {findings:#?}");
+    assert_eq!(findings.len(), 2, "no other rules fire: {findings:#?}");
+}
+
+#[test]
+fn guard_across_call_flags_cross_module_holds() {
+    let findings = fixture("guard_across_call");
+    let across = rule_lines(&findings, "guard_across_call", "server.rs");
+    // The long hold across `persist_batch` (another crate, takes the
+    // store lock); the clone-drop-call variant and the justified
+    // suppression stay silent.
+    assert_eq!(across, vec![14], "found: {findings:#?}");
+    let f = findings
+        .iter()
+        .find(|f| f.rule == "guard_across_call")
+        .unwrap();
+    assert!(f.message.contains("`cluster::s`"), "{}", f.message);
+    assert_eq!(findings.len(), 1, "no other rules fire: {findings:#?}");
+}
+
+#[test]
+fn unused_allow_flags_stale_suppressions() {
+    let findings = fixture("unused_allow");
+    let lines = rule_lines(&findings, "unused_allow", "checkpoint.rs");
+    // The directive with nothing left to suppress; the one covering a
+    // live unwrap stays silent (and keeps suppressing it).
+    assert_eq!(lines, vec![7], "found: {findings:#?}");
+    assert_eq!(findings.len(), 1, "no other rules fire: {findings:#?}");
+}
+
+#[test]
 fn fix_allow_inserts_directives_that_suppress() {
     // Copy a fixture into a temp root, run --fix-allow semantics via the
     // library, and verify a re-run is clean (modulo the TODO reasons).

@@ -1,8 +1,14 @@
 //! Self-enforcement: the workspace this analyzer ships in must itself
-//! be clean. Every new panic site, lock inversion, wall-clock sleep, or
-//! unversioned persisted type in recovery-critical code fails `cargo
-//! test` until it is fixed or explicitly justified with a
-//! `jitlint::allow` directive.
+//! be clean under all eight rules — `panic_path`, `lock_order`,
+//! `virtual_time`, `checkpoint_schema`, `condvar_wait_loop`,
+//! `notify_under_lock`, `blocking_under_lock`, and `guard_across_call`
+//! (plus the `allow_syntax`/`unused_allow` meta checks). Every new panic
+//! site, lock inversion, wall-clock sleep, unversioned persisted type,
+//! bare condvar wait, unlocked notify, blocking call under a lock, or
+//! cross-module long hold fails `cargo test` until it is fixed or
+//! explicitly justified with a `jitlint::allow` directive. Reverting the
+//! PR-5 lost-wakeup fix in `Communicator::abort()`, for instance, fails
+//! this test via `notify_under_lock`.
 
 use std::path::PathBuf;
 

@@ -10,8 +10,8 @@
 //! choice, not a code change.
 
 use collectives::{CollectiveObserver, Communicator, NullObserver, ReduceOp};
-use parking_lot::Mutex;
 use simcore::failure::FailureKind;
+use simcore::sync::Mutex;
 use simcore::time::ClockBoard;
 use simcore::{RankId, SimError, SimResult};
 use simgpu::{BufferId, BufferTag, CallResult, DeviceCall, Gpu, GpuHealth};

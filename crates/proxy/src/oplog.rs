@@ -1133,9 +1133,9 @@ impl OpLog {
                 _ => i % lanes,
             }
         };
-        type LaneSlot = parking_lot::Mutex<Vec<(usize, SimResult<LoggedOp>)>>;
+        type LaneSlot = simcore::sync::Mutex<Vec<(usize, SimResult<LoggedOp>)>>;
         let slots: Vec<LaneSlot> = (0..lanes)
-            .map(|_| parking_lot::Mutex::new(Vec::new()))
+            .map(|_| simcore::sync::Mutex::new(Vec::new()))
             .collect();
         simcore::pool::fan_out(lanes, lanes, "oplog-decode", |l| {
             let mut out = Vec::new();

@@ -13,7 +13,7 @@
 
 use crate::executor::CommToken;
 use collectives::{CollectiveObserver, CollectiveTicket};
-use parking_lot::Mutex;
+use simcore::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -144,7 +144,12 @@ fn watch_loop(inner: Arc<Inner>) {
                         outstanding.keys().collect::<Vec<_>>()
                     );
                 }
-                if let Some(action) = inner.action.lock().take() {
+                // Take the action out, *then* run it: `if let` extends
+                // the `action` lock's temporary guard across the body, and
+                // the hang action calls into abort paths that take
+                // communicator/world locks of their own.
+                let action = inner.action.lock().take();
+                if let Some(action) = action {
                     action();
                 }
             }

@@ -13,6 +13,9 @@
 //! * [`codec`] — a hand-rolled length-prefixed binary codec used for
 //!   checkpoint files and CRIU images (no external format crate needed),
 //! * [`rng`] — deterministic seeded RNG helpers,
+//! * [`sync`] — the workspace's `Mutex`/`RwLock`/`Condvar` (a
+//!   `parking_lot` re-export, or instrumented lock-witness wrappers
+//!   under the `lock_witness` feature),
 //! * [`error`] — the common error type,
 //! * [`ids`] — strongly-typed identifiers for ranks, GPUs, nodes, jobs.
 
@@ -24,6 +27,7 @@ pub mod ids;
 pub mod layout;
 pub mod pool;
 pub mod rng;
+pub mod sync;
 pub mod time;
 
 pub use error::{SimError, SimResult};

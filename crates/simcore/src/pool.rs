@@ -51,7 +51,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parking_lot::Mutex;
+    use crate::sync::Mutex;
     use std::sync::atomic::AtomicUsize;
 
     #[test]

@@ -1,0 +1,405 @@
+//! Workspace sync primitives with an optional runtime lock witness.
+//!
+//! Every concurrency-bearing crate imports `Mutex`/`RwLock`/`Condvar`
+//! from here instead of `parking_lot` directly. Without the
+//! `lock_witness` feature this module is a plain re-export — zero cost,
+//! identical types. With the feature, the primitives are wrapped with
+//! `#[track_caller]` instrumentation that records, to the file named by
+//! the `JIT_LOCK_WITNESS` environment variable, what the test run
+//! *actually did*:
+//!
+//! * `edge <file:line> <file:line>` — a lock acquired while another was
+//!   held by the same thread (an observed lock-order edge);
+//! * `wait <file:line>` — a condvar wait site that parked;
+//! * `notify <file:line> held|unheld` — a condvar notify and whether any
+//!   mutex was held at that moment (the PR-5 lost-wakeup tell).
+//!
+//! `jitlint --witness <file>` then diffs this against the static
+//! acquisition graph: a runtime edge the analyzer didn't predict is an
+//! analyzer blind spot (hard failure); a static edge never exercised is
+//! a test-coverage gap (reported, not fatal). Records are deduplicated
+//! per process, so the file stays small no matter how hot the locks are.
+
+#[cfg(not(feature = "lock_witness"))]
+pub use parking_lot::{
+    Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult,
+};
+
+#[cfg(feature = "lock_witness")]
+pub use parking_lot::WaitTimeoutResult;
+#[cfg(feature = "lock_witness")]
+pub use witness::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+#[cfg(feature = "lock_witness")]
+mod witness {
+    use std::cell::RefCell;
+    use std::collections::HashSet;
+    use std::fmt;
+    use std::io::Write as _;
+    use std::ops::{Deref, DerefMut};
+    use std::panic::Location;
+    use std::time::Duration;
+
+    use super::WaitTimeoutResult;
+
+    type Site = &'static Location<'static>;
+
+    thread_local! {
+        /// Stack of `(acquisition site, is_mutex)` this thread holds.
+        static HELD: RefCell<Vec<(Site, bool)>> = const { RefCell::new(Vec::new()) };
+    }
+
+    fn same_site(a: Site, b: Site) -> bool {
+        a.file() == b.file() && a.line() == b.line()
+    }
+
+    /// Appends one record line, once per distinct line per process.
+    /// Silently a no-op when `JIT_LOCK_WITNESS` is unset.
+    fn record(line: &str) {
+        use std::sync::{Mutex as StdMutex, OnceLock};
+        type Sink = Option<StdMutex<(HashSet<String>, std::fs::File)>>;
+        static SINK: OnceLock<Sink> = OnceLock::new();
+        let sink = SINK.get_or_init(|| {
+            let path = std::env::var("JIT_LOCK_WITNESS").ok()?;
+            let file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .ok()?;
+            Some(StdMutex::new((HashSet::new(), file)))
+        });
+        let Some(sink) = sink else { return };
+        let mut g = sink.lock().unwrap_or_else(|e| e.into_inner());
+        if g.0.insert(line.to_string()) {
+            let (_, file) = &mut *g;
+            let _ = writeln!(file, "{line}");
+        }
+    }
+
+    /// Records edges from every currently-held site, then pushes.
+    fn on_acquire(loc: Site, mutex: bool) {
+        HELD.with(|h| {
+            let mut h = h.borrow_mut();
+            for (held, _) in h.iter() {
+                if !same_site(held, loc) {
+                    record(&format!(
+                        "edge {}:{} {}:{}",
+                        held.file(),
+                        held.line(),
+                        loc.file(),
+                        loc.line()
+                    ));
+                }
+            }
+            h.push((loc, mutex));
+        });
+    }
+
+    /// Pops the most recent entry for `loc` (guards may drop out of
+    /// acquisition order).
+    fn on_release(loc: Site) {
+        HELD.with(|h| {
+            let mut h = h.borrow_mut();
+            if let Some(pos) = h.iter().rposition(|(l, _)| same_site(l, loc)) {
+                h.remove(pos);
+            }
+        });
+    }
+
+    /// A `parking_lot::Mutex` that reports acquisitions to the witness.
+    pub struct Mutex<T: ?Sized> {
+        inner: parking_lot::Mutex<T>,
+    }
+
+    /// Instrumented mutex guard; releases its witness entry on drop.
+    pub struct MutexGuard<'a, T: ?Sized> {
+        loc: Site,
+        inner: parking_lot::MutexGuard<'a, T>,
+    }
+
+    impl<T> Mutex<T> {
+        /// Creates the mutex.
+        pub const fn new(value: T) -> Self {
+            Mutex {
+                inner: parking_lot::Mutex::new(value),
+            }
+        }
+
+        /// Consumes the mutex, returning the inner value.
+        pub fn into_inner(self) -> T {
+            self.inner.into_inner()
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        /// Acquires the mutex, recording an order edge from every lock
+        /// this thread already holds.
+        #[track_caller]
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            let loc = Location::caller();
+            let inner = self.inner.lock();
+            on_acquire(loc, true);
+            MutexGuard { loc, inner }
+        }
+
+        /// Tries to acquire without blocking.
+        #[track_caller]
+        pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+            let loc = Location::caller();
+            let inner = self.inner.try_lock()?;
+            on_acquire(loc, true);
+            Some(MutexGuard { loc, inner })
+        }
+
+        /// Mutable access without locking (requires `&mut self`).
+        pub fn get_mut(&mut self) -> &mut T {
+            self.inner.get_mut()
+        }
+    }
+
+    impl<T: Default> Default for Mutex<T> {
+        fn default() -> Self {
+            Mutex::new(T::default())
+        }
+    }
+
+    impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.inner.fmt(f)
+        }
+    }
+
+    impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            on_release(self.loc);
+        }
+    }
+
+    impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
+    }
+
+    /// A `parking_lot::RwLock` that reports acquisitions to the witness.
+    pub struct RwLock<T: ?Sized> {
+        inner: parking_lot::RwLock<T>,
+    }
+
+    /// Instrumented shared guard.
+    pub struct RwLockReadGuard<'a, T: ?Sized> {
+        loc: Site,
+        inner: parking_lot::RwLockReadGuard<'a, T>,
+    }
+
+    /// Instrumented exclusive guard.
+    pub struct RwLockWriteGuard<'a, T: ?Sized> {
+        loc: Site,
+        inner: parking_lot::RwLockWriteGuard<'a, T>,
+    }
+
+    impl<T> RwLock<T> {
+        /// Creates the lock.
+        pub const fn new(value: T) -> Self {
+            RwLock {
+                inner: parking_lot::RwLock::new(value),
+            }
+        }
+
+        /// Consumes the lock, returning the inner value.
+        pub fn into_inner(self) -> T {
+            self.inner.into_inner()
+        }
+    }
+
+    impl<T: ?Sized> RwLock<T> {
+        /// Acquires shared access.
+        #[track_caller]
+        pub fn read(&self) -> RwLockReadGuard<'_, T> {
+            let loc = Location::caller();
+            let inner = self.inner.read();
+            on_acquire(loc, false);
+            RwLockReadGuard { loc, inner }
+        }
+
+        /// Acquires exclusive access.
+        #[track_caller]
+        pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+            let loc = Location::caller();
+            let inner = self.inner.write();
+            on_acquire(loc, false);
+            RwLockWriteGuard { loc, inner }
+        }
+
+        /// Mutable access without locking (requires `&mut self`).
+        pub fn get_mut(&mut self) -> &mut T {
+            self.inner.get_mut()
+        }
+    }
+
+    impl<T: Default> Default for RwLock<T> {
+        fn default() -> Self {
+            RwLock::new(T::default())
+        }
+    }
+
+    impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.inner.fmt(f)
+        }
+    }
+
+    impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+        fn drop(&mut self) {
+            on_release(self.loc);
+        }
+    }
+
+    impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+        fn drop(&mut self) {
+            on_release(self.loc);
+        }
+    }
+
+    impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
+    }
+
+    /// A `parking_lot::Condvar` that reports wait/notify pairings.
+    pub struct Condvar {
+        inner: parking_lot::Condvar,
+    }
+
+    impl Condvar {
+        /// Creates the condvar.
+        pub const fn new() -> Self {
+            Condvar {
+                inner: parking_lot::Condvar::new(),
+            }
+        }
+
+        /// Parks until notified. The guard's witness entry is suspended
+        /// for the park (the wait releases its lock) and re-registered —
+        /// with fresh order edges — on re-acquisition.
+        #[track_caller]
+        pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+            let loc = Location::caller();
+            record(&format!("wait {}:{}", loc.file(), loc.line()));
+            on_release(guard.loc);
+            self.inner.wait(&mut guard.inner);
+            on_acquire(guard.loc, true);
+        }
+
+        /// Parks until notified or `timeout` elapses.
+        #[track_caller]
+        pub fn wait_for<T>(
+            &self,
+            guard: &mut MutexGuard<'_, T>,
+            timeout: Duration,
+        ) -> WaitTimeoutResult {
+            let loc = Location::caller();
+            record(&format!("wait {}:{}", loc.file(), loc.line()));
+            on_release(guard.loc);
+            let result = self.inner.wait_for(&mut guard.inner, timeout);
+            on_acquire(guard.loc, true);
+            result
+        }
+
+        /// Wakes one waiter, recording whether a mutex was held.
+        #[track_caller]
+        pub fn notify_one(&self) {
+            note_notify(Location::caller());
+            self.inner.notify_one();
+        }
+
+        /// Wakes every waiter, recording whether a mutex was held.
+        #[track_caller]
+        pub fn notify_all(&self) {
+            note_notify(Location::caller());
+            self.inner.notify_all();
+        }
+    }
+
+    impl Default for Condvar {
+        fn default() -> Self {
+            Condvar::new()
+        }
+    }
+
+    impl fmt::Debug for Condvar {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.pad("Condvar { .. }")
+        }
+    }
+
+    fn note_notify(loc: Site) {
+        let held = HELD.with(|h| h.borrow().iter().any(|(_, mutex)| *mutex));
+        record(&format!(
+            "notify {}:{} {}",
+            loc.file(),
+            loc.line(),
+            if held { "held" } else { "unheld" }
+        ));
+    }
+}
+
+#[cfg(all(test, feature = "lock_witness"))]
+mod tests {
+    use super::{Condvar, Mutex};
+    use std::sync::Arc;
+
+    #[test]
+    fn guards_nest_and_release() {
+        let a = Mutex::new(1);
+        let b = Mutex::new(2);
+        let ga = a.lock();
+        let gb = b.lock();
+        assert_eq!(*ga + *gb, 3);
+        drop(ga);
+        drop(gb);
+        let ga = a.lock();
+        assert_eq!(*ga, 1);
+    }
+
+    #[test]
+    fn condvar_roundtrip() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut ready = m.lock();
+            *ready = true;
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut ready = m.lock();
+        while !*ready {
+            cv.wait(&mut ready);
+        }
+        drop(ready);
+        h.join().map_err(|_| "worker panicked").expect("join");
+    }
+}

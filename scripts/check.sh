@@ -19,6 +19,18 @@ cargo build --benches --workspace --quiet
 echo '==> jitlint'
 cargo run -p lint --quiet
 
+echo '==> jitlint --format json (machine-readable findings)'
+cargo run -p lint --quiet -- --format json > target/jitlint.json
+echo "    wrote target/jitlint.json"
+
+echo '==> lock-witness test run (instrumented sync primitives)'
+rm -f target/lock_witness.txt
+JIT_LOCK_WITNESS="$PWD/target/lock_witness.txt" \
+    cargo test --workspace --features simcore/lock_witness --quiet
+
+echo '==> jitlint --witness (runtime edges vs static lock graph)'
+cargo run -p lint --quiet -- --witness target/lock_witness.txt
+
 echo '==> proxy_bench smoke (tiny sizes, throwaway output)'
 cargo run --release --quiet -p bench --bin proxy_bench -- 500 600 target/BENCH_proxy.smoke.json
 
