@@ -31,10 +31,7 @@ fn bench_reduce(c: &mut Criterion) {
         group.bench_function(format!("monolithic_n{n}_{elems}"), |b| {
             b.iter(|| black_box(reduce_monolithic(black_box(&refs))))
         });
-        let cfg = RingConfig {
-            chunk_bytes: 128 * 1024,
-            workers: 1,
-        };
+        let cfg = RingConfig::uniform(128 * 1024, 1);
         group.bench_function(format!("chunked_n{n}_{elems}"), |b| {
             b.iter(|| black_box(reduce_chunked(black_box(&refs), ReduceOp::Sum, &cfg).unwrap()))
         });

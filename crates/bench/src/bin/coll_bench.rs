@@ -1,16 +1,19 @@
 //! Collective data-plane benchmark: slot reference vs chunked ring
-//! all-reduce wall time across world and payload sizes, bucketed-overlap
+//! all-reduce wall time across world and payload sizes, hierarchical vs
+//! flat ring on a simulated-time scale ladder (offered driver, no
+//! per-rank threads), the ring chunk-size sweep, bucketed-overlap
 //! minibatch time, and pipelined recovery streaming vs the store
 //! round-trip, emitted as `BENCH_coll.json`.
 //!
 //! ```sh
-//! coll_bench [reps] [recovery_mib] [out_path]
+//! coll_bench [reps] [recovery_mib] [out_path] [max_hier_world]
 //! ```
 //!
 //! Defaults: 6 timed repetitions per point, a 64 MiB recovery state,
-//! report written to `BENCH_coll.json` in the working directory.
+//! report written to `BENCH_coll.json` in the working directory, scale
+//! ladder up to 2048 simulated ranks.
 
-use bench::collbench::run_coll_bench;
+use bench::collbench::{run_coll_bench, CollBenchConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,13 +23,19 @@ fn main() {
         .get(2)
         .cloned()
         .unwrap_or_else(|| "BENCH_coll.json".to_string());
-    let worlds = [2usize, 4, 8];
-    let payloads = [64 << 10, 1 << 20, 4 << 20];
+    let max_hier_world: usize = args.get(3).and_then(|a| a.parse().ok()).unwrap_or(2048);
+    let mut cfg = CollBenchConfig {
+        reps,
+        recovery_mib,
+        ..CollBenchConfig::default()
+    };
+    cfg.hier_worlds.retain(|w| *w <= max_hier_world);
     eprintln!(
-        "measuring collectives: worlds {worlds:?} x payloads {payloads:?} B, \
-         {reps} reps/point, {recovery_mib} MiB recovery state ..."
+        "measuring collectives: worlds {:?} x payloads {:?} B, {reps} reps/point, \
+         hier ladder {:?} @ {} B, {recovery_mib} MiB recovery state ...",
+        cfg.worlds, cfg.payloads, cfg.hier_worlds, cfg.hier_payload
     );
-    let report = match run_coll_bench(&worlds, &payloads, reps, 4, 3, recovery_mib) {
+    let report = match run_coll_bench(&cfg) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("benchmark failed: {e}");
@@ -51,6 +60,35 @@ fn main() {
         "min speedup at scale (world >= 4, payload >= 1 MiB): {:.2}x",
         report.min_speedup_at_scale()
     );
+    println!(
+        "{:<6} {:>6} {:>12} {:>12} {:>12} {:>8} {:>10}",
+        "world", "nodes", "payload B", "ring sim ms", "hier sim ms", "speedup", "drive ms"
+    );
+    for p in &report.hier {
+        println!(
+            "{:<6} {:>6} {:>12} {:>12.3} {:>12.3} {:>7.2}x {:>10.3}",
+            p.world,
+            p.nodes,
+            p.payload_bytes,
+            p.ring_sim_s * 1e3,
+            p.hier_sim_s * 1e3,
+            p.speedup(),
+            p.drive_wall_ms
+        );
+    }
+    if report.hier.iter().any(|p| p.world >= 64 && p.nodes >= 2) {
+        println!(
+            "min hier speedup at scale (world >= 64): {:.2}x",
+            report.min_hier_speedup_at_scale()
+        );
+    }
+    println!(
+        "chunk sweep (world={}, payload {} B):",
+        report.sweep_world, report.sweep_payload
+    );
+    for p in &report.chunk_sweep {
+        println!("  chunk {:>9} B: {:>9.3} ms", p.chunk_bytes, p.wall_ms);
+    }
     let o = &report.overlap;
     println!(
         "bucket overlap (dp={}, {} iters): eager {:.6} s/mb, bucketed {:.6} s/mb \
@@ -76,6 +114,13 @@ fn main() {
              ({:.2}x)",
             report.min_speedup_at_scale()
         );
+    }
+    if report
+        .hier
+        .iter()
+        .any(|p| p.world >= 64 && p.nodes >= 2 && p.speedup() <= 1.0)
+    {
+        eprintln!("WARNING: hierarchical engine failed to beat the flat ring at scale");
     }
     if let Err(e) = std::fs::write(&out_path, report.to_json()) {
         eprintln!("failed to write {out_path}: {e}");

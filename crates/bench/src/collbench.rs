@@ -1,8 +1,10 @@
 //! Collective data-plane benchmark harness: wall-clock time of the
 //! chunked ring engine vs the slot reference across world and payload
-//! sizes, the virtual-time effect of gradient bucketing on minibatch
-//! duration, and pipelined replica-recovery streaming vs the store
-//! round-trip it replaces.
+//! sizes, the hierarchical engine vs the flat ring on a simulated-time
+//! scale ladder to 2048 ranks (driven thread-free through the offer
+//! path), the ring chunk-size sensitivity sweep, the virtual-time effect
+//! of gradient bucketing on minibatch duration, and pipelined
+//! replica-recovery streaming vs the store round-trip it replaces.
 //!
 //! The ring measurement is an honest end-to-end comparison of the two
 //! delivery contracts: the slot rows run the seed's `all_reduce`
@@ -14,14 +16,15 @@
 //! it grows with both world size (more clone-outs avoided) and payload
 //! (more of the reduction runs cache-blocked).
 
-use collectives::{CollEngine, CommWorld, Communicator, NullObserver, ReduceOp};
+use collectives::{CollEngine, CommWorld, Communicator, NullObserver, ReduceOp, RingConfig};
 use dltrain::{JobSetup, ModelConfig, OptimizerKind, RankTrainer, TrainConfig, TrainState};
 use jitckpt::stream;
 use proxy::DirectExecutor;
 use simcore::cost::{CostModel, StorageTier};
 use simcore::layout::ParallelLayout;
+use simcore::sync::Mutex;
 use simcore::time::ClockBoard;
-use simcore::{GpuId, RankId, SimResult, SimTime};
+use simcore::{pool, GpuId, RankId, SimError, SimResult, SimTime};
 use simgpu::{BufferTag, Gpu};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -44,6 +47,43 @@ impl RingPoint {
     pub fn speedup(&self) -> f64 {
         self.slot_ms / self.ring_ms
     }
+}
+
+/// One hierarchical-vs-flat measurement point from the offered
+/// (thread-free) scale driver.
+#[derive(Debug, Clone, Copy)]
+pub struct HierPoint {
+    /// Group size (simulated ranks).
+    pub world: usize,
+    /// Nodes spanned under contiguous 8-rank placement.
+    pub nodes: usize,
+    /// Payload bytes per rank.
+    pub payload_bytes: usize,
+    /// Simulated seconds per flat-ring all-reduce.
+    pub ring_sim_s: f64,
+    /// Simulated seconds per hierarchical all-reduce.
+    pub hier_sim_s: f64,
+    /// Wall-clock milliseconds the single driver thread spent offering
+    /// and folding all `world` contributions for the hierarchical engine
+    /// — the scalability evidence (no per-rank OS thread anywhere).
+    pub drive_wall_ms: f64,
+}
+
+impl HierPoint {
+    /// Flat-ring simulated time over hierarchical simulated time.
+    pub fn speedup(&self) -> f64 {
+        self.ring_sim_s / self.hier_sim_s
+    }
+}
+
+/// One row of the ring chunk-size sensitivity sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkPoint {
+    /// Chunk granularity under test (both hop classes pinned to it).
+    pub chunk_bytes: usize,
+    /// Wall-clock milliseconds per offered all-reduce at this
+    /// granularity (pure data-plane fold cost).
+    pub wall_ms: f64,
 }
 
 /// Virtual-time effect of gradient bucketing on one training setup.
@@ -96,6 +136,14 @@ pub struct CollReport {
     pub reps: usize,
     /// Slot-vs-ring matrix.
     pub ring: Vec<RingPoint>,
+    /// Hierarchical-vs-flat scale ladder (offered driver).
+    pub hier: Vec<HierPoint>,
+    /// Ring chunk-size sensitivity sweep.
+    pub chunk_sweep: Vec<ChunkPoint>,
+    /// World size the chunk sweep ran at.
+    pub sweep_world: usize,
+    /// Payload the chunk sweep ran at.
+    pub sweep_payload: usize,
     /// Bucketed-overlap minibatch comparison.
     pub overlap: OverlapResult,
     /// Streamed-recovery comparison.
@@ -110,6 +158,17 @@ impl CollReport {
             .iter()
             .filter(|p| p.world >= 4 && p.payload_bytes >= 1 << 20)
             .map(RingPoint::speedup)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Minimum hierarchical speedup over flat ring at multi-node scale
+    /// (world ≥ 64, which spans ≥ 2 nodes at 8 ranks/node) — the
+    /// acceptance metric for the hierarchical engine (> 1x).
+    pub fn min_hier_speedup_at_scale(&self) -> f64 {
+        self.hier
+            .iter()
+            .filter(|p| p.world >= 64 && p.nodes >= 2)
+            .map(HierPoint::speedup)
             .fold(f64::INFINITY, f64::min)
     }
 
@@ -137,6 +196,46 @@ impl CollReport {
             "  \"min_speedup_at_scale\": {:.2},\n",
             self.min_speedup_at_scale()
         ));
+        out.push_str("  \"hier\": [\n");
+        for (i, p) in self.hier.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"world\": {}, \"nodes\": {}, \"payload_bytes\": {}, \
+                 \"ring_sim_ms\": {:.3}, \"hier_sim_ms\": {:.3}, \"speedup\": {:.2}, \
+                 \"drive_wall_ms\": {:.3}}}{}\n",
+                p.world,
+                p.nodes,
+                p.payload_bytes,
+                p.ring_sim_s * 1e3,
+                p.hier_sim_s * 1e3,
+                p.speedup(),
+                p.drive_wall_ms,
+                if i + 1 < self.hier.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        if self.hier.iter().any(|p| p.world >= 64 && p.nodes >= 2) {
+            out.push_str(&format!(
+                "  \"min_hier_speedup_at_scale\": {:.2},\n",
+                self.min_hier_speedup_at_scale()
+            ));
+        }
+        out.push_str(&format!(
+            "  \"chunk_sweep\": {{\"world\": {}, \"payload_bytes\": {}, \"points\": [\n",
+            self.sweep_world, self.sweep_payload
+        ));
+        for (i, p) in self.chunk_sweep.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"chunk_bytes\": {}, \"wall_ms\": {:.3}}}{}\n",
+                p.chunk_bytes,
+                p.wall_ms,
+                if i + 1 < self.chunk_sweep.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str("  ]},\n");
         out.push_str(&format!(
             "  \"bucket_overlap\": {{\"dp\": {}, \"iters\": {}, \"eager_minibatch_s\": {:.6}, \
              \"bucketed_minibatch_s\": {:.6}, \"saving_s\": {:.6}}},\n",
@@ -290,6 +389,128 @@ pub fn measure_ring_matrix(
     Ok(out)
 }
 
+/// Contribution-pattern arena size for the offered driver: buffers are
+/// reused across ranks (rank `r` contributes pattern `r mod 8`), so a
+/// 2048-rank point allocates 8 input buffers plus one accumulator — not
+/// 2048 buffers and never 2048 OS threads.
+const ARENA_PATTERNS: usize = 8;
+
+/// Drives `passes` all-reduces of `elems` f32s over `n` simulated ranks
+/// entirely from the calling thread via the non-blocking offer path
+/// ([`Communicator::offer_reduce`]): contributions arrive in member
+/// order, so each offer folds straight into the accumulator and no
+/// per-rank state is ever parked. Returns (simulated seconds per
+/// all-reduce, median wall-clock seconds per timed pass, the gen-0
+/// result for bit-identity checks). A warm-up pass precedes the timed
+/// ones; completed generations are pruned as the driver advances so at
+/// most one slot is live.
+fn offered_all_reduce(
+    n: usize,
+    elems: usize,
+    engine: CollEngine,
+    passes: usize,
+) -> SimResult<(f64, f64, Arc<Vec<f32>>)> {
+    let passes = passes.max(1);
+    let clock = Arc::new(ClockBoard::new(n));
+    let world = CommWorld::new(clock.clone(), CostModel::v100(), 8);
+    let ranks: Vec<RankId> = (0..n).map(|i| RankId(i as u32)).collect();
+    let idxs: Vec<usize> = (0..n).collect();
+    let comm = world.create_comm(ranks, idxs).set_engine(engine);
+    let k = ARENA_PATTERNS.min(n);
+    let arena: Vec<Mutex<Vec<f32>>> = (0..k).map(|_| Mutex::new(vec![0.0; elems])).collect();
+    pool::fan_out(k, k, "bench-fill", |p| {
+        let mut buf = arena[p].lock();
+        for (i, v) in buf.iter_mut().enumerate() {
+            *v = ((i + p) % 251) as f32 * 0.5;
+        }
+    });
+    let arena: Vec<Vec<f32>> = arena.into_iter().map(Mutex::into_inner).collect();
+    let bytes = (elems * 4) as u64;
+    let drive = |gen: u64| -> SimResult<Arc<Vec<f32>>> {
+        for r in 0..n {
+            comm.offer_reduce(RankId(r as u32), gen, &arena[r % k], ReduceOp::Sum, bytes)?;
+        }
+        comm.try_result(gen)?
+            .ok_or_else(|| SimError::Protocol("offered all-reduce did not complete".into()))
+    };
+    let result = drive(0)?; // warm-up: allocator growth + first touch
+    let sim0 = clock.now(0);
+    let mut walls = Vec::with_capacity(passes);
+    for gen in 1..=passes as u64 {
+        comm.prune_below(gen);
+        let start = Instant::now();
+        drive(gen)?;
+        walls.push(start.elapsed());
+    }
+    let sim_per_op = (clock.now(0) - sim0).as_secs() / passes as f64;
+    Ok((sim_per_op, median_secs(walls), result))
+}
+
+/// Runs the hierarchical-vs-flat scale ladder at `payload` bytes per
+/// rank: each world size is measured under both engines through the
+/// offered driver, and the two results are required to be bit-identical
+/// before the point is reported.
+pub fn measure_hier_matrix(
+    worlds: &[usize],
+    payload: usize,
+    passes: usize,
+) -> SimResult<Vec<HierPoint>> {
+    let elems = payload / 4;
+    let cost = CostModel::v100();
+    let mut out = Vec::new();
+    for &world in worlds {
+        let ring_cfg = RingConfig::from_cost(&cost);
+        let (ring_sim, _, ring_res) =
+            offered_all_reduce(world, elems, CollEngine::Ring(ring_cfg), passes)?;
+        let (hier_sim, hier_wall, hier_res) =
+            offered_all_reduce(world, elems, CollEngine::Hier(ring_cfg), passes)?;
+        let identical = ring_res.len() == hier_res.len()
+            && ring_res
+                .iter()
+                .zip(hier_res.iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        if !identical {
+            return Err(SimError::Protocol(format!(
+                "hier all-reduce diverged bitwise from flat ring at world {world}"
+            )));
+        }
+        out.push(HierPoint {
+            world,
+            nodes: world.div_ceil(8),
+            payload_bytes: payload,
+            ring_sim_s: ring_sim,
+            hier_sim_s: hier_sim,
+            drive_wall_ms: hier_wall * 1e3,
+        });
+    }
+    Ok(out)
+}
+
+/// Sweeps the ring chunk size at a fixed world and payload: both hop
+/// classes are pinned to each candidate granularity and the pure
+/// data-plane fold is timed through the offered driver. Shows the
+/// cache-blocking sensitivity that motivates the per-hop-class
+/// cost-model defaults ([`RingConfig::from_cost`]).
+pub fn measure_chunk_sweep(
+    world: usize,
+    payload: usize,
+    chunks: &[usize],
+    passes: usize,
+) -> SimResult<Vec<ChunkPoint>> {
+    let elems = payload / 4;
+    let workers = RingConfig::default().workers;
+    let mut out = Vec::new();
+    for &chunk in chunks {
+        let engine = CollEngine::Ring(RingConfig::uniform(chunk, workers));
+        let (_, wall, _) = offered_all_reduce(world, elems, engine, passes)?;
+        out.push(ChunkPoint {
+            chunk_bytes: chunk,
+            wall_ms: wall * 1e3,
+        });
+    }
+    Ok(out)
+}
+
 /// Virtual seconds per minibatch of a data-parallel job at the given
 /// gradient-bucket threshold (0 = the eager per-group reference path).
 fn minibatch_virtual_s(dp: usize, iters: u64, bucket_bytes: u64) -> SimResult<f64> {
@@ -397,21 +618,75 @@ pub fn measure_recovery(mib: usize, shard_bytes: usize) -> SimResult<RecoveryCom
     })
 }
 
+/// The full measurement matrix. `Default` is the shipped
+/// `BENCH_coll.json` configuration; tests and smokes shrink it.
+#[derive(Debug, Clone)]
+pub struct CollBenchConfig {
+    /// World sizes for the threaded slot-vs-ring matrix.
+    pub worlds: Vec<usize>,
+    /// Payload sizes (bytes) for the slot-vs-ring matrix.
+    pub payloads: Vec<usize>,
+    /// Timed repetitions per slot-vs-ring point.
+    pub reps: usize,
+    /// Data-parallel degree of the bucket-overlap measurement.
+    pub overlap_dp: usize,
+    /// Iterations of the bucket-overlap measurement.
+    pub overlap_iters: u64,
+    /// Recovery-stream state size (MiB).
+    pub recovery_mib: usize,
+    /// World sizes for the hierarchical-vs-flat scale ladder (offered
+    /// driver — no per-rank threads, so thousands of ranks are cheap).
+    pub hier_worlds: Vec<usize>,
+    /// Payload (bytes) per rank for the scale ladder.
+    pub hier_payload: usize,
+    /// World size of the chunk-size sweep.
+    pub sweep_world: usize,
+    /// Payload (bytes) of the chunk-size sweep.
+    pub sweep_payload: usize,
+    /// Candidate chunk granularities for the sweep.
+    pub sweep_chunks: Vec<usize>,
+}
+
+impl Default for CollBenchConfig {
+    fn default() -> Self {
+        CollBenchConfig {
+            worlds: vec![2, 4, 8],
+            payloads: vec![64 << 10, 1 << 20, 4 << 20],
+            reps: 6,
+            overlap_dp: 4,
+            overlap_iters: 3,
+            recovery_mib: 64,
+            hier_worlds: vec![16, 64, 256, 1024, 2048],
+            hier_payload: 4 << 20,
+            sweep_world: 8,
+            sweep_payload: 4 << 20,
+            sweep_chunks: vec![32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20],
+        }
+    }
+}
+
 /// Runs the full measurement matrix.
-pub fn run_coll_bench(
-    worlds: &[usize],
-    payloads: &[usize],
-    reps: usize,
-    overlap_dp: usize,
-    overlap_iters: u64,
-    recovery_mib: usize,
-) -> SimResult<CollReport> {
-    let ring = measure_ring_matrix(worlds, payloads, reps)?;
-    let overlap = measure_bucket_overlap(overlap_dp, overlap_iters)?;
-    let recovery = measure_recovery(recovery_mib, 4 << 20)?;
+pub fn run_coll_bench(cfg: &CollBenchConfig) -> SimResult<CollReport> {
+    let ring = measure_ring_matrix(&cfg.worlds, &cfg.payloads, cfg.reps)?;
+    // The offered driver is deterministic in simulated time; a few wall
+    // passes suffice for the median.
+    let passes = cfg.reps.clamp(1, 3);
+    let hier = measure_hier_matrix(&cfg.hier_worlds, cfg.hier_payload, passes)?;
+    let chunk_sweep = measure_chunk_sweep(
+        cfg.sweep_world,
+        cfg.sweep_payload,
+        &cfg.sweep_chunks,
+        passes,
+    )?;
+    let overlap = measure_bucket_overlap(cfg.overlap_dp, cfg.overlap_iters)?;
+    let recovery = measure_recovery(cfg.recovery_mib, 4 << 20)?;
     Ok(CollReport {
-        reps,
+        reps: cfg.reps,
         ring,
+        hier,
+        chunk_sweep,
+        sweep_world: cfg.sweep_world,
+        sweep_payload: cfg.sweep_payload,
         overlap,
         recovery,
     })
@@ -425,8 +700,32 @@ mod tests {
     fn report_shape_holds_on_tiny_run() -> SimResult<()> {
         // Tiny sizes: validates plumbing, not performance — the shipped
         // BENCH_coll.json comes from `scripts/bench.sh`.
-        let report = run_coll_bench(&[2], &[16 << 10], 2, 2, 2, 1)?;
+        let cfg = CollBenchConfig {
+            worlds: vec![2],
+            payloads: vec![16 << 10],
+            reps: 2,
+            overlap_dp: 2,
+            overlap_iters: 2,
+            recovery_mib: 1,
+            hier_worlds: vec![16],
+            hier_payload: 64 << 10,
+            sweep_world: 2,
+            sweep_payload: 16 << 10,
+            sweep_chunks: vec![4 << 10, 16 << 10],
+        };
+        let report = run_coll_bench(&cfg)?;
         assert_eq!(report.ring.len(), 1);
+        // 16 ranks span 2 nodes: every flat-ring step is gated by the NIC
+        // class while hier keeps 14 of 16 hops on NVLink — it must win
+        // (and bit-identity vs flat is asserted inside the measurement).
+        assert_eq!(report.hier.len(), 1);
+        assert!(
+            report.hier[0].speedup() > 1.0,
+            "hier must beat flat ring across nodes: {:?}",
+            report.hier[0]
+        );
+        assert_eq!(report.chunk_sweep.len(), 2);
+        assert!(report.chunk_sweep.iter().all(|p| p.wall_ms > 0.0));
         assert!(report.ring[0].slot_ms > 0.0 && report.ring[0].ring_ms > 0.0);
         assert!(report.overlap.eager_s > 0.0);
         assert!(
@@ -442,6 +741,8 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"bench\": \"coll\""), "{json}");
         assert!(json.contains("min_speedup_at_scale"), "{json}");
+        assert!(json.contains("\"hier\""), "{json}");
+        assert!(json.contains("\"chunk_sweep\""), "{json}");
         Ok(())
     }
 }

@@ -95,11 +95,21 @@ impl Cluster {
         }
     }
 
+    /// The node id of every GPU in `gpus`, in order — the real-placement
+    /// node assignment the collective layer consumes
+    /// (`Communicator::set_topology`): ring hop classes, inter-hop
+    /// counts, and the hierarchical engine's per-node group sizes are all
+    /// derived from it. Errors on a GPU the cluster doesn't know.
+    pub fn node_assignment(&self, gpus: &[GpuId]) -> SimResult<Vec<usize>> {
+        gpus.iter()
+            .map(|g| self.node_of(*g).map(|n| n.index()))
+            .collect()
+    }
+
     /// Classifies each hop of the ring `gpus[i] → gpus[(i+1) mod n]` as
     /// intra-node (`true`) or inter-node (`false`) from the real
-    /// placement — the link classes the chunked ring cost model consumes
-    /// (`Communicator::set_ring_topology`). A singleton (or empty) ring
-    /// has no hops.
+    /// placement — the link classes the chunked ring cost model consumes.
+    /// A singleton (or empty) ring has no hops.
     pub fn ring_hop_classes(&self, gpus: &[GpuId]) -> Vec<bool> {
         let n = gpus.len();
         if n <= 1 {

@@ -10,8 +10,9 @@
 //!   condition variable indefinitely;
 //! * **abort** — [`Communicator::abort`] (the `ncclCommAbort` equivalent)
 //!   wakes all waiters with [`SimError::CollectiveAborted`]; an aborted
-//!   communicator is dead and must be re-created via rendezvous;
-//! * **deterministic reduction** — contributions are reduced in rank
+//!   communicator is dead and must be re-created via rendezvous; aborting
+//!   a parent propagates to every child group split off it;
+//! * **deterministic reduction** — contributions are reduced in member
 //!   order, so results are bit-stable across runs (required for the
 //!   paper's exact-loss-match validation).
 //!
@@ -26,6 +27,21 @@
 //! generation and pairs with peers' retries. A re-created communicator
 //! adopts its predecessor's completed-slot cache
 //! ([`Communicator::adopt_completed_from`]).
+//!
+//! ## Slot storage: parked vs streaming
+//!
+//! The reference [`CollEngine::Slot`] engine (and the gather/broadcast/
+//! barrier kinds under every engine) *parks* each contribution in a
+//! member-position-indexed table and reduces once, when the last member
+//! arrives. Reductions under the ring and hierarchical engines instead
+//! *stream*: contributions are folded into a single accumulator eagerly,
+//! in member order, the moment their turn comes — out-of-order arrivals
+//! park only until the member-order prefix reaches them. Peak memory per
+//! in-flight reduction drops from `n` buffers to one accumulator plus the
+//! out-of-order window, which is what lets a 2048-rank world run without
+//! holding 2048 parked 4 MiB buffers (or 2048 OS threads — see
+//! [`Communicator::offer_reduce`]). Both paths accumulate elementwise in
+//! strict member order, so they are bit-identical (DESIGN.md §11).
 
 use crate::observer::{CollectiveObserver, CollectiveTicket};
 use crate::ring::{self, CollEngine};
@@ -36,7 +52,7 @@ use simcore::time::ClockBoard;
 use simcore::{RankId, SimError, SimResult};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
 /// Reduction operator for all-reduce / reduce-scatter.
@@ -67,12 +83,55 @@ pub enum CollKind {
     Rendezvous,
 }
 
+/// How a rank hands its buffer to a collective.
+enum Contribution<'a> {
+    /// Owned buffer (the blocking API) — moved into the slot, or consumed
+    /// as the streaming accumulator without a copy.
+    Data(Vec<f32>),
+    /// Caller-owned slice (the non-blocking offer API) — folded in place
+    /// when its member-order turn has come, copied only if it must park.
+    Borrowed(&'a [f32]),
+    /// No payload (barrier, rendezvous, non-root broadcast).
+    Empty,
+}
+
+impl Contribution<'_> {
+    fn into_parked(self) -> Option<Vec<f32>> {
+        match self {
+            Contribution::Data(v) => Some(v),
+            Contribution::Borrowed(s) => Some(s.to_vec()),
+            Contribution::Empty => None,
+        }
+    }
+}
+
+/// Per-generation contribution storage, indexed by **member position**
+/// (position in the communicator's `ranks` list — the canonical reduction
+/// order, which for split groups need not be sorted-RankId order).
+#[derive(Clone)]
+enum SlotData {
+    /// Every contribution held until the last arrival (outer `None` = not
+    /// arrived; inner `None` = an arrival without payload).
+    Parked {
+        contribs: Vec<Option<Option<Vec<f32>>>>,
+        arrived: usize,
+    },
+    /// Eager member-order fold: `acc` holds ranks `0..folded` already
+    /// reduced; out-of-order arrivals park in `parked` (keyed by member
+    /// position) until the fold front reaches them.
+    Streaming {
+        acc: Vec<f32>,
+        folded: usize,
+        parked: BTreeMap<usize, Vec<f32>>,
+    },
+}
+
 #[derive(Clone)]
 struct Slot {
     kind: CollKind,
     op: Option<ReduceOp>,
     root: Option<RankId>,
-    contributions: BTreeMap<RankId, Option<Vec<f32>>>,
+    data: SlotData,
     logical_bytes: u64,
     complete: bool,
     fault_victim: Option<RankId>,
@@ -92,8 +151,21 @@ pub struct Communicator {
     /// Communicator identity.
     pub id: CommId,
     ranks: Vec<RankId>,
-    clock_idx: HashMap<RankId, usize>,
+    /// Member position of each rank (reverse of `ranks`).
+    member_of: HashMap<RankId, usize>,
+    /// Clock-board slot of each member, by member position.
+    clock_idx: Vec<usize>,
     ranks_per_node: usize,
+    /// Node id of each member, by member position — real placement from
+    /// `cluster::topology` via [`Communicator::set_topology`], or the
+    /// contiguous fallback. Drives hop classes and the hierarchical
+    /// schedule.
+    node_of: Vec<usize>,
+    /// Ring hops crossing a node boundary (derived from `node_of`).
+    inter_hops: usize,
+    /// Members per node in first-appearance order (derived from
+    /// `node_of`) — the hierarchical cost model's input.
+    node_sizes: Vec<usize>,
     clock: Arc<ClockBoard>,
     cost: CostModel,
     state: Mutex<CommState>,
@@ -104,16 +176,19 @@ pub struct Communicator {
     aborted: AtomicBool,
     hang_timeout: Option<Duration>,
     engine: CollEngine,
-    /// Per-hop link class of the rank-order ring (`true` = intra-node);
-    /// drives the ring cost model. Defaults to contiguous placement,
-    /// overridable from real cluster topology via
-    /// [`Communicator::set_ring_topology`].
-    hops_same_node: Vec<bool>,
+    /// Child groups split off this communicator (`CommWorld::split_comm`).
+    /// Weak: a dropped child must not be kept alive — or aborted — by its
+    /// parent. This lock is a leaf: nothing else is acquired while it is
+    /// held except inside `coll_cost` (state → children, one direction
+    /// only; no path acquires state while holding children).
+    children: Mutex<Vec<Weak<Communicator>>>,
 }
 
 impl Communicator {
     /// Creates a communicator over `ranks`; `clock_idx[i]` is the clock
-    /// board slot of `ranks[i]`.
+    /// board slot of `ranks[i]`. Node placement defaults to the
+    /// contiguous `ranks_per_node` convention until
+    /// [`Communicator::set_topology`] installs real placement.
     pub fn new(
         id: CommId,
         ranks: Vec<RankId>,
@@ -122,27 +197,67 @@ impl Communicator {
         clock: Arc<ClockBoard>,
         cost: CostModel,
     ) -> Arc<Self> {
+        let node_of = ring::contiguous_node_assignment(&ranks, ranks_per_node);
+        let engine = CollEngine::Ring(ring::RingConfig::from_cost(&cost));
+        Self::with_parts(
+            id,
+            ranks,
+            clock_idx,
+            node_of,
+            ranks_per_node,
+            clock,
+            cost,
+            engine,
+            None,
+        )
+    }
+
+    /// Full-control constructor: split groups inherit their parent's
+    /// engine, timeout, and per-member topology slice through this.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn with_parts(
+        id: CommId,
+        ranks: Vec<RankId>,
+        clock_idx: Vec<usize>,
+        node_of: Vec<usize>,
+        ranks_per_node: usize,
+        clock: Arc<ClockBoard>,
+        cost: CostModel,
+        engine: CollEngine,
+        hang_timeout: Option<Duration>,
+    ) -> Arc<Self> {
         assert_eq!(ranks.len(), clock_idx.len());
-        let map = ranks.iter().copied().zip(clock_idx).collect();
-        let hops = ring::ring_hop_classes(&ranks, ranks_per_node);
+        assert_eq!(ranks.len(), node_of.len());
+        let member_of: HashMap<RankId, usize> =
+            ranks.iter().enumerate().map(|(i, r)| (*r, i)).collect();
+        assert_eq!(member_of.len(), ranks.len(), "duplicate member rank");
+        let inter_hops = ring::hop_classes_from_nodes(&node_of)
+            .iter()
+            .filter(|same| !**same)
+            .count();
+        let node_sizes = ring::node_group_sizes(&node_of);
         Arc::new(Communicator {
             id,
             ranks,
-            clock_idx: map,
+            member_of,
+            clock_idx,
             ranks_per_node,
+            node_of,
+            inter_hops,
+            node_sizes,
             clock,
             cost,
             state: Mutex::new(CommState::default()),
             cv: Condvar::new(),
             obs_cv: Condvar::new(),
             aborted: AtomicBool::new(false),
-            hang_timeout: None,
-            engine: CollEngine::default(),
-            hops_same_node: hops,
+            hang_timeout,
+            engine,
+            children: Mutex::new(Vec::new()),
         })
     }
 
-    /// Member ranks, in rank order.
+    /// Member ranks, in member (reduction) order.
     pub fn ranks(&self) -> &[RankId] {
         &self.ranks
     }
@@ -152,27 +267,68 @@ impl Communicator {
         self.ranks.len()
     }
 
+    /// True if `rank` is a member of this group.
+    pub fn contains(&self, rank: RankId) -> bool {
+        self.member_of.contains_key(&rank)
+    }
+
+    /// Member position of `rank` in this group (its rank-order index).
+    pub fn member_pos(&self, rank: RankId) -> Option<usize> {
+        self.member_of.get(&rank).copied()
+    }
+
+    /// Node assignment per member position.
+    pub fn node_assignment(&self) -> &[usize] {
+        &self.node_of
+    }
+
+    pub(crate) fn clock_index_of_member(&self, pos: usize) -> usize {
+        self.clock_idx[pos]
+    }
+
+    pub(crate) fn node_of_member(&self, pos: usize) -> usize {
+        self.node_of[pos]
+    }
+
+    pub(crate) fn clock_board(&self) -> &Arc<ClockBoard> {
+        &self.clock
+    }
+
+    pub(crate) fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    pub(crate) fn ranks_per_node(&self) -> usize {
+        self.ranks_per_node
+    }
+
+    pub(crate) fn hang_timeout(&self) -> Option<Duration> {
+        self.hang_timeout
+    }
+
     /// Communicators are shared immutably; configuration changes rebuild
-    /// a fresh clone with empty slot state.
-    fn rebuild(&self, timeout: Option<Duration>, engine: CollEngine, hops: Vec<bool>) -> Arc<Self> {
-        let mut clock_idx_pairs: Vec<(RankId, usize)> =
-            self.clock_idx.iter().map(|(r, i)| (*r, *i)).collect();
-        clock_idx_pairs.sort();
-        Arc::new(Communicator {
-            id: self.id,
-            ranks: self.ranks.clone(),
-            clock_idx: clock_idx_pairs.into_iter().collect(),
-            ranks_per_node: self.ranks_per_node,
-            clock: self.clock.clone(),
-            cost: self.cost.clone(),
-            state: Mutex::new(CommState::default()),
-            cv: Condvar::new(),
-            obs_cv: Condvar::new(),
-            aborted: AtomicBool::new(false),
-            hang_timeout: timeout,
+    /// a fresh clone with empty slot state. The child-group list carries
+    /// over so parent→child abort/fault propagation survives a rebuild.
+    fn rebuild(
+        &self,
+        timeout: Option<Duration>,
+        engine: CollEngine,
+        node_of: Vec<usize>,
+    ) -> Arc<Self> {
+        let kids: Vec<Weak<Communicator>> = self.children.lock().clone();
+        let fresh = Self::with_parts(
+            self.id,
+            self.ranks.clone(),
+            self.clock_idx.clone(),
+            node_of,
+            self.ranks_per_node,
+            self.clock.clone(),
+            self.cost.clone(),
             engine,
-            hops_same_node: hops,
-        })
+            timeout,
+        );
+        *fresh.children.lock() = kids;
+        fresh
     }
 
     /// Sets a real-time hang timeout: a rank blocked longer than this
@@ -180,30 +336,26 @@ impl Communicator {
     /// abort. (The transparent design leaves this unset and relies on the
     /// proxy watchdog + abort instead.)
     pub fn set_hang_timeout(self: &Arc<Self>, timeout: Option<Duration>) -> Arc<Self> {
-        self.rebuild(timeout, self.engine, self.hops_same_node.clone())
+        self.rebuild(timeout, self.engine, self.node_of.clone())
     }
 
     /// Selects the data-plane engine (chunked ring by default; the slot
     /// reference is kept for bit-identity checks and benchmarking).
     pub fn set_engine(self: &Arc<Self>, engine: CollEngine) -> Arc<Self> {
-        self.rebuild(self.hang_timeout, engine, self.hops_same_node.clone())
+        self.rebuild(self.hang_timeout, engine, self.node_of.clone())
     }
 
-    /// Overrides the per-hop link classes of the rank-order ring
-    /// (`true` = intra-node hop) with real placement knowledge from the
-    /// cluster topology (`Cluster::ring_hop_classes`). Length must equal
-    /// the group size (or be empty for a singleton group).
-    pub fn set_ring_topology(self: &Arc<Self>, hops_same_node: Vec<bool>) -> Arc<Self> {
+    /// Installs real placement knowledge: `node_of[i]` is the node id of
+    /// member `i` (`Cluster::node_assignment`). Replaces the contiguous
+    /// `ranks_per_node` fallback; hop classes, inter-hop counts, and the
+    /// hierarchical node sizes are all re-derived from it.
+    pub fn set_topology(self: &Arc<Self>, node_of: Vec<usize>) -> Arc<Self> {
         assert_eq!(
-            hops_same_node.len(),
-            if self.ranks.len() <= 1 {
-                0
-            } else {
-                self.ranks.len()
-            },
-            "one link class per ring hop"
+            node_of.len(),
+            self.ranks.len(),
+            "one node id per group member"
         );
-        self.rebuild(self.hang_timeout, self.engine, hops_same_node)
+        self.rebuild(self.hang_timeout, self.engine, node_of)
     }
 
     /// The data-plane engine in effect.
@@ -217,16 +369,48 @@ impl Communicator {
     }
 
     /// Aborts the communicator: every current and future waiter returns
-    /// [`SimError::CollectiveAborted`]. Idempotent.
+    /// [`SimError::CollectiveAborted`], and the abort propagates to every
+    /// live child group (a dead parent cannot bootstrap its children —
+    /// NCCL aborts split comms with their parent). Idempotent.
     pub fn abort(&self) {
         self.aborted.store(true, Ordering::Release);
-        // Completion waits are purely notify-driven, so the notify must be
-        // ordered against the waiters' abort check: holding the state lock
-        // guarantees any rank that saw `aborted == false` has since parked
-        // and receives this wake-up (no lost-wakeup window).
-        let _st = self.state.lock();
-        self.cv.notify_all();
-        self.obs_cv.notify_all();
+        {
+            // Completion waits are purely notify-driven, so the notify must
+            // be ordered against the waiters' abort check: holding the state
+            // lock guarantees any rank that saw `aborted == false` has since
+            // parked and receives this wake-up (no lost-wakeup window).
+            let _st = self.state.lock();
+            self.cv.notify_all();
+            self.obs_cv.notify_all();
+        }
+        // Snapshot the children under their own (leaf) lock, then abort
+        // outside it: no lock is held across the recursive calls.
+        let kids: Vec<Arc<Communicator>> = {
+            self.children
+                .lock()
+                .iter()
+                .filter_map(Weak::upgrade)
+                .collect()
+        };
+        for child in kids {
+            child.abort();
+        }
+    }
+
+    /// Registers a split child for abort/fault propagation.
+    pub(crate) fn add_child(&self, child: &Arc<Communicator>) {
+        let mut kids = self.children.lock();
+        kids.retain(|w| w.upgrade().is_some());
+        kids.push(Arc::downgrade(child));
+    }
+
+    /// Live (still-referenced) child groups split off this communicator.
+    pub fn live_children(&self) -> usize {
+        self.children
+            .lock()
+            .iter()
+            .filter(|w| w.upgrade().is_some())
+            .count()
     }
 
     /// Blocks until at least `n` member threads are parked inside a
@@ -252,11 +436,27 @@ impl Communicator {
     /// next collective on this communicator, the victim's NCCL call fails
     /// with [`SimError::NetworkTransient`] while every other member hangs
     /// at the barrier — exactly how a single NIC/link fault manifests in
-    /// a real job (§3.1: the victim sees an error, peers see a hang).
+    /// a real job (§3.1: the victim sees an error, peers see a hang). The
+    /// fault propagates to child groups the victim belongs to: a dead
+    /// link fails every communicator routed over it.
     pub fn inject_transient_fault(&self, victim: RankId) {
-        let mut st = self.state.lock();
-        st.pending_fault = Some(victim);
-        self.cv.notify_all();
+        {
+            let mut st = self.state.lock();
+            st.pending_fault = Some(victim);
+            self.cv.notify_all();
+        }
+        let kids: Vec<Arc<Communicator>> = {
+            self.children
+                .lock()
+                .iter()
+                .filter_map(Weak::upgrade)
+                .collect()
+        };
+        for child in kids {
+            if child.contains(victim) {
+                child.inject_transient_fault(victim);
+            }
+        }
     }
 
     fn coll_cost(&self, kind: CollKind, bytes: u64) -> simcore::SimTime {
@@ -264,24 +464,28 @@ impl Communicator {
         match kind {
             CollKind::AllReduce => match self.engine {
                 CollEngine::Slot => self.cost.all_reduce(bytes, n, self.ranks_per_node),
-                CollEngine::Ring(_) => self.cost.ring_all_reduce(bytes, n, self.inter_hops()),
+                CollEngine::Ring(_) => self.cost.ring_all_reduce(bytes, n, self.inter_hops),
+                CollEngine::Hier(_) => self.cost.hier_all_reduce(bytes, &self.node_sizes),
             },
             CollKind::AllGather | CollKind::ReduceScatter | CollKind::Broadcast => {
                 match self.engine {
                     CollEngine::Slot => self.cost.all_gather(bytes, n, self.ranks_per_node),
-                    CollEngine::Ring(_) => self.cost.ring_all_gather(bytes, n, self.inter_hops()),
+                    CollEngine::Ring(_) => self.cost.ring_all_gather(bytes, n, self.inter_hops),
+                    CollEngine::Hier(_) => self.cost.hier_all_gather(bytes, &self.node_sizes),
                 }
             }
             CollKind::Barrier => simcore::SimTime::from_secs(
                 self.cost.coll_latency.as_secs() * (n as f64).log2().ceil().max(1.0),
             ),
-            CollKind::Rendezvous => self.cost.comm_init,
+            // One parent rendezvous bootstraps every live child group in
+            // the same barrier: split comms share the parent's bootstrap
+            // ring instead of each paying a fresh condvar park + init
+            // round, so the simulated cost scales with the group count
+            // while the rank threads park exactly once.
+            CollKind::Rendezvous => simcore::SimTime::from_secs(
+                self.cost.comm_init.as_secs() * (1.0 + self.live_children() as f64),
+            ),
         }
-    }
-
-    /// Number of ring hops crossing a node boundary.
-    fn inter_hops(&self) -> usize {
-        self.hops_same_node.iter().filter(|same| !**same).count()
     }
 
     /// Copies the predecessor communicator's completed-slot cache into
@@ -318,6 +522,18 @@ impl Communicator {
         self.cv.notify_all();
     }
 
+    /// Chunk granularity and worker bound for the streaming fold, per the
+    /// engine and this group's slowest hop class.
+    fn stream_plan(&self) -> (usize, usize) {
+        match self.engine {
+            CollEngine::Ring(cfg) => (cfg.chunk_elems(self.inter_hops > 0), cfg.workers),
+            // The hierarchical data plane is blocked at NVLink granularity:
+            // the intra-node phases carry 2·(m−1)/m of the volume.
+            CollEngine::Hier(cfg) => (cfg.chunk_elems(false), cfg.workers),
+            CollEngine::Slot => (usize::MAX, 1),
+        }
+    }
+
     /// Core matched-collective protocol. Returns the operation result for
     /// this rank.
     #[allow(clippy::too_many_arguments)]
@@ -332,12 +548,12 @@ impl Communicator {
         logical_bytes: u64,
         obs: &dyn CollectiveObserver,
     ) -> SimResult<Arc<Vec<f32>>> {
-        if !self.clock_idx.contains_key(&rank) {
-            return Err(SimError::Protocol(format!(
+        let pos = self.member_pos(rank).ok_or_else(|| {
+            SimError::Protocol(format!(
                 "{rank} is not a member of communicator {}",
                 self.id
-            )));
-        }
+            ))
+        })?;
         {
             // Serve a cached completed slot without blocking or aborting:
             // this is a replayed operation.
@@ -372,8 +588,22 @@ impl Communicator {
         // moment after leaving) only widens the watchdog's view of the
         // collective, which is the conservative direction.
         obs.collective_started(&ticket);
+        let contrib = match data {
+            Some(v) => Contribution::Data(v),
+            None => Contribution::Empty,
+        };
         let mut st = self.state.lock();
-        let result = self.run_inner(&mut st, rank, gen, kind, op, root, data, logical_bytes);
+        let result = self.run_inner(
+            &mut st,
+            pos,
+            rank,
+            gen,
+            kind,
+            op,
+            root,
+            contrib,
+            logical_bytes,
+        );
         drop(st);
         obs.collective_finished(&ticket);
         result
@@ -383,63 +613,17 @@ impl Communicator {
     fn run_inner(
         &self,
         st: &mut simcore::sync::MutexGuard<'_, CommState>,
+        pos: usize,
         rank: RankId,
         gen: u64,
         kind: CollKind,
         op: Option<ReduceOp>,
         root: Option<RankId>,
-        data: Option<Vec<f32>>,
+        contrib: Contribution<'_>,
         logical_bytes: u64,
     ) -> SimResult<Arc<Vec<f32>>> {
-        let n = self.ranks.len();
-        // Install or join the slot for this generation. An armed transient
-        // fault is consumed by the slot *creation* (the fault hits the next
-        // collective that starts).
-        if !st.slots.contains_key(&gen) {
-            let fault_victim = st.pending_fault.take();
-            st.slots.insert(
-                gen,
-                Slot {
-                    kind,
-                    op,
-                    root,
-                    contributions: BTreeMap::new(),
-                    logical_bytes: 0,
-                    complete: false,
-                    fault_victim,
-                    result: None,
-                },
-            );
-        }
-        let slot = st.slots.get_mut(&gen).expect("slot just inserted");
-        if slot.kind != kind || slot.op != op || slot.root != root {
-            return Err(SimError::Protocol(format!(
-                "mismatched collective at gen {gen} on {}: {:?} vs {:?}",
-                self.id, slot.kind, kind
-            )));
-        }
-        if slot.fault_victim == Some(rank) {
-            // The victim's NCCL call fails; it never contributes, so the
-            // other members stay parked at the barrier (a hang) until the
-            // watchdog aborts the communicator.
-            return Err(SimError::NetworkTransient);
-        }
-        slot.contributions.insert(rank, data);
-        slot.logical_bytes = slot.logical_bytes.max(logical_bytes);
-        if slot.contributions.len() == n && !slot.complete {
-            // Last arrival: reduce deterministically in rank order and
-            // advance every member's clock past the barrier.
-            let result = match self.engine {
-                CollEngine::Slot => reduce(slot, n)?,
-                CollEngine::Ring(cfg) => ring_reduce(slot, n, &cfg)?,
-            };
-            slot.result = Some(Arc::new(result));
-            slot.complete = true;
-            let idxs: Vec<usize> = self.ranks.iter().map(|r| self.clock_idx[r]).collect();
-            let cost = self.coll_cost(kind, slot.logical_bytes);
-            self.clock.barrier_sync(&idxs, cost);
-            self.cv.notify_all();
-        } else if !slot.complete {
+        let complete = self.arrive(st, pos, rank, gen, kind, op, root, contrib, logical_bytes)?;
+        if !complete {
             // Wait for completion, abort, or (optionally) hang timeout.
             // Completion is checked BEFORE abort: an operation that
             // finished must report success even if the communicator was
@@ -488,6 +672,272 @@ impl Communicator {
         slot.result
             .clone()
             .ok_or_else(|| SimError::Protocol("completed slot without result".into()))
+    }
+
+    /// Installs/joins the slot for `gen` and records this member's
+    /// contribution; returns `true` if the collective completed (this
+    /// arrival was the last). Shared by the blocking protocol and the
+    /// non-blocking offer path.
+    #[allow(clippy::too_many_arguments)]
+    fn arrive(
+        &self,
+        st: &mut simcore::sync::MutexGuard<'_, CommState>,
+        pos: usize,
+        rank: RankId,
+        gen: u64,
+        kind: CollKind,
+        op: Option<ReduceOp>,
+        root: Option<RankId>,
+        contrib: Contribution<'_>,
+        logical_bytes: u64,
+    ) -> SimResult<bool> {
+        let n = self.ranks.len();
+        // Install or join the slot for this generation. An armed transient
+        // fault is consumed by the slot *creation* (the fault hits the next
+        // collective that starts).
+        if !st.slots.contains_key(&gen) {
+            let fault_victim = st.pending_fault.take();
+            let data = match (self.engine, kind) {
+                (
+                    CollEngine::Ring(_) | CollEngine::Hier(_),
+                    CollKind::AllReduce | CollKind::ReduceScatter,
+                ) => SlotData::Streaming {
+                    acc: Vec::new(),
+                    folded: 0,
+                    parked: BTreeMap::new(),
+                },
+                _ => SlotData::Parked {
+                    contribs: vec![None; n],
+                    arrived: 0,
+                },
+            };
+            st.slots.insert(
+                gen,
+                Slot {
+                    kind,
+                    op,
+                    root,
+                    data,
+                    logical_bytes: 0,
+                    complete: false,
+                    fault_victim,
+                    result: None,
+                },
+            );
+        }
+        let slot = st.slots.get_mut(&gen).expect("slot just inserted");
+        if slot.kind != kind || slot.op != op || slot.root != root {
+            return Err(SimError::Protocol(format!(
+                "mismatched collective at gen {gen} on {}: {:?} vs {:?}",
+                self.id, slot.kind, kind
+            )));
+        }
+        if slot.fault_victim == Some(rank) {
+            // The victim's NCCL call fails; it never contributes, so the
+            // other members stay parked at the barrier (a hang) until the
+            // watchdog aborts the communicator.
+            return Err(SimError::NetworkTransient);
+        }
+        if slot.complete {
+            // Completed between the caller's replay-cache check and the
+            // state lock: the cached result serves this re-arrival.
+            return Ok(true);
+        }
+        slot.logical_bytes = slot.logical_bytes.max(logical_bytes);
+        match &mut slot.data {
+            SlotData::Parked { contribs, arrived } => {
+                if contribs[pos].is_none() {
+                    *arrived += 1;
+                }
+                // Re-arrivals overwrite identically (idempotent replay).
+                contribs[pos] = Some(contrib.into_parked());
+                if *arrived < n {
+                    return Ok(false);
+                }
+            }
+            SlotData::Streaming {
+                acc,
+                folded,
+                parked,
+            } => {
+                let (chunk_elems, workers) = self.stream_plan();
+                let op = op.ok_or_else(|| {
+                    SimError::Protocol("streaming collective without reduce op".into())
+                })?;
+                if pos < *folded {
+                    // Already folded into the accumulator: a replayed
+                    // re-contribution is identical by the idempotency
+                    // contract, so there is nothing to redo.
+                } else if pos == *folded {
+                    match contrib {
+                        // The member-order first buffer *becomes* the
+                        // accumulator — no zero-fill, no seed memcpy.
+                        Contribution::Data(v) if *folded == 0 => *acc = v,
+                        Contribution::Borrowed(s) if *folded == 0 => *acc = s.to_vec(),
+                        Contribution::Data(ref v) => {
+                            ring::accumulate_into(acc, &[v.as_slice()], op, chunk_elems, workers)?
+                        }
+                        Contribution::Borrowed(s) => {
+                            ring::accumulate_into(acc, &[s], op, chunk_elems, workers)?
+                        }
+                        Contribution::Empty => {
+                            return Err(SimError::Protocol("missing contribution".into()))
+                        }
+                    }
+                    *folded += 1;
+                    // Drain the contiguous run of parked successors in one
+                    // chunk-parallel fold (4-wide peer streams, same
+                    // member-order association as one-at-a-time folds).
+                    let mut run: Vec<Vec<f32>> = Vec::new();
+                    while let Some(v) = parked.remove(&(*folded + run.len())) {
+                        run.push(v);
+                    }
+                    if !run.is_empty() {
+                        let slices: Vec<&[f32]> = run.iter().map(|v| v.as_slice()).collect();
+                        ring::accumulate_into(acc, &slices, op, chunk_elems, workers)?;
+                        *folded += run.len();
+                    }
+                } else {
+                    let v = contrib
+                        .into_parked()
+                        .ok_or_else(|| SimError::Protocol("missing contribution".into()))?;
+                    // Out-of-order: park an owned copy until the fold
+                    // front reaches this member position.
+                    parked.insert(pos, v);
+                }
+                if *folded < n {
+                    return Ok(false);
+                }
+            }
+        }
+        // Last arrival: finalize deterministically and advance every
+        // member's clock past the barrier.
+        self.finalize(st, gen, kind)?;
+        Ok(true)
+    }
+
+    /// Completes a slot whose every member has arrived: materializes the
+    /// result, charges the engine's simulated cost as a clock barrier,
+    /// and wakes the waiters.
+    fn finalize(
+        &self,
+        st: &mut simcore::sync::MutexGuard<'_, CommState>,
+        gen: u64,
+        kind: CollKind,
+    ) -> SimResult<()> {
+        let n = self.ranks.len();
+        let slot = st.slots.get_mut(&gen).expect("finalizing slot");
+        let op = slot.op;
+        let root = slot.root;
+        let result = match &mut slot.data {
+            SlotData::Streaming { acc, .. } => {
+                let mut out = std::mem::take(acc);
+                if op == Some(ReduceOp::Avg) {
+                    // Scaled exactly once, after all n folds — the point
+                    // where eager streaming and the monolithic reference
+                    // meet bit-for-bit.
+                    ring::scale_in_place(&mut out, n);
+                }
+                if kind == CollKind::ReduceScatter && out.len() % n != 0 {
+                    return Err(SimError::Protocol(format!(
+                        "reduce-scatter length {} not divisible by {n}",
+                        out.len()
+                    )));
+                }
+                out
+            }
+            SlotData::Parked { contribs, .. } => {
+                finalize_parked(kind, op, root.and_then(|r| self.member_pos(r)), contribs, n)?
+            }
+        };
+        slot.result = Some(Arc::new(result));
+        slot.complete = true;
+        let cost = self.coll_cost(kind, slot.logical_bytes);
+        self.clock.barrier_sync(&self.clock_idx, cost);
+        self.cv.notify_all();
+        Ok(())
+    }
+
+    /// Non-blocking contribution to an all-reduce at `gen` on behalf of
+    /// `rank`: records (or folds) the contribution and returns whether
+    /// the collective completed, without ever parking the calling thread.
+    ///
+    /// This is the multiplexed data plane for large simulated worlds: one
+    /// driver thread offers for thousands of ranks in member order — each
+    /// in-order offer folds straight into the accumulator from the
+    /// caller's slice (no per-rank buffer retention, no per-rank OS
+    /// thread) — and collects the result via
+    /// [`Communicator::try_result`]. Fault and abort semantics match the
+    /// blocking path: an armed transient fault fails the victim's offer
+    /// with [`SimError::NetworkTransient`].
+    pub fn offer_reduce(
+        &self,
+        rank: RankId,
+        gen: u64,
+        data: &[f32],
+        op: ReduceOp,
+        logical_bytes: u64,
+    ) -> SimResult<bool> {
+        let pos = self.member_pos(rank).ok_or_else(|| {
+            SimError::Protocol(format!(
+                "{rank} is not a member of communicator {}",
+                self.id
+            ))
+        })?;
+        {
+            let st = self.state.lock();
+            if let Some(slot) = st.slots.get(&gen) {
+                if slot.complete {
+                    if slot.kind != CollKind::AllReduce
+                        || slot.op != Some(op)
+                        || slot.root.is_some()
+                    {
+                        return Err(SimError::Protocol(format!(
+                            "replayed collective mismatch at gen {gen} on {}",
+                            self.id
+                        )));
+                    }
+                    return Ok(true);
+                }
+            }
+        }
+        if self.is_aborted() {
+            return Err(SimError::CollectiveAborted);
+        }
+        let mut st = self.state.lock();
+        self.arrive(
+            &mut st,
+            pos,
+            rank,
+            gen,
+            CollKind::AllReduce,
+            Some(op),
+            None,
+            Contribution::Borrowed(data),
+            logical_bytes,
+        )
+    }
+
+    /// The completed result of generation `gen`, if any. `Ok(None)` means
+    /// the collective is still in flight; an aborted communicator with an
+    /// incomplete slot reports [`SimError::CollectiveAborted`].
+    pub fn try_result(&self, gen: u64) -> SimResult<Option<Arc<Vec<f32>>>> {
+        {
+            let st = self.state.lock();
+            if let Some(slot) = st.slots.get(&gen) {
+                if slot.complete {
+                    return slot
+                        .result
+                        .clone()
+                        .map(Some)
+                        .ok_or_else(|| SimError::Protocol("completed slot without result".into()));
+                }
+            }
+        }
+        if self.is_aborted() {
+            return Err(SimError::CollectiveAborted);
+        }
+        Ok(None)
     }
 
     /// All-reduce at sequence number `gen`: every rank contributes an
@@ -568,7 +1018,8 @@ impl Communicator {
     }
 
     /// Reduce-scatter: reduce all contributions, then return this rank's
-    /// equal shard. Contribution length must divide evenly by group size.
+    /// equal shard (by member position). Contribution length must divide
+    /// evenly by group size.
     pub fn reduce_scatter(
         &self,
         rank: RankId,
@@ -590,11 +1041,7 @@ impl Communicator {
         )?;
         let n = self.ranks.len();
         let shard = res.len() / n;
-        let pos = self
-            .ranks
-            .iter()
-            .position(|r| *r == rank)
-            .expect("membership checked");
+        let pos = self.member_pos(rank).expect("membership checked");
         Ok(res[pos * shard..(pos + 1) * shard].to_vec())
     }
 
@@ -644,6 +1091,8 @@ impl Communicator {
 
     /// Rendezvous: the communicator-initialization barrier, costed as the
     /// NCCL bootstrap (the dominant step in Table 7's recovery breakdown).
+    /// A parent rendezvous also bootstraps its live child groups — see
+    /// `CommWorld::split_comm`.
     pub fn rendezvous(
         &self,
         rank: RankId,
@@ -655,20 +1104,32 @@ impl Communicator {
     }
 }
 
-fn reduce(slot: &Slot, n: usize) -> SimResult<Vec<f32>> {
-    match slot.kind {
+/// Completes a parked slot: the member-order monolithic reference
+/// reduction (the `Slot` engine, and gather/broadcast/barrier under every
+/// engine). `root_pos` is the broadcast root's member position.
+fn finalize_parked(
+    kind: CollKind,
+    op: Option<ReduceOp>,
+    root_pos: Option<usize>,
+    contribs: &mut [Option<Option<Vec<f32>>>],
+    n: usize,
+) -> SimResult<Vec<f32>> {
+    match kind {
         CollKind::AllReduce | CollKind::ReduceScatter => {
-            let op = slot.op.expect("reduce op present");
-            let mut iter = slot.contributions.values();
-            let first = iter
-                .next()
-                .and_then(|d| d.clone())
+            let op = op.expect("reduce op present");
+            // The member-order first buffer is taken by value and becomes
+            // the accumulator; nothing reads parked contributions after
+            // completion (replay serves the cached result).
+            let mut acc = contribs
+                .first_mut()
+                .and_then(|c| c.take())
+                .flatten()
                 .ok_or_else(|| SimError::Protocol("reduce without contribution".into()))?;
-            let len = first.len();
-            let mut acc = first;
-            for d in iter {
-                let d = d
+            let len = acc.len();
+            for c in &contribs[1..] {
+                let d = c
                     .as_ref()
+                    .and_then(|d| d.as_ref())
                     .ok_or_else(|| SimError::Protocol("missing contribution".into()))?;
                 if d.len() != len {
                     return Err(SimError::Protocol(format!(
@@ -685,12 +1146,9 @@ fn reduce(slot: &Slot, n: usize) -> SimResult<Vec<f32>> {
                 }
             }
             if op == ReduceOp::Avg {
-                let inv = 1.0 / n as f32;
-                for a in &mut acc {
-                    *a *= inv;
-                }
+                ring::scale_in_place(&mut acc, n);
             }
-            if slot.kind == CollKind::ReduceScatter && len % n != 0 {
+            if kind == CollKind::ReduceScatter && len % n != 0 {
                 return Err(SimError::Protocol(format!(
                     "reduce-scatter length {len} not divisible by {n}"
                 )));
@@ -698,79 +1156,22 @@ fn reduce(slot: &Slot, n: usize) -> SimResult<Vec<f32>> {
             Ok(acc)
         }
         CollKind::AllGather => {
-            let mut out = Vec::new();
-            for d in slot.contributions.values() {
-                let d = d
-                    .as_ref()
-                    .ok_or_else(|| SimError::Protocol("missing contribution".into()))?;
-                out.extend_from_slice(d);
+            let mut refs: Vec<&[f32]> = Vec::with_capacity(n);
+            for c in contribs.iter() {
+                refs.push(
+                    c.as_ref()
+                        .and_then(|d| d.as_deref())
+                        .ok_or_else(|| SimError::Protocol("missing contribution".into()))?,
+                );
             }
-            Ok(out)
+            Ok(ring::gather_chunked(&refs))
         }
-        CollKind::Broadcast => {
-            let root = slot.root.expect("broadcast root");
-            slot.contributions
-                .get(&root)
-                .and_then(|d| d.clone())
-                .ok_or_else(|| SimError::Protocol("broadcast root contributed no data".into()))
-        }
+        CollKind::Broadcast => root_pos
+            .and_then(|p| contribs.get_mut(p))
+            .and_then(|c| c.take())
+            .flatten()
+            .ok_or_else(|| SimError::Protocol("broadcast root contributed no data".into())),
         CollKind::Barrier | CollKind::Rendezvous => Ok(Vec::new()),
-    }
-}
-
-/// Ring-engine data plane: chunked parallel reduction / linear gather over
-/// zero-copy subslices of the parked contributions. Bit-identical to
-/// [`reduce`] (see [`crate::ring`]).
-fn ring_reduce(slot: &mut Slot, n: usize, cfg: &ring::RingConfig) -> SimResult<Vec<f32>> {
-    match slot.kind {
-        CollKind::AllReduce | CollKind::ReduceScatter => {
-            let op = slot.op.expect("reduce op present");
-            // The communicator owns every parked contribution and nothing
-            // reads them after completion (replay serves the cached
-            // result), so the rank-order first buffer is taken by value
-            // and becomes the accumulator — the ring hot path allocates
-            // and copies nothing.
-            let first_rank = *slot
-                .contributions
-                .keys()
-                .next()
-                .ok_or_else(|| SimError::Protocol("reduce without contribution".into()))?;
-            let seed = slot
-                .contributions
-                .get_mut(&first_rank)
-                .expect("first key present")
-                .take()
-                .ok_or_else(|| SimError::Protocol("missing contribution".into()))?;
-            let mut peers: Vec<&[f32]> = Vec::with_capacity(n.saturating_sub(1));
-            for (r, d) in slot.contributions.iter() {
-                if *r == first_rank {
-                    continue;
-                }
-                peers.push(
-                    d.as_deref()
-                        .ok_or_else(|| SimError::Protocol("missing contribution".into()))?,
-                );
-            }
-            let len = seed.len();
-            if slot.kind == CollKind::ReduceScatter && len % n != 0 {
-                return Err(SimError::Protocol(format!(
-                    "reduce-scatter length {len} not divisible by {n}"
-                )));
-            }
-            ring::reduce_seeded(seed, &peers, op, cfg)
-        }
-        CollKind::AllGather => {
-            let mut contribs: Vec<&[f32]> = Vec::with_capacity(n);
-            for d in slot.contributions.values() {
-                contribs.push(
-                    d.as_deref()
-                        .ok_or_else(|| SimError::Protocol("missing contribution".into()))?,
-                );
-            }
-            Ok(ring::gather_chunked(&contribs))
-        }
-        // Broadcast and the data-free kinds have no reduction to chunk.
-        CollKind::Broadcast | CollKind::Barrier | CollKind::Rendezvous => reduce(slot, n),
     }
 }
 
@@ -927,22 +1328,20 @@ mod tests {
         assert!(matches!(err, SimError::CollectiveTimeout { rank } if rank == RankId(0)));
     }
 
-    /// Both data-plane engines, including a ring config that forces
+    /// All three data-plane engines, with ring configs that force
     /// multi-chunk schedules on tiny payloads.
-    fn engines() -> [CollEngine; 2] {
+    fn engines() -> [CollEngine; 3] {
         [
             CollEngine::Slot,
-            CollEngine::Ring(ring::RingConfig {
-                chunk_bytes: 8,
-                workers: 2,
-            }),
+            CollEngine::Ring(ring::RingConfig::uniform(8, 2)),
+            CollEngine::Hier(ring::RingConfig::uniform(8, 2)),
         ]
     }
 
     #[test]
     fn hang_and_abort_observables_are_engine_invariant() {
-        // The ring engine replaces only the data plane; a rank failing
-        // mid-ring-step must leave peers with exactly the slot
+        // The ring/hier engines replace only the data plane; a rank
+        // failing mid-step must leave peers with exactly the slot
         // protocol's §3.1 observables — parked at the barrier, then
         // released by abort with CollectiveAborted.
         for engine in engines() {
@@ -1145,5 +1544,143 @@ mod tests {
             .for_each(|r| r.unwrap());
         // comm_init for V100 is 1.0 s.
         assert!((clock.now(0).as_secs() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offered_reduce_completes_without_blocking() {
+        // One driver thread contributes for every rank via the offer API:
+        // out-of-order offers park, in-order offers fold, and the result
+        // is bit-identical to the blocking path's member-order fold.
+        for engine in engines() {
+            let comm = make_comm(4).set_engine(engine);
+            let rows: Vec<Vec<f32>> = (0..4)
+                .map(|r| (0..33).map(|i| (r * 33 + i) as f32 * 0.13).collect())
+                .collect();
+            let mut expect = rows[0].clone();
+            for row in &rows[1..] {
+                for (a, b) in expect.iter_mut().zip(row) {
+                    *a += b;
+                }
+            }
+            for r in [2usize, 0, 3] {
+                assert!(
+                    !comm
+                        .offer_reduce(RankId(r as u32), 0, &rows[r], ReduceOp::Sum, 132)
+                        .unwrap(),
+                    "incomplete until the last member offers ({engine:?})"
+                );
+                assert!(comm.try_result(0).unwrap().is_none());
+            }
+            assert!(comm
+                .offer_reduce(RankId(1), 0, &rows[1], ReduceOp::Sum, 132)
+                .unwrap());
+            let got = comm.try_result(0).unwrap().expect("completed");
+            assert_eq!(
+                got.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                expect.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                "offer path must match the blocking fold ({engine:?})"
+            );
+            // Replayed offers are served from the completed slot.
+            assert!(comm
+                .offer_reduce(RankId(2), 0, &rows[2], ReduceOp::Sum, 132)
+                .unwrap());
+        }
+    }
+
+    #[test]
+    fn offered_reduce_respects_transient_fault() {
+        let comm = make_comm(2);
+        comm.inject_transient_fault(RankId(1));
+        assert!(!comm
+            .offer_reduce(RankId(0), 0, &[1.0], ReduceOp::Sum, 4)
+            .unwrap());
+        let err = comm
+            .offer_reduce(RankId(1), 0, &[1.0], ReduceOp::Sum, 4)
+            .unwrap_err();
+        assert_eq!(err, SimError::NetworkTransient);
+        // The slot can never complete; abort surfaces through try_result.
+        comm.abort();
+        assert_eq!(comm.try_result(0).unwrap_err(), SimError::CollectiveAborted);
+    }
+
+    #[test]
+    fn hier_engine_charges_two_level_cost() {
+        // 16 ranks over 2 nodes of 8: the hier schedule must advance the
+        // clocks by exactly hier_all_reduce(bytes, [8, 8]) — cheaper than
+        // the flat ring, whose 2·15 steps all pay the NIC.
+        let n = 16;
+        let cost = CostModel::v100();
+        let bytes = 4u64 << 20;
+        let clock = Arc::new(ClockBoard::new(n));
+        let comm = Communicator::new(
+            CommId(0),
+            (0..n).map(|i| RankId(i as u32)).collect(),
+            (0..n).collect(),
+            8,
+            clock.clone(),
+            cost.clone(),
+        )
+        .set_engine(CollEngine::Hier(ring::RingConfig::uniform(1024, 2)));
+        let c = comm.clone();
+        spawn_ranks(n, move |i| {
+            c.all_reduce(
+                RankId(i as u32),
+                0,
+                vec![1.0; 64],
+                ReduceOp::Sum,
+                bytes,
+                &NullObserver,
+            )
+        })
+        .into_iter()
+        .for_each(|r| {
+            r.unwrap();
+        });
+        let want = cost.hier_all_reduce(bytes, &[8, 8]).as_secs();
+        let flat = cost.ring_all_reduce(bytes, n, 2).as_secs();
+        let got = clock.now(0).as_secs();
+        assert!((got - want).abs() < 1e-12, "got {got}, want {want}");
+        assert!(want < flat, "hier ({want}) must beat flat ring ({flat})");
+    }
+
+    #[test]
+    fn set_topology_rederives_hier_schedule() {
+        // Scattered placement [0,1,0,1]: no intra-node neighbors, so the
+        // hier schedule degenerates to a 2-wide leader ring over 2-rank
+        // nodes — derived from the real assignment, not the contiguous
+        // heuristic (which would call ranks 0..3 one node).
+        let n = 4;
+        let cost = CostModel::v100();
+        let bytes = 1u64 << 20;
+        let clock = Arc::new(ClockBoard::new(n));
+        let comm = Communicator::new(
+            CommId(0),
+            (0..n).map(|i| RankId(i as u32)).collect(),
+            (0..n).collect(),
+            8,
+            clock.clone(),
+            cost.clone(),
+        )
+        .set_engine(CollEngine::Hier(ring::RingConfig::uniform(1024, 2)))
+        .set_topology(vec![0, 1, 0, 1]);
+        assert_eq!(comm.node_assignment(), &[0, 1, 0, 1]);
+        let c = comm.clone();
+        spawn_ranks(n, move |i| {
+            c.all_reduce(
+                RankId(i as u32),
+                0,
+                vec![1.0; 16],
+                ReduceOp::Sum,
+                bytes,
+                &NullObserver,
+            )
+        })
+        .into_iter()
+        .for_each(|r| {
+            r.unwrap();
+        });
+        let want = cost.hier_all_reduce(bytes, &[2, 2]).as_secs();
+        let got = clock.now(0).as_secs();
+        assert!((got - want).abs() < 1e-12, "got {got}, want {want}");
     }
 }

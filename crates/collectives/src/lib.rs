@@ -23,17 +23,23 @@
 //! * [`world`] — the process-wide registry ([`CommWorld`]) with communicator
 //!   lifecycle (create / abort / recreate-with-rendezvous) and fault
 //!   injection;
-//! * [`ring`] — the chunked ring data-plane engine (zero-copy chunk
-//!   slices, parallel per-chunk reduction, ring-hop link classes);
+//! * [`ring`] — the chunked ring and hierarchical data-plane engines
+//!   (zero-copy chunk slices, parallel per-chunk reduction, ring-hop link
+//!   classes, two-level intra/inter-node schedules);
+//! * [`group`] — NCCL-style `commSplit` process groups over a parent
+//!   communicator (color/key remapping, parent→child abort and fault
+//!   propagation);
 //! * [`observer`] — the interception hook ([`CollectiveObserver`]) from
 //!   which the user-level watch-list / watchdog of §3.1 is built.
 
 pub mod comm;
+pub mod group;
 pub mod observer;
 pub mod ring;
 pub mod world;
 
 pub use comm::{CollKind, Communicator, ReduceOp};
+pub use group::SplitKey;
 pub use observer::{CollectiveObserver, CollectiveTicket, NullObserver};
 pub use ring::{CollEngine, RingConfig};
 pub use world::{CommId, CommWorld};

@@ -1,4 +1,4 @@
-//! Chunked ring collective engine.
+//! Chunked ring and hierarchical collective engines.
 //!
 //! The slot-based reference protocol in [`crate::comm`] reduces every
 //! collective in a single pass over full `Vec<f32>` copies: the last
@@ -11,44 +11,64 @@
 //! what gives collectives their barrier/hang/abort semantics — see the
 //! crate docs) but replaces the data plane:
 //!
-//! * the payload is split into fixed-size **chunks**, the unit that moves
-//!   through the 2·(n−1) per-rank ring steps of reduce-scatter +
-//!   all-gather; chunks are zero-copy subslices of the parked
-//!   contributions, never re-materialized;
-//! * chunks are reduced **in parallel** on the bounded
-//!   [`simcore::pool::fan_out`] scope pool, each chunk accumulated in
-//!   canonical rank order (rank order, not ring-hop order, so results
-//!   stay bit-identical to the reference — the determinism the paper's
-//!   exact-loss-match validation requires);
-//! * the result is delivered as a **shared** `Arc` (each rank's ring
-//!   segment lands in place exactly once), instead of a private
+//! * contributions are folded into a single accumulator **eagerly in rank
+//!   order** as they arrive (out-of-order arrivals park until their
+//!   rank-order turn), so memory stays one accumulator plus the
+//!   out-of-order window instead of all n parked vectors;
+//! * each fold is split into fixed-size **chunks** reduced in parallel on
+//!   the bounded [`simcore::pool::fan_out`] scope pool, each chunk
+//!   accumulated in canonical rank order (rank order, not ring-hop order,
+//!   so results stay bit-identical to the reference — the determinism the
+//!   paper's exact-loss-match validation requires);
+//! * the result is delivered as a **shared** `Arc` instead of a private
 //!   full-vector clone per rank.
 //!
-//! Chunking also cache-blocks the reduction: a chunk's accumulator stays
-//! resident across all n−1 peer passes instead of streaming the full
-//! payload through cache n−1 times, which is where most of the measured
-//! single-core win comes from (see `BENCH_coll.json`).
+//! The **hierarchical engine** ([`CollEngine::Hier`]) runs the same
+//! bit-identical data plane but charges the two-level schedule of
+//! [`simcore::cost::CostModel::hier_all_reduce`]: reduce-scatter on each
+//! intra-node ring (NVLink hops), a ring across one leader per node (NIC
+//! hops), then an intra-node all-gather. Hierarchy in this simulator is a
+//! *cost-schedule* property — which simulated links carry the traffic and
+//! how many per-hop latencies serialize — never an arithmetic one: every
+//! engine accumulates elementwise in strict global rank order, which is
+//! why `Hier`, `Ring`, and `Slot` are bit-identical by construction (see
+//! DESIGN.md §11).
 //!
 //! The simulated *time* of a ring collective is charged by
 //! [`simcore::cost::CostModel::ring_all_reduce`] /
 //! [`ring_all_gather`](simcore::cost::CostModel::ring_all_gather), which
 //! model the 2·(n−1) synchronous ring steps with per-hop link classes
 //! (NVLink vs NIC) instead of the flat per-byte charge — see
-//! [`ring_hop_classes`] for how hops are classified.
+//! [`hop_classes_from_nodes`] for how hops are classified.
 
 use crate::comm::ReduceOp;
+use simcore::cost::CostModel;
 use simcore::sync::Mutex;
 use simcore::{pool, RankId, SimError, SimResult};
 
-/// Default chunk granularity. 128 KiB keeps a chunk's accumulator and one
-/// peer slice comfortably inside L2 while amortizing per-chunk dispatch.
-pub const DEFAULT_CHUNK_BYTES: usize = 128 * 1024;
+/// Default chunk granularity for intra-node (NVLink) rings. 128 KiB keeps
+/// a chunk's accumulator and one peer slice comfortably inside L2 while
+/// amortizing per-chunk dispatch.
+pub const DEFAULT_NVLINK_CHUNK_BYTES: usize = 128 * 1024;
 
-/// Tuning knobs for the chunked ring engine.
+/// Default chunk granularity for rings with inter-node (NIC) hops. The
+/// slower link tolerates a coarser chunk; see [`RingConfig::from_cost`]
+/// for the bandwidth-delay-product rationale.
+pub const DEFAULT_NIC_CHUNK_BYTES: usize = 256 * 1024;
+
+/// Tuning knobs for the chunked ring / hierarchical engines.
+///
+/// Chunk size is configurable **per hop class**: a ring that rides NVLink
+/// only uses `nvlink_chunk_bytes`; a ring with NIC hops uses
+/// `nic_chunk_bytes` (the pipe that must stay full is the slow one). The
+/// hierarchical engine blocks its data plane at the NVLink granularity —
+/// the intra-node phases carry the `2·(m−1)/m` bulk of the volume.
 #[derive(Debug, Clone, Copy)]
 pub struct RingConfig {
-    /// Chunk granularity in bytes of f32 payload (clamped to ≥ 4).
-    pub chunk_bytes: usize,
+    /// Chunk granularity in bytes for all-NVLink rings (clamped to ≥ 4).
+    pub nvlink_chunk_bytes: usize,
+    /// Chunk granularity in bytes for rings with NIC hops (clamped to ≥ 4).
+    pub nic_chunk_bytes: usize,
     /// Upper bound on reduction workers; the effective pool is
     /// `min(workers, chunks)` and degrades to the calling thread.
     pub workers: usize,
@@ -57,7 +77,8 @@ pub struct RingConfig {
 impl Default for RingConfig {
     fn default() -> Self {
         RingConfig {
-            chunk_bytes: DEFAULT_CHUNK_BYTES,
+            nvlink_chunk_bytes: DEFAULT_NVLINK_CHUNK_BYTES,
+            nic_chunk_bytes: DEFAULT_NIC_CHUNK_BYTES,
             workers: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
@@ -65,9 +86,50 @@ impl Default for RingConfig {
     }
 }
 
+/// Rounds a byte count down to a power of two inside `[32 KiB, 512 KiB]`.
+fn chunk_from_bdp(bytes: f64) -> usize {
+    let clamped = (bytes as usize).clamp(32 * 1024, 512 * 1024);
+    1usize << (usize::BITS - 1 - clamped.leading_zeros())
+}
+
 impl RingConfig {
-    fn chunk_elems(&self) -> usize {
-        (self.chunk_bytes / std::mem::size_of::<f32>()).max(1)
+    /// Per-hop-class chunk defaults derived from the cost model: the
+    /// bandwidth-delay product of each link class (the segment size below
+    /// which a ring step is latency- rather than bandwidth-bound), rounded
+    /// to a power of two and clamped to a cache-friendly range. For the
+    /// V100 model this yields 512 KiB NVLink / 256 KiB NIC chunks; the
+    /// wall-clock sensitivity is measured by the `chunk_sweep` section of
+    /// `BENCH_coll.json`.
+    pub fn from_cost(cost: &CostModel) -> Self {
+        RingConfig {
+            nvlink_chunk_bytes: chunk_from_bdp(cost.nvlink_bw * cost.nvlink_latency.as_secs()),
+            nic_chunk_bytes: chunk_from_bdp(cost.nic_bw * cost.coll_latency.as_secs()),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+
+    /// Uniform chunking across both hop classes (tests and sweeps).
+    pub fn uniform(chunk_bytes: usize, workers: usize) -> Self {
+        RingConfig {
+            nvlink_chunk_bytes: chunk_bytes,
+            nic_chunk_bytes: chunk_bytes,
+            workers,
+        }
+    }
+
+    /// The chunk size for a ring whose slowest hop class is `inter_node`.
+    pub fn chunk_bytes_for(&self, inter_node: bool) -> usize {
+        if inter_node {
+            self.nic_chunk_bytes
+        } else {
+            self.nvlink_chunk_bytes
+        }
+    }
+
+    pub(crate) fn chunk_elems(&self, inter_node: bool) -> usize {
+        (self.chunk_bytes_for(inter_node) / std::mem::size_of::<f32>()).max(1)
     }
 }
 
@@ -80,6 +142,12 @@ pub enum CollEngine {
     /// Chunked ring reduce-scatter + all-gather with shared delivery and
     /// ring-hop topology-aware cost.
     Ring(RingConfig),
+    /// Two-level hierarchical schedule: intra-node reduce-scatter, leader
+    /// ring across nodes, intra-node all-gather. Same bit-identical data
+    /// plane as `Ring`; the cost model charges
+    /// [`simcore::cost::CostModel::hier_all_reduce`] instead of the flat
+    /// 2·(n−1)-hop ring.
+    Hier(RingConfig),
 }
 
 impl Default for CollEngine {
@@ -88,41 +156,49 @@ impl Default for CollEngine {
     }
 }
 
-/// Classifies each hop of the rank-order ring `ranks[i] → ranks[i+1 mod n]`
-/// as intra-node (`true`) or inter-node (`false`) under the contiguous
-/// placement convention (`ranks_per_node` consecutive global rank ids per
-/// node). [`cluster` topology]: schedulers that know the real GPU
-/// placement override this via `Communicator::set_ring_topology`.
-pub fn ring_hop_classes(ranks: &[RankId], ranks_per_node: usize) -> Vec<bool> {
-    let n = ranks.len();
+/// Contiguous-placement fallback node assignment: member `i` of `ranks`
+/// lives on node `ranks[i].index() / ranks_per_node`. Schedulers that know
+/// the real GPU placement override this via `Communicator::set_topology`
+/// with `cluster::Cluster::node_assignment`.
+pub fn contiguous_node_assignment(ranks: &[RankId], ranks_per_node: usize) -> Vec<usize> {
+    let rpn = ranks_per_node.max(1);
+    ranks.iter().map(|r| r.index() / rpn).collect()
+}
+
+/// Classifies each hop of the member-order ring `i → (i+1) mod n` as
+/// intra-node (`true`) or inter-node (`false`) from a node assignment
+/// (`node_of[i]` = node of member `i`). A singleton or empty group has no
+/// hops.
+pub fn hop_classes_from_nodes(node_of: &[usize]) -> Vec<bool> {
+    let n = node_of.len();
     if n <= 1 {
         return Vec::new();
     }
-    let rpn = ranks_per_node.max(1);
-    (0..n)
-        .map(|i| {
-            let a = ranks[i].index() / rpn;
-            let b = ranks[(i + 1) % n].index() / rpn;
-            a == b
-        })
-        .collect()
+    (0..n).map(|i| node_of[i] == node_of[(i + 1) % n]).collect()
 }
 
-fn check_equal_lengths(contribs: &[&[f32]]) -> SimResult<usize> {
-    let len = contribs
-        .first()
-        .map(|c| c.len())
-        .ok_or_else(|| SimError::Protocol("reduce without contribution".into()))?;
-    for c in contribs {
-        if c.len() != len {
-            return Err(SimError::Protocol(format!(
-                "ragged collective: {} vs {}",
-                c.len(),
-                len
-            )));
+/// Classifies ring hops under the contiguous placement convention
+/// (`ranks_per_node` consecutive global rank ids per node) — the fallback
+/// when no real placement is known.
+pub fn ring_hop_classes(ranks: &[RankId], ranks_per_node: usize) -> Vec<bool> {
+    hop_classes_from_nodes(&contiguous_node_assignment(ranks, ranks_per_node))
+}
+
+/// Ranks per node under a node assignment, in first-appearance order —
+/// the `node_sizes` input of the hierarchical cost model.
+pub fn node_group_sizes(node_of: &[usize]) -> Vec<usize> {
+    let mut nodes: Vec<usize> = Vec::new();
+    let mut sizes: Vec<usize> = Vec::new();
+    for &node in node_of {
+        match nodes.iter().position(|n| *n == node) {
+            Some(i) => sizes[i] += 1,
+            None => {
+                nodes.push(node);
+                sizes.push(1);
+            }
         }
     }
-    Ok(len)
+    sizes
 }
 
 #[inline(always)]
@@ -133,7 +209,7 @@ fn fold(op: ReduceOp, a: f32, b: f32) -> f32 {
     }
 }
 
-fn accumulate_chunk(dst: &mut [f32], peers: &[&[f32]], lo: usize, n: usize, op: ReduceOp) {
+fn accumulate_chunk(dst: &mut [f32], peers: &[&[f32]], lo: usize, op: ReduceOp) {
     let hi = lo + dst.len();
     // Fold four peers per pass: per-element accumulation order is still
     // strict rank order (bit-identity with the monolithic reference), but
@@ -153,38 +229,31 @@ fn accumulate_chunk(dst: &mut [f32], peers: &[&[f32]], lo: usize, n: usize, op: 
             *a = fold(op, *a, *b);
         }
     }
-    if op == ReduceOp::Avg {
-        let inv = 1.0 / n as f32;
-        for a in dst.iter_mut() {
-            *a *= inv;
-        }
+}
+
+/// Scales every element once — the `Avg` finalization. Applied exactly
+/// once per collective, after all n contributions are folded, so the
+/// eager streaming path and the monolithic reference stay bit-identical
+/// (elementwise `× 1/n` commutes with chunking, not with re-folding).
+pub fn scale_in_place(dst: &mut [f32], n: usize) {
+    let inv = 1.0 / n as f32;
+    for a in dst.iter_mut() {
+        *a *= inv;
     }
 }
 
-/// Chunked parallel reduction of `contribs` (in rank order). Bit-identical
-/// to the slot reference: each element is accumulated rank 0 → rank n−1
-/// and (for `Avg`) scaled once at the end, exactly as the monolithic loop
-/// does — chunking only regroups independent elements.
-pub fn reduce_chunked(contribs: &[&[f32]], op: ReduceOp, cfg: &RingConfig) -> SimResult<Vec<f32>> {
-    check_equal_lengths(contribs)?;
-    reduce_seeded(contribs[0].to_vec(), &contribs[1..], op, cfg)
-}
-
-/// Chunked parallel reduction that takes ownership of the rank-order
-/// first contribution and accumulates the `peers` (ranks 1..n) into it in
-/// place. This is the zero-allocation hot path: the communicator already
-/// owns every parked contribution, so the first buffer *becomes* the
-/// result — no `vec![0.0; len]` zero-fill, no seed memcpy, no result
-/// allocation. Bit-identical to [`reduce_chunked`] (same element-wise
-/// accumulation order); `Avg` scales once at the end over `peers.len()+1`
-/// contributions.
-pub fn reduce_seeded(
-    mut seed: Vec<f32>,
+/// Chunk-parallel elementwise fold of `peers` (in rank order) into `acc`,
+/// blocked at `chunk_elems` granularity across the bounded scope pool.
+/// Does NOT apply `Avg` scaling — callers finalize with
+/// [`scale_in_place`] once all contributions are in.
+pub fn accumulate_into(
+    acc: &mut [f32],
     peers: &[&[f32]],
     op: ReduceOp,
-    cfg: &RingConfig,
-) -> SimResult<Vec<f32>> {
-    let len = seed.len();
+    chunk_elems: usize,
+    workers: usize,
+) -> SimResult<()> {
+    let len = acc.len();
     for c in peers {
         if c.len() != len {
             return Err(SimError::Protocol(format!(
@@ -194,27 +263,57 @@ pub fn reduce_seeded(
             )));
         }
     }
-    if len == 0 {
-        return Ok(seed);
+    if len == 0 || peers.is_empty() {
+        return Ok(());
     }
-    let n = peers.len() + 1;
-    let chunk = cfg.chunk_elems();
+    let chunk = chunk_elems.max(1);
     let n_chunks = len.div_ceil(chunk);
-    let workers = cfg.workers.clamp(1, n_chunks);
+    let workers = workers.clamp(1, n_chunks);
     if workers == 1 {
-        for (c, dst) in seed.chunks_mut(chunk).enumerate() {
-            accumulate_chunk(dst, peers, c * chunk, n, op);
+        for (c, dst) in acc.chunks_mut(chunk).enumerate() {
+            accumulate_chunk(dst, peers, c * chunk, op);
         }
     } else {
         // Disjoint per-chunk output slices behind uncontended mutexes:
         // each index is handed out exactly once, so locks never block.
-        let parts: Vec<Mutex<&mut [f32]>> = seed.chunks_mut(chunk).map(Mutex::new).collect();
+        let parts: Vec<Mutex<&mut [f32]>> = acc.chunks_mut(chunk).map(Mutex::new).collect();
         pool::fan_out(n_chunks, workers, "ring-reduce", |c| {
             let mut dst = parts[c].lock();
-            accumulate_chunk(&mut dst, peers, c * chunk, n, op);
+            accumulate_chunk(&mut dst, peers, c * chunk, op);
         });
     }
+    Ok(())
+}
+
+/// Chunked parallel reduction that takes ownership of the rank-order
+/// first contribution and accumulates the `peers` (ranks 1..n) into it in
+/// place, then finalizes (`Avg` scales once over `peers.len() + 1`
+/// contributions). This is the zero-allocation completion path: the first
+/// buffer *becomes* the result — no `vec![0.0; len]` zero-fill, no seed
+/// memcpy, no result allocation. Bit-identical to the monolithic slot
+/// reference (same element-wise accumulation order).
+pub fn reduce_seeded(
+    mut seed: Vec<f32>,
+    peers: &[&[f32]],
+    op: ReduceOp,
+    cfg: &RingConfig,
+) -> SimResult<Vec<f32>> {
+    accumulate_into(&mut seed, peers, op, cfg.chunk_elems(false), cfg.workers)?;
+    if op == ReduceOp::Avg {
+        scale_in_place(&mut seed, peers.len() + 1);
+    }
     Ok(seed)
+}
+
+/// Chunked parallel reduction of `contribs` (in rank order). Bit-identical
+/// to the slot reference: each element is accumulated rank 0 → rank n−1
+/// and (for `Avg`) scaled once at the end, exactly as the monolithic loop
+/// does — chunking only regroups independent elements.
+pub fn reduce_chunked(contribs: &[&[f32]], op: ReduceOp, cfg: &RingConfig) -> SimResult<Vec<f32>> {
+    let first = contribs
+        .first()
+        .ok_or_else(|| SimError::Protocol("reduce without contribution".into()))?;
+    reduce_seeded(first.to_vec(), &contribs[1..], op, cfg)
 }
 
 /// All-gather data plane: rank-order concatenation assembled in a single
@@ -270,10 +369,7 @@ mod tests {
             for len in [1usize, 7, 1023, 4096, 4097] {
                 let data = vecs(5, len);
                 let refs: Vec<&[f32]> = data.iter().map(|v| v.as_slice()).collect();
-                let cfg = RingConfig {
-                    chunk_bytes: 1024,
-                    workers: 4,
-                };
+                let cfg = RingConfig::uniform(1024, 4);
                 let got = reduce_chunked(&refs, op, &cfg).unwrap();
                 let want = slot_reference(&refs, op);
                 assert_eq!(
@@ -282,6 +378,31 @@ mod tests {
                     "op {op:?} len {len}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn incremental_folds_match_batch_reduction_bitwise() {
+        // The streaming slot folds arrivals one (or a few) at a time;
+        // the per-element accumulation order is identical to one batch
+        // reduction, so the results must match to the bit.
+        for op in [ReduceOp::Sum, ReduceOp::Avg, ReduceOp::Max] {
+            let data = vecs(6, 1021);
+            let refs: Vec<&[f32]> = data.iter().map(|v| v.as_slice()).collect();
+            let want = slot_reference(&refs, op);
+            let mut acc = data[0].clone();
+            // Uneven fold runs: 1, then 3, then 1 peers.
+            accumulate_into(&mut acc, &refs[1..2], op, 256, 2).unwrap();
+            accumulate_into(&mut acc, &refs[2..5], op, 256, 2).unwrap();
+            accumulate_into(&mut acc, &refs[5..6], op, 256, 2).unwrap();
+            if op == ReduceOp::Avg {
+                scale_in_place(&mut acc, 6);
+            }
+            assert_eq!(
+                acc.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                want.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                "op {op:?}"
+            );
         }
     }
 
@@ -307,5 +428,35 @@ mod tests {
         let dp = vec![RankId(0), RankId(8)];
         assert!(ring_hop_classes(&dp, 8).iter().all(|h| !*h));
         assert!(ring_hop_classes(&ranks[..1], 8).is_empty());
+    }
+
+    #[test]
+    fn hop_classes_handle_non_contiguous_placement() {
+        // Ranks 0..4 scattered as nodes [0, 1, 0, 1]: every hop crosses —
+        // exactly the placement the contiguous heuristic gets wrong.
+        let node_of = vec![0usize, 1, 0, 1];
+        assert!(hop_classes_from_nodes(&node_of).iter().all(|h| !*h));
+        // Grouped non-contiguously: [0, 0, 1, 1, 0] has hops at 1→2,
+        // 3→4 and the 4→0 wrap intra.
+        let hops = hop_classes_from_nodes(&[0, 0, 1, 1, 0]);
+        assert_eq!(hops, vec![true, false, true, false, true]);
+        assert!(hop_classes_from_nodes(&[7]).is_empty());
+    }
+
+    #[test]
+    fn node_group_sizes_count_members_per_node() {
+        assert_eq!(node_group_sizes(&[0, 0, 1, 1, 0, 2]), vec![3, 2, 1]);
+        assert_eq!(node_group_sizes(&[5, 5, 5]), vec![3]);
+        assert!(node_group_sizes(&[]).is_empty());
+    }
+
+    #[test]
+    fn chunk_defaults_follow_the_cost_model_bdp() {
+        let cfg = RingConfig::from_cost(&CostModel::v100());
+        // V100: NVLink BDP = 130 GB/s × 8 µs ≈ 1.04 MB → clamped 512 KiB;
+        // NIC BDP = 12.5 GB/s × 40 µs = 500 KB → 256 KiB.
+        assert_eq!(cfg.nvlink_chunk_bytes, 512 * 1024);
+        assert_eq!(cfg.nic_chunk_bytes, 256 * 1024);
+        assert!(cfg.chunk_bytes_for(false) > cfg.chunk_bytes_for(true));
     }
 }

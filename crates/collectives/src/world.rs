@@ -112,6 +112,12 @@ impl CommWorld {
         comm
     }
 
+    /// Allocates a fresh communicator id (used by `split_comm`, which
+    /// builds its children directly).
+    pub(crate) fn alloc_comm_id(&self) -> CommId {
+        CommId(self.next_comm.fetch_add(1, Ordering::Relaxed))
+    }
+
     /// Looks up a live communicator.
     pub fn comm(&self, id: CommId) -> SimResult<Arc<Communicator>> {
         self.comms

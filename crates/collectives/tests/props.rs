@@ -28,13 +28,28 @@ fn run_ranks<T: Send + 'static>(
 /// world under the given data-plane engine, returning each rank's
 /// outputs in operation order.
 fn run_suite(rows: Arc<Vec<Vec<f32>>>, op: ReduceOp, engine: CollEngine) -> Vec<Vec<Vec<f32>>> {
+    run_suite_topo(rows, op, engine, None)
+}
+
+/// `run_suite` with an explicit node assignment (`node_of[i]` = node of
+/// rank `i`), exercising engines under arbitrary — including scattered —
+/// placements.
+fn run_suite_topo(
+    rows: Arc<Vec<Vec<f32>>>,
+    op: ReduceOp,
+    engine: CollEngine,
+    node_of: Option<Vec<usize>>,
+) -> Vec<Vec<Vec<f32>>> {
     let n = rows.len();
     let rs_len = (rows[0].len() / n) * n;
     let clock = Arc::new(ClockBoard::new(n));
     let world = CommWorld::new(clock, CostModel::v100(), 8);
-    let comm = world
+    let mut comm = world
         .create_comm((0..n).map(|i| RankId(i as u32)).collect(), (0..n).collect())
         .set_engine(engine);
+    if let Some(node_of) = node_of {
+        comm = comm.set_topology(node_of);
+    }
     run_ranks(n, move |i| {
         let rank = RankId(i as u32);
         let root = RankId((n - 1) as u32);
@@ -94,12 +109,55 @@ proptest! {
         let ring = run_suite(
             rows,
             op,
-            CollEngine::Ring(RingConfig { chunk_bytes, workers }),
+            CollEngine::Ring(RingConfig::uniform(chunk_bytes, workers)),
         );
         prop_assert_eq!(
             to_bits(&slot),
             to_bits(&ring),
             "chunked ring output must be bit-identical to the slot reference"
+        );
+    }
+
+    #[test]
+    fn hier_engine_is_bit_identical_under_random_placement(
+        // Worlds 2..=6 cover non-power-of-two sizes; node ids drawn from
+        // a tiny pool give single-node-degenerate, scattered, and uneven
+        // groupings (the hierarchy is a cost schedule, never arithmetic,
+        // so every placement must reduce identically).
+        (rows, node_of) in (2usize..7).prop_flat_map(|n| (
+            (1usize..97).prop_flat_map(move |len| proptest::collection::vec(
+                proptest::collection::vec(-100.0f32..100.0, len),
+                n,
+            )),
+            proptest::collection::vec(0usize..3, n),
+        )),
+        chunk_bytes in 1usize..600,
+        op in prop::sample::select(vec![ReduceOp::Sum, ReduceOp::Avg, ReduceOp::Max]),
+        workers in 1usize..4,
+    ) {
+        let rows = Arc::new(rows);
+        let slot = run_suite(rows.clone(), op, CollEngine::Slot);
+        let hier = run_suite_topo(
+            rows.clone(),
+            op,
+            CollEngine::Hier(RingConfig::uniform(chunk_bytes, workers)),
+            Some(node_of.clone()),
+        );
+        prop_assert_eq!(
+            to_bits(&slot),
+            to_bits(&hier),
+            "hier output must be bit-identical to the slot reference"
+        );
+        let ring = run_suite_topo(
+            rows,
+            op,
+            CollEngine::Ring(RingConfig::uniform(chunk_bytes.max(7), workers)),
+            Some(node_of),
+        );
+        prop_assert_eq!(
+            to_bits(&hier),
+            to_bits(&ring),
+            "hier and ring engines must agree bitwise under the same placement"
         );
     }
 

@@ -383,6 +383,8 @@ impl TransparentEngine {
                 dp.clone()
             } else if let Some(tp) = bundle.tp.as_ref().filter(|c| c.ranks() == old) {
                 tp.clone()
+            } else if let Some(pp) = bundle.pp.as_ref().filter(|c| c.ranks() == old) {
+                pp.clone()
             } else if old == world_ranks {
                 world_pool.pop().ok_or_else(|| {
                     SimError::Protocol("more world-group tokens than rebuilt comms".into())

@@ -545,11 +545,13 @@ where
         .collect()
 }
 
-/// Rewires every communicator's ring cost model with the real per-hop
-/// link classes of the job's current GPU assignment (the scheduler's
-/// cluster placement), replacing the contiguous-placement default — a
+/// Rewires every communicator's cost topology with the real node
+/// assignment of the job's current GPU placement (the scheduler's
+/// cluster view), replacing the contiguous-placement default — a
 /// data-parallel group whose replicas land on different nodes pays NIC
-/// ring hops even when its rank indices are adjacent. Each logical
+/// ring hops even when its rank indices are adjacent, and the
+/// hierarchical engine's per-node group sizes follow the actual
+/// placement rather than the `ranks_per_node` heuristic. Each logical
 /// communicator is rebuilt once (bundles share the rebuilt `Arc`) and
 /// re-registered so [`collectives::CommWorld::abort_all`] reaches the
 /// instance the ranks actually synchronize through.
@@ -571,8 +573,13 @@ fn apply_ring_topology(setup: &mut JobSetup, scheduler: &Scheduler, assignment: 
                     // keep the contiguous-placement default.
                     return c.clone();
                 }
-                let hops = scheduler.with_cluster(|cl| cl.ring_hop_classes(&gpus));
-                let fresh = c.set_ring_topology(hops);
+                let node_of = scheduler.with_cluster(|cl| cl.node_assignment(&gpus));
+                let Ok(node_of) = node_of else {
+                    // A GPU the cluster no longer tracks (harness misuse):
+                    // keep the contiguous-placement default.
+                    return c.clone();
+                };
+                let fresh = c.set_topology(node_of);
                 world.replace_comm(fresh.clone());
                 fresh
             })
@@ -586,6 +593,9 @@ fn apply_ring_topology(setup: &mut JobSetup, scheduler: &Scheduler, assignment: 
         }
         if let Some(tp) = bundle.tp.take() {
             bundle.tp = Some(remap(&tp));
+        }
+        if let Some(pp) = bundle.pp.take() {
+            bundle.pp = Some(remap(&pp));
         }
     }
 }

@@ -1,15 +1,20 @@
 //! Job setup: building the communicator structure for a parallel layout.
 //!
-//! The orchestrator (job launcher) creates one communicator per distinct
-//! process group — the world group, one data-parallel group per
-//! (stage, partition) cell, and one tensor-parallel group per
-//! (replica, stage) — and hands each rank its bundle. The number of
-//! groups a rank participates in is what recovery must tear down and
-//! rebuild (the dominant cost in Table 7).
+//! The orchestrator (job launcher) derives every process group from the
+//! world communicator with NCCL-style color/key splits
+//! (`CommWorld::split_comm`) — one data-parallel group per
+//! (stage, partition) cell, one tensor-parallel group per
+//! (replica, stage), one pipeline group per (replica, partition) column —
+//! and hands each rank its bundle. Splitting (rather than creating each
+//! group from scratch) keeps the groups attached to their parent: abort
+//! and fault injection propagate world→group, topology installed on the
+//! world flows into every slice, and one world rendezvous bootstraps all
+//! of them. The number of groups a rank participates in is what recovery
+//! must tear down and rebuild (the dominant cost in Table 7).
 
-use collectives::{CommWorld, Communicator};
+use collectives::{CommWorld, Communicator, SplitKey};
 use simcore::cost::CostModel;
-use simcore::layout::ParallelLayout;
+use simcore::layout::{GridCoord, ParallelLayout};
 use simcore::time::ClockBoard;
 use simcore::RankId;
 use std::sync::Arc;
@@ -28,6 +33,10 @@ pub struct JobComms {
     pub dp: Option<Arc<Communicator>>,
     /// Tensor-parallel (or FSDP shard) group, when `tp > 1`.
     pub tp: Option<Arc<Communicator>>,
+    /// Pipeline group — all stages of this rank's (replica, partition)
+    /// column, in stage order — when `pp > 1` (stage-wide barriers,
+    /// pipeline-flush coordination).
+    pub pp: Option<Arc<Communicator>>,
     /// Previous pipeline stage peer (same replica & partition).
     pub prev: Option<RankId>,
     /// Next pipeline stage peer.
@@ -90,52 +99,59 @@ impl JobSetup {
     }
 
     /// Total number of communicators a single rank participates in
-    /// (world + dp + tp) — the per-rank "recreate NCCL communicators"
-    /// multiplier.
+    /// (world + dp + tp + pp) — the per-rank "recreate NCCL
+    /// communicators" multiplier.
     pub fn comms_per_rank(&self, rank: RankId) -> usize {
         let c = &self.per_rank[rank.index()];
-        1 + c.dp.is_some() as usize + c.tp.is_some() as usize
+        1 + c.dp.is_some() as usize + c.tp.is_some() as usize + c.pp.is_some() as usize
     }
 }
 
 /// (Re)builds all communicators for `layout` on `world` and returns the
 /// per-rank bundles. Also used by the recovery engine when rebuilding the
 /// communication layer after `CommWorld::reset`.
+///
+/// Every group is an NCCL-style split of the world communicator: the
+/// color names the group (which cell/slice it is), the key is the rank's
+/// coordinate along the split axis, so member order inside each group is
+/// the grid's canonical order.
 pub fn build_comms(layout: &ParallelLayout, world: &Arc<CommWorld>) -> Vec<JobComms> {
     let n = layout.world_size();
     let all: Vec<RankId> = (0..n).map(RankId::from).collect();
     let idx: Vec<usize> = (0..n).collect();
     let global = world.create_comm(all, idx);
-    // One dp communicator per (stage, part) cell.
-    let mut dp_of: Vec<Option<Arc<Communicator>>> = vec![None; n];
-    if layout.dp > 1 {
-        for (stage, part) in layout.cells() {
-            let members: Vec<RankId> = (0..layout.dp)
-                .map(|dp| layout.rank_at(simcore::layout::GridCoord { dp, stage, part }))
-                .collect();
-            let idxs: Vec<usize> = members.iter().map(|r| r.index()).collect();
-            let comm = world.create_comm(members.clone(), idxs);
-            for r in members {
-                dp_of[r.index()] = Some(comm.clone());
-            }
-        }
-    }
-    // One tp communicator per (replica, stage).
-    let mut tp_of: Vec<Option<Arc<Communicator>>> = vec![None; n];
-    if layout.tp > 1 {
-        for dp in 0..layout.dp {
-            for stage in 0..layout.pp {
-                let members: Vec<RankId> = (0..layout.tp)
-                    .map(|part| layout.rank_at(simcore::layout::GridCoord { dp, stage, part }))
-                    .collect();
-                let idxs: Vec<usize> = members.iter().map(|r| r.index()).collect();
-                let comm = world.create_comm(members.clone(), idxs);
-                for r in members {
-                    tp_of[r.index()] = Some(comm.clone());
-                }
-            }
-        }
-    }
+    let coords: Vec<GridCoord> = (0..n).map(|r| layout.coord(RankId::from(r))).collect();
+    let split = |to_key: &dyn Fn(&GridCoord) -> (usize, usize)| {
+        let keys: Vec<SplitKey> = coords
+            .iter()
+            .map(|c| {
+                let (color, key) = to_key(c);
+                SplitKey::new(color as i64, key)
+            })
+            .collect();
+        world
+            .split_comm(&global, &keys)
+            .expect("one SplitKey per world member on a live parent")
+    };
+    // One dp group per (stage, part) cell, members ordered by replica.
+    let dp_of = if layout.dp > 1 {
+        split(&|c| (c.stage * layout.tp + c.part, c.dp))
+    } else {
+        vec![None; n]
+    };
+    // One tp group per (replica, stage), members ordered by partition.
+    let tp_of = if layout.tp > 1 {
+        split(&|c| (c.dp * layout.pp + c.stage, c.part))
+    } else {
+        vec![None; n]
+    };
+    // One pipeline group per (replica, part) column, members in stage
+    // order.
+    let pp_of = if layout.pp > 1 {
+        split(&|c| (c.dp * layout.tp + c.part, c.stage))
+    } else {
+        vec![None; n]
+    };
     (0..n)
         .map(|r| {
             let rank = RankId::from(r);
@@ -159,6 +175,7 @@ pub fn build_comms(layout: &ParallelLayout, world: &Arc<CommWorld>) -> Vec<JobCo
                 extras: Vec::new(),
                 dp: dp_of[r].clone(),
                 tp: tp_of[r].clone(),
+                pp: pp_of[r].clone(),
                 prev,
                 next,
             }
@@ -187,17 +204,46 @@ mod tests {
     fn three_d_builds_cells_and_chains() {
         let layout = ParallelLayout::three_d(2, 2, 2);
         let s = JobSetup::build(layout, CostModel::v100(), 8);
-        // world + 4 dp cells + 4 tp groups.
-        assert_eq!(s.world.live_comms(), 9);
+        // world + 4 dp cells + 4 tp groups + 4 pipeline columns.
+        assert_eq!(s.world.live_comms(), 13);
         // Rank 0: dp=0, stage=0, part=0.
         let c = &s.per_rank[0];
-        assert!(c.dp.is_some() && c.tp.is_some());
+        assert!(c.dp.is_some() && c.tp.is_some() && c.pp.is_some());
+        assert_eq!(s.comms_per_rank(RankId(0)), 4);
         assert!(c.prev.is_none());
         assert_eq!(c.next, Some(RankId(2))); // stage 1, part 0, dp 0
                                              // Rank 2 (stage 1) has prev and no next.
         let c2 = &s.per_rank[2];
         assert_eq!(c2.prev, Some(RankId(0)));
         assert!(c2.next.is_none());
+    }
+
+    #[test]
+    fn pp_groups_are_stage_ordered_columns() {
+        let layout = ParallelLayout::three_d(2, 2, 2);
+        let s = JobSetup::build(layout, CostModel::v100(), 8);
+        // Rank 0 (dp=0, part=0): its pipeline column is stages 0 and 1 —
+        // ranks 0 and 2 — in stage order.
+        let pp = s.per_rank[0].pp.as_ref().unwrap();
+        assert_eq!(pp.ranks(), &[RankId(0), RankId(2)]);
+        // Both stages of the column share the same group instance.
+        assert!(Arc::ptr_eq(pp, s.per_rank[2].pp.as_ref().unwrap()));
+        // Pure-dp layouts have no pipeline groups.
+        let flat = JobSetup::build(ParallelLayout::data_parallel(4), CostModel::v100(), 8);
+        assert!(flat.per_rank[0].pp.is_none());
+    }
+
+    #[test]
+    fn groups_are_children_of_the_world_comm() {
+        // Splits (not fresh comms): aborting the world communicator must
+        // take every derived group down with it.
+        let layout = ParallelLayout::three_d(2, 2, 2);
+        let s = JobSetup::build(layout, CostModel::v100(), 8);
+        let c = &s.per_rank[0];
+        c.global.abort();
+        assert!(c.dp.as_ref().unwrap().is_aborted());
+        assert!(c.tp.as_ref().unwrap().is_aborted());
+        assert!(c.pp.as_ref().unwrap().is_aborted());
     }
 
     #[test]

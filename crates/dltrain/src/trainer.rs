@@ -92,6 +92,8 @@ pub struct RankTokens {
     pub dp: Option<CommToken>,
     /// Tensor-parallel / FSDP shard group.
     pub tp: Option<CommToken>,
+    /// Pipeline column group (all stages of this replica/partition).
+    pub pp: Option<CommToken>,
 }
 
 /// Hook points reserved for policy layers (periodic checkpointing
@@ -154,12 +156,13 @@ impl<E: Executor> RankTrainer<E> {
         let global = exec.register_comm(comms.global.clone());
         let dp = comms.dp.as_ref().map(|c| exec.register_comm(c.clone()));
         let tp = comms.tp.as_ref().map(|c| exec.register_comm(c.clone()));
+        let pp = comms.pp.as_ref().map(|c| exec.register_comm(c.clone()));
         // Framework extras participate in recovery teardown/rendezvous
         // even though the training loop never issues collectives on them.
         for extra in &comms.extras {
             exec.register_comm(extra.clone());
         }
-        let tokens = RankTokens { global, dp, tp };
+        let tokens = RankTokens { global, dp, tp, pp };
         let compute = exec.call(DeviceCall::StreamCreate)?.stream()?;
         let comm_stream = exec.call(DeviceCall::StreamCreate)?.stream()?;
         // This stage's block range.

@@ -275,6 +275,57 @@ impl CostModel {
         SimTime::from_secs(steps * self.ring_step_secs(bytes as f64 / n, inter_hops > 0))
     }
 
+    /// Two-level hierarchical all-reduce of `bytes` over nodes holding
+    /// `node_sizes[i]` ranks each: reduce-scatter on each intra-node ring
+    /// (NVLink hops), a ring all-reduce across one leader per node (NIC
+    /// hops), then an intra-node all-gather.
+    ///
+    /// With `m = max(node_sizes)` and `k` nodes, the schedule is
+    /// `2·(m−1)` NVLink steps of `B/m` plus `2·(k−1)` NIC steps of `B/k`.
+    /// The NIC *bandwidth* term matches the flat ring's (the same bytes
+    /// cross the same links), but the NIC *latency* term collapses from
+    /// `2·(n−1)` hops to `2·(k−1)` — the whole point of the hierarchy at
+    /// multi-node scale, where the flat ring's per-hop α dominates.
+    /// Degenerates to the pure-NVLink flat ring on a single node.
+    pub fn hier_all_reduce(&self, bytes: u64, node_sizes: &[usize]) -> SimTime {
+        let n: usize = node_sizes.iter().sum();
+        if n <= 1 {
+            return self.coll_latency;
+        }
+        let k = node_sizes.iter().filter(|s| **s > 0).count();
+        let m = node_sizes.iter().copied().max().unwrap_or(1).max(1);
+        let mut secs = 0.0;
+        if m > 1 {
+            // Intra-node reduce-scatter + all-gather phases.
+            secs += 2.0 * (m as f64 - 1.0) * self.ring_step_secs(bytes as f64 / m as f64, false);
+        }
+        if k > 1 {
+            // Leader ring all-reduce across nodes.
+            secs += 2.0 * (k as f64 - 1.0) * self.ring_step_secs(bytes as f64 / k as f64, true);
+        }
+        SimTime::from_secs(secs)
+    }
+
+    /// Hierarchical all-gather / reduce-scatter / broadcast cost: half
+    /// the all-reduce schedule — `(m−1)` NVLink steps of `B/m` plus
+    /// `(k−1)` NIC steps of `B/k`.
+    pub fn hier_all_gather(&self, bytes: u64, node_sizes: &[usize]) -> SimTime {
+        let n: usize = node_sizes.iter().sum();
+        if n <= 1 {
+            return self.coll_latency;
+        }
+        let k = node_sizes.iter().filter(|s| **s > 0).count();
+        let m = node_sizes.iter().copied().max().unwrap_or(1).max(1);
+        let mut secs = 0.0;
+        if m > 1 {
+            secs += (m as f64 - 1.0) * self.ring_step_secs(bytes as f64 / m as f64, false);
+        }
+        if k > 1 {
+            secs += (k as f64 - 1.0) * self.ring_step_secs(bytes as f64 / k as f64, true);
+        }
+        SimTime::from_secs(secs)
+    }
+
     /// CPU-side cost to CRC-frame one recovery-stream shard of `bytes`
     /// (a host-memory pass over the payload).
     pub fn shard_encode(&self, bytes: u64) -> SimTime {
@@ -401,6 +452,58 @@ mod tests {
         // All-gather is n-1 steps, half the all-reduce schedule.
         let ag = cm.ring_all_gather(1 << 30, 8, 1).as_secs();
         let ar = cm.ring_all_reduce(1 << 30, 8, 1).as_secs();
+        assert!((ar / ag - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hier_cost_beats_flat_ring_at_multi_node_scale() {
+        let cm = CostModel::v100();
+        let payload = 4 << 20; // the gradient-bucket case
+        for nodes in [2usize, 8, 32, 128, 256] {
+            let node_sizes = vec![8usize; nodes];
+            let world = nodes * 8;
+            let flat = cm.ring_all_reduce(payload, world, 2).as_secs();
+            let hier = cm.hier_all_reduce(payload, &node_sizes).as_secs();
+            assert!(
+                hier < flat,
+                "hier must beat the flat ring at {world} ranks: {hier} vs {flat}"
+            );
+        }
+        // At world 2048 the flat ring's 2·(n−1) NIC α term dominates;
+        // the hierarchy collapses it to 2·(k−1).
+        let flat = cm.ring_all_reduce(payload, 2048, 2).as_secs();
+        let hier = cm.hier_all_reduce(payload, &vec![8usize; 256]).as_secs();
+        assert!(flat / hier > 5.0, "flat {flat} hier {hier}");
+    }
+
+    #[test]
+    fn hier_cost_degenerates_on_a_single_node() {
+        let cm = CostModel::v100();
+        // One node: the hier schedule *is* the pure-NVLink flat ring.
+        assert_eq!(
+            cm.hier_all_reduce(1 << 20, &[8]),
+            cm.ring_all_reduce(1 << 20, 8, 0)
+        );
+        assert_eq!(
+            cm.hier_all_gather(1 << 20, &[8]),
+            cm.ring_all_gather(1 << 20, 8, 0)
+        );
+        // One rank per node: pure inter-node leader ring.
+        assert_eq!(
+            cm.hier_all_reduce(1 << 20, &[1, 1, 1, 1]),
+            cm.ring_all_reduce(1 << 20, 4, 4)
+        );
+        // Single rank degenerates like the flat model.
+        assert_eq!(cm.hier_all_reduce(1 << 30, &[1]), cm.coll_latency);
+        assert_eq!(cm.hier_all_gather(1 << 30, &[1]), cm.coll_latency);
+    }
+
+    #[test]
+    fn hier_all_gather_is_half_the_all_reduce_schedule() {
+        let cm = CostModel::v100();
+        let sizes = vec![8usize; 4];
+        let ar = cm.hier_all_reduce(1 << 24, &sizes).as_secs();
+        let ag = cm.hier_all_gather(1 << 24, &sizes).as_secs();
         assert!((ar / ag - 2.0).abs() < 1e-9);
     }
 

@@ -10,7 +10,9 @@
 #                      flush-capacity sweep, and replay time with and
 #                      without log compaction.
 #   BENCH_coll.json  — slot-vs-ring all-reduce wall time across world
-#                      and payload sizes, bucketed-overlap minibatch
+#                      and payload sizes, hier-vs-flat simulated time on
+#                      the scale ladder to 2048 ranks, the ring
+#                      chunk-size sweep, bucketed-overlap minibatch
 #                      time, and pipelined recovery streaming vs the
 #                      store round-trip.
 #
@@ -31,8 +33,8 @@ cargo run --release --quiet -p bench --bin ckpt_bench -- "${PAYLOAD_MIB}" "${OUT
 echo "==> cargo run --release -p bench --bin proxy_bench -- 20000 12000 ${PROXY_OUT}"
 cargo run --release --quiet -p bench --bin proxy_bench -- 20000 12000 "${PROXY_OUT}"
 
-echo "==> cargo run --release -p bench --bin coll_bench -- 6 64 ${COLL_OUT}"
-cargo run --release --quiet -p bench --bin coll_bench -- 6 64 "${COLL_OUT}"
+echo "==> cargo run --release -p bench --bin coll_bench -- 6 64 ${COLL_OUT} 2048"
+cargo run --release --quiet -p bench --bin coll_bench -- 6 64 "${COLL_OUT}" 2048
 
 echo "==> criterion micro-benches (ckpt, proxy, coll)"
 cargo bench -p bench --bench ckpt --quiet
