@@ -6,8 +6,9 @@
 //! ckpt_bench [payload_mib] [out_path]
 //! ```
 //!
-//! Defaults: 64 MiB payload, 2 MiB shards, worker pools {1, 4, 8},
-//! report written to `BENCH_ckpt.json` in the working directory.
+//! Defaults: 64 MiB payload, 2 MiB shards, worker pools {1, 4, 8} plus
+//! the auto-sized default pool as its own row, report written to
+//! `BENCH_ckpt.json` in the working directory.
 
 use bench::ckpt::run_ckpt_bench;
 
@@ -22,10 +23,10 @@ fn main() {
     let shard_bytes = 2 << 20;
     eprintln!(
         "measuring checkpoint pipeline: {payload_mib} MiB payload, \
-         {} KiB shards, workers {{1, 4, 8}} ...",
+         {} KiB shards, workers {{1, 4, 8}} + auto ...",
         shard_bytes >> 10
     );
-    let report = match run_ckpt_bench(payload, shard_bytes, &[1, 4, 8], 3) {
+    let report = match run_ckpt_bench(payload, shard_bytes, &[1, 4, 8], 9) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("benchmark failed: {e}");

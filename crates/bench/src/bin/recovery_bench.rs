@@ -1,0 +1,83 @@
+//! Recovery-scheme benchmark: steady-state in-network tap overhead,
+//! recovery-policy head-to-head (periodic-optimal / user JIT /
+//! transparent JIT / in-network), and the end-to-end zero-store-read
+//! ledger recovery demo, emitted as `BENCH_recovery.json`.
+//!
+//! ```sh
+//! recovery_bench [out_path]
+//! ```
+
+use bench::recovery::{run_recovery_bench, RecoveryBenchConfig};
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_recovery.json".to_string());
+    let cfg = RecoveryBenchConfig::default();
+    eprintln!(
+        "measuring recovery schemes: tap worlds {:?} @ {} KiB, policies {:?}, \
+         demo dp={} x {} iters ...",
+        cfg.tap_worlds,
+        cfg.tap_payload >> 10,
+        cfg.policy_worlds,
+        cfg.demo_dp,
+        cfg.demo_iters
+    );
+    let report = match run_recovery_bench(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("benchmark failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "{:>6} {:>12} {:>12} {:>10} {:>12} {:>12} {:>12}",
+        "world", "sim_off_s", "sim_on_s", "overhead", "wall_off_ms", "wall_on_ms", "ledger_KiB"
+    );
+    for p in &report.tap {
+        println!(
+            "{:>6} {:>12.6} {:>12.6} {:>9.2}% {:>12.3} {:>12.3} {:>12}",
+            p.world,
+            p.sim_off_s,
+            p.sim_on_s,
+            p.sim_overhead_frac() * 100.0,
+            p.wall_off_ms,
+            p.wall_on_ms,
+            p.ledger_peak_bytes >> 10
+        );
+    }
+    for pt in &report.policies {
+        println!("wasted fraction @ {} GPUs:", pt.world);
+        for r in &pt.rows {
+            println!(
+                "  {:<18} predicted {:.4}%  simulated {:.4}% (sd {:.4})",
+                r.name,
+                r.predicted_wf * 100.0,
+                r.simulated_wf * 100.0,
+                r.sd
+            );
+        }
+    }
+    let d = &report.demo;
+    println!(
+        "demo: dp={} iters={} state={} B, store_reads={}, bit_identical={}, \
+         in_network {:.3}s vs streamed {:.3}s vs store {:.3}s",
+        d.world,
+        d.iters,
+        d.state_bytes,
+        d.store_reads,
+        d.bitwise_identical,
+        d.in_network_s,
+        d.streamed_s,
+        d.store_s
+    );
+    if !d.bitwise_identical || d.store_reads != 0 {
+        eprintln!("recovery demo violated its invariants");
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(&out_path, report.to_json()) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
+}

@@ -232,7 +232,7 @@ impl CkptReport {
         let best = self
             .configs
             .iter()
-            .filter(|c| c.name == "sharded")
+            .filter(|c| c.name.starts_with("sharded"))
             .map(|c| c.write_mbps)
             .fold(f64::NAN, f64::max);
         best / mono
@@ -325,6 +325,33 @@ pub fn run_ckpt_bench(
         });
     }
 
+    // The auto-sized pool (host parallelism × shard count aware) as its
+    // own labeled row, so the report shows what a defaulted
+    // `ShardConfig` actually achieves on this host.
+    {
+        let n_shards = payload_bytes.div_ceil(shard_bytes).max(1);
+        let workers = checkpoint::auto_shard_workers(n_shards);
+        let cfg = ShardConfig {
+            shard_bytes,
+            workers,
+            delta: false,
+        };
+        let store = SharedStore::new();
+        let w = time_per_iter(iters, || sharded_write(&store, &state, &cfg))?;
+        let r = time_per_iter(iters, || sharded_read(&store, state.iteration).map(|_| ()))?;
+        let layout = simcore::layout::ParallelLayout::data_parallel(1);
+        let a = time_per_iter(iters, || {
+            checkpoint::assemble(&store, JobId(0), &layout).map(|_| ())
+        })?;
+        configs.push(ConfigResult {
+            name: "sharded-auto",
+            workers,
+            write_mbps: mb / w,
+            read_mbps: mb / r,
+            assemble_mbps: mb / a,
+        });
+    }
+
     // Delta mode: base checkpoint, then an optimizer step touching a
     // small slice; measure the follow-up write and its hit-rate.
     let cfg = ShardConfig {
@@ -393,7 +420,9 @@ mod tests {
         // Small payload so the test is quick; the shipped BENCH_ckpt.json
         // is produced by `scripts/bench.sh` at 64 MiB.
         let report = run_ckpt_bench(2 << 20, 64 << 10, &[1, 4], 1)?;
-        assert_eq!(report.configs.len(), 3);
+        // monolithic + one row per swept width + the auto-sized row.
+        assert_eq!(report.configs.len(), 4);
+        assert_eq!(report.configs.last().unwrap().name, "sharded-auto");
         assert!(report.best_speedup() > 1.0, "{:.2}", report.best_speedup());
         assert!(
             report.delta.hit_rate() >= 0.9,

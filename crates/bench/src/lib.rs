@@ -14,6 +14,7 @@ pub mod ckpt;
 pub mod collbench;
 pub mod montecarlo;
 pub mod proxybench;
+pub mod recovery;
 
 use baselines::{blocking_overhead, PolicyKind};
 use cluster::{FailureInjector, SharedStore};

@@ -28,6 +28,13 @@ pub enum Policy {
     JitUser,
     /// Transparent JIT: per failure, half a minibatch only.
     JitTransparent,
+    /// In-network gradient replication: per failure, the ledger-slice
+    /// stream + optimizer replay tail (`reconstruct` seconds) + half a
+    /// minibatch — no checkpoint write and no store round-trip.
+    InNetwork {
+        /// Reconstruction tail per failure (seconds).
+        reconstruct: f64,
+    },
 }
 
 /// Outcome of one simulated run.
@@ -124,6 +131,9 @@ pub fn simulate(p: &JobParams, policy: Policy, horizon_useful: f64, seed: u64) -
             Policy::JitTransparent => {
                 wasted += p.minibatch / 2.0;
             }
+            Policy::InNetwork { reconstruct } => {
+                wasted += reconstruct + p.minibatch / 2.0;
+            }
         }
     }
     McOutcome {
@@ -175,6 +185,9 @@ pub fn predicted_fraction(p: &JobParams, policy: Policy) -> f64 {
         Policy::PeriodicOptimal => wasted_rate_periodic_optimal(p),
         Policy::JitUser => wasted_rate_jit_user(p, 0.0),
         Policy::JitTransparent => wasted_rate_jit_transparent(p, 0.0),
+        Policy::InNetwork { reconstruct } => {
+            jitckpt::analysis::wasted_rate_in_network(p, 0.0, reconstruct)
+        }
     };
     wasted_fraction(w)
 }
@@ -225,6 +238,38 @@ mod tests {
     }
 
     #[test]
+    fn simulation_matches_closed_form_in_network() {
+        // Satellite check: the in-network closed form (w = N·f·(t_rec +
+        // m/2), zero steady term in both sim and model here) agrees with
+        // the Monte-Carlo measurement within 20% relative tolerance plus
+        // 3σ sampling noise — the same bar the other §5 policies meet.
+        let p = params(1024);
+        let horizon = 90.0 * 86_400.0;
+        let policy = Policy::InNetwork { reconstruct: 1.8 };
+        let (mean, sd) = replicate(&p, policy, horizon, 8);
+        let predicted = predicted_fraction(&p, policy);
+        assert!(
+            (mean - predicted).abs() < predicted * 0.2 + 3.0 * sd,
+            "MC {mean} vs model {predicted} (sd {sd})"
+        );
+    }
+
+    #[test]
+    fn simulated_in_network_sits_between_transparent_and_jit_user() {
+        let p = params(4096);
+        let horizon = 60.0 * 86_400.0;
+        let (user, _) = replicate(&p, Policy::JitUser, horizon, 4);
+        let (transparent, _) = replicate(&p, Policy::JitTransparent, horizon, 4);
+        let (in_net, _) = replicate(&p, Policy::InNetwork { reconstruct: 1.8 }, horizon, 4);
+        assert!(in_net < user, "in-network {in_net} vs user {user}");
+        assert!(
+            in_net >= transparent,
+            "reconstruction tail cannot beat transparent's free recovery: \
+             {in_net} vs {transparent}"
+        );
+    }
+
+    #[test]
     fn simulated_jit_beats_simulated_periodic_at_scale() {
         let p = params(4096);
         let horizon = 60.0 * 86_400.0;
@@ -260,6 +305,7 @@ mod tests {
             Policy::PeriodicOptimal,
             Policy::JitUser,
             Policy::JitTransparent,
+            Policy::InNetwork { reconstruct: 1.8 },
         ] {
             // Sequential reference, same seeds and reduction order.
             let reps = 7u64;

@@ -43,6 +43,7 @@
 //! [`Communicator::offer_reduce`]). Both paths accumulate elementwise in
 //! strict member order, so they are bit-identical (DESIGN.md §11).
 
+use crate::ledger::GradLedger;
 use crate::observer::{CollectiveObserver, CollectiveTicket};
 use crate::ring::{self, CollEngine};
 use crate::world::CommId;
@@ -182,6 +183,14 @@ pub struct Communicator {
     /// held except inside `coll_cost` (state → children, one direction
     /// only; no path acquires state while holding children).
     children: Mutex<Vec<Weak<Communicator>>>,
+    /// Per-member in-network gradient ledgers (`(member position,
+    /// ledger)`), attached via [`Communicator::attach_ledger`]. Same
+    /// leaf-lock discipline as `children`: the tap snapshots this list,
+    /// drops the guard, and only then records into the ledgers.
+    ledgers: Mutex<Vec<(usize, Arc<GradLedger>)>>,
+    /// Fast-path guard for the tap: when no ledger is attached the
+    /// completion paths pay one relaxed load and nothing else.
+    has_ledgers: AtomicBool,
 }
 
 impl Communicator {
@@ -254,6 +263,8 @@ impl Communicator {
             hang_timeout,
             engine,
             children: Mutex::new(Vec::new()),
+            ledgers: Mutex::new(Vec::new()),
+            has_ledgers: AtomicBool::new(false),
         })
     }
 
@@ -308,14 +319,15 @@ impl Communicator {
 
     /// Communicators are shared immutably; configuration changes rebuild
     /// a fresh clone with empty slot state. The child-group list carries
-    /// over so parent→child abort/fault propagation survives a rebuild.
+    /// over so parent→child abort/fault propagation survives a rebuild,
+    /// and attached gradient ledgers carry over so the in-network tap
+    /// survives engine/topology/timeout changes.
     fn rebuild(
         &self,
         timeout: Option<Duration>,
         engine: CollEngine,
         node_of: Vec<usize>,
     ) -> Arc<Self> {
-        let kids: Vec<Weak<Communicator>> = self.children.lock().clone();
         let fresh = Self::with_parts(
             self.id,
             self.ranks.clone(),
@@ -327,7 +339,13 @@ impl Communicator {
             engine,
             timeout,
         );
+        // children strictly before ledgers (both leaf locks, never
+        // nested; the grouping keeps the static lock graph acyclic).
+        let kids: Vec<Weak<Communicator>> = self.children.lock().clone();
         *fresh.children.lock() = kids;
+        let taps: Vec<(usize, Arc<GradLedger>)> = self.ledgers.lock().clone();
+        fresh.has_ledgers.store(!taps.is_empty(), Ordering::Release);
+        *fresh.ledgers.lock() = taps;
         fresh
     }
 
@@ -361,6 +379,72 @@ impl Communicator {
     /// The data-plane engine in effect.
     pub fn engine(&self) -> CollEngine {
         self.engine
+    }
+
+    /// Attaches `rank`'s in-network gradient ledger: every data-carrying
+    /// generation that completes from now on is recorded into it (an
+    /// `Arc` bump plus shard-range metadata — no extra sends, no copy).
+    /// Re-attaching a member replaces its previous ledger. The
+    /// attachment survives [`Communicator::set_engine`] /
+    /// [`Communicator::set_topology`] / timeout rebuilds.
+    pub fn attach_ledger(&self, rank: RankId, ledger: Arc<GradLedger>) -> SimResult<()> {
+        let pos = self.member_pos(rank).ok_or_else(|| {
+            SimError::Protocol(format!(
+                "{rank} is not a member of communicator {}",
+                self.id
+            ))
+        })?;
+        let mut taps = self.ledgers.lock();
+        taps.retain(|(p, _)| *p != pos);
+        taps.push((pos, ledger));
+        drop(taps);
+        self.has_ledgers.store(true, Ordering::Release);
+        Ok(())
+    }
+
+    /// The ledger attached for `rank`, if any.
+    pub fn ledger_of(&self, rank: RankId) -> Option<Arc<GradLedger>> {
+        let pos = self.member_pos(rank)?;
+        self.ledgers
+            .lock()
+            .iter()
+            .find(|(p, _)| *p == pos)
+            .map(|(_, l)| l.clone())
+    }
+
+    /// The in-network tap: records a completed generation's result into
+    /// every attached ledger. Runs on the completion paths *after* the
+    /// state guard drops (both tap locks are leaves, never nested);
+    /// [`GradLedger::record`] is idempotent per generation, so every
+    /// member thread exiting the collective may call this safely.
+    fn tap_gen(&self, gen: u64) {
+        if !self.has_ledgers.load(Ordering::Acquire) {
+            return;
+        }
+        let (kind, result) = {
+            let st = self.state.lock();
+            let Some(slot) = st.slots.get(&gen) else {
+                return;
+            };
+            if !slot.complete {
+                return;
+            }
+            (slot.kind, slot.result.clone())
+        };
+        let Some(result) = result else { return };
+        if matches!(kind, CollKind::Barrier | CollKind::Rendezvous) {
+            return; // No data plane to tap.
+        }
+        // Ledgers strictly after state (state → children → ledgers is
+        // the global order; both tap locks are leaves).
+        let taps: Vec<(usize, Arc<GradLedger>)> = self.ledgers.lock().clone();
+        if taps.is_empty() {
+            return;
+        }
+        let n = self.ranks.len();
+        for (pos, ledger) in taps {
+            ledger.record(gen, kind, pos, n, result.clone());
+        }
     }
 
     /// True once the communicator has been aborted.
@@ -606,6 +690,11 @@ impl Communicator {
         );
         drop(st);
         obs.collective_finished(&ticket);
+        if result.is_ok() {
+            // In-network gradient tap (no-op unless ledgers are
+            // attached); runs with no lock held.
+            self.tap_gen(gen);
+        }
         result
     }
 
@@ -905,7 +994,7 @@ impl Communicator {
             return Err(SimError::CollectiveAborted);
         }
         let mut st = self.state.lock();
-        self.arrive(
+        let complete = self.arrive(
             &mut st,
             pos,
             rank,
@@ -915,7 +1004,14 @@ impl Communicator {
             None,
             Contribution::Borrowed(data),
             logical_bytes,
-        )
+        )?;
+        drop(st);
+        if complete {
+            // The offered-driver fold point: the completing offer taps
+            // the finalized result for every attached ledger.
+            self.tap_gen(gen);
+        }
+        Ok(complete)
     }
 
     /// The completed result of generation `gen`, if any. `Ok(None)` means

@@ -29,17 +29,23 @@
 //! * [`group`] — NCCL-style `commSplit` process groups over a parent
 //!   communicator (color/key remapping, parent→child abort and fault
 //!   propagation);
+//! * [`ledger`] — the Checkmate-style in-network gradient tap
+//!   ([`GradLedger`]): passive bounded retention of the shard slices a
+//!   rank already holds when a generation completes, and the
+//!   reconstruction of a dead member's result from survivors;
 //! * [`observer`] — the interception hook ([`CollectiveObserver`]) from
 //!   which the user-level watch-list / watchdog of §3.1 is built.
 
 pub mod comm;
 pub mod group;
+pub mod ledger;
 pub mod observer;
 pub mod ring;
 pub mod world;
 
 pub use comm::{CollKind, Communicator, ReduceOp};
 pub use group::SplitKey;
+pub use ledger::{GradLedger, LedgerConfig};
 pub use observer::{CollectiveObserver, CollectiveTicket, NullObserver};
 pub use ring::{CollEngine, RingConfig};
 pub use world::{CommId, CommWorld};

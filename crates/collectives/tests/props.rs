@@ -1,8 +1,12 @@
 //! Property-based tests for the collective layer: reduction correctness
-//! against sequential reference computation, idempotent re-delivery, and
-//! determinism across rank arrival orders.
+//! against sequential reference computation, idempotent re-delivery,
+//! determinism across rank arrival orders, and the in-network gradient
+//! ledger's reconstruction guarantee.
 
-use collectives::{CollEngine, CommWorld, NullObserver, ReduceOp, RingConfig};
+use collectives::ledger::reconstruct_member_output;
+use collectives::{
+    CollEngine, CommWorld, GradLedger, LedgerConfig, NullObserver, ReduceOp, RingConfig,
+};
 use proptest::prelude::*;
 use simcore::cost::CostModel;
 use simcore::time::ClockBoard;
@@ -75,6 +79,61 @@ fn run_suite_topo(
         }
         out
     })
+}
+
+/// `run_suite_topo` with a [`GradLedger`] attached to every member
+/// before any collective runs, returning each rank's outputs and its
+/// ledger.
+fn run_suite_ledgers(
+    rows: Arc<Vec<Vec<f32>>>,
+    op: ReduceOp,
+    engine: CollEngine,
+    node_of: Option<Vec<usize>>,
+    ledger_cfg: LedgerConfig,
+) -> (Vec<Vec<Vec<f32>>>, Vec<Arc<GradLedger>>) {
+    let n = rows.len();
+    let rs_len = (rows[0].len() / n) * n;
+    let clock = Arc::new(ClockBoard::new(n));
+    let world = CommWorld::new(clock, CostModel::v100(), 8);
+    let mut comm = world
+        .create_comm((0..n).map(|i| RankId(i as u32)).collect(), (0..n).collect())
+        .set_engine(engine);
+    if let Some(node_of) = node_of {
+        comm = comm.set_topology(node_of);
+    }
+    let ledgers: Vec<Arc<GradLedger>> = (0..n)
+        .map(|i| {
+            let l = GradLedger::new(ledger_cfg);
+            comm.attach_ledger(RankId(i as u32), l.clone()).unwrap();
+            l
+        })
+        .collect();
+    let outs = run_ranks(n, move |i| {
+        let rank = RankId(i as u32);
+        let root = RankId((n - 1) as u32);
+        let mut out = Vec::new();
+        out.push(
+            comm.all_reduce(rank, 0, rows[i].clone(), op, 64, &NullObserver)
+                .unwrap(),
+        );
+        out.push(
+            comm.all_gather(rank, 1, rows[i].clone(), 64, &NullObserver)
+                .unwrap(),
+        );
+        let payload = (rank == root).then(|| rows[i].clone());
+        out.push(
+            comm.broadcast(rank, 2, root, payload, 64, &NullObserver)
+                .unwrap(),
+        );
+        if rs_len > 0 {
+            out.push(
+                comm.reduce_scatter(rank, 3, rows[i][..rs_len].to_vec(), op, 64, &NullObserver)
+                    .unwrap(),
+            );
+        }
+        out
+    });
+    (outs, ledgers)
 }
 
 fn to_bits(results: &[Vec<Vec<f32>>]) -> Vec<Vec<Vec<u32>>> {
@@ -259,6 +318,91 @@ proptest! {
             .unwrap();
         prop_assert_eq!(&replay, &first[0]);
         prop_assert_eq!(comm.completed_slots(), 1);
+    }
+
+    #[test]
+    fn ledger_reconstructs_lost_member_across_kinds_engines_and_placements(
+        // Random world size, payloads, placement, engine, chunking, and
+        // victim: after the suite completes, any single member's output
+        // for EVERY collective kind must be rebuildable bitwise from the
+        // survivors' ledgers alone. Random chunk sizes put shard
+        // boundaries mid-chunk; random node maps exercise the hier
+        // schedule's tap points.
+        (rows, node_of, failed) in (2usize..7).prop_flat_map(|n| (
+            (1usize..97).prop_flat_map(move |len| proptest::collection::vec(
+                proptest::collection::vec(-100.0f32..100.0, len),
+                n,
+            )),
+            proptest::collection::vec(0usize..3, n),
+            0..n,
+        )),
+        engine_pick in 0usize..3,
+        chunk_bytes in 1usize..600,
+        op in prop::sample::select(vec![ReduceOp::Sum, ReduceOp::Avg, ReduceOp::Max]),
+    ) {
+        let engine = match engine_pick {
+            0 => CollEngine::Slot,
+            1 => CollEngine::Ring(RingConfig::uniform(chunk_bytes, 2)),
+            _ => CollEngine::Hier(RingConfig::uniform(chunk_bytes, 2)),
+        };
+        let rows = Arc::new(rows);
+        let (outs, ledgers) = run_suite_ledgers(
+            rows.clone(),
+            op,
+            engine,
+            Some(node_of),
+            LedgerConfig::unbounded(),
+        );
+        let mut survivors: Vec<Option<Arc<GradLedger>>> =
+            ledgers.into_iter().map(Some).collect();
+        survivors[failed] = None;
+        // One generation per collective kind, in suite order.
+        for (gen, want) in outs[failed].iter().enumerate() {
+            let got = reconstruct_member_output(gen as u64, failed, &survivors);
+            let got = got.expect("single member loss is always covered");
+            let want_bits: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+            let got_bits: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(
+                got_bits, want_bits,
+                "gen {} of member {} must reconstruct bitwise", gen, failed
+            );
+        }
+    }
+
+    #[test]
+    fn ledger_memory_never_exceeds_its_cap(
+        n in 2usize..5,
+        lens in proptest::collection::vec(1usize..64, 1..8),
+        cap_bytes in 16usize..2048,
+    ) {
+        let clock = Arc::new(ClockBoard::new(n));
+        let world = CommWorld::new(clock, CostModel::v100(), 8);
+        let comm = world
+            .create_comm((0..n).map(|i| RankId(i as u32)).collect(), (0..n).collect());
+        let cfg = LedgerConfig { cap_bytes, epoch_window: u64::MAX };
+        let ledgers: Vec<Arc<GradLedger>> = (0..n)
+            .map(|i| {
+                let l = GradLedger::new(cfg);
+                comm.attach_ledger(RankId(i as u32), l.clone()).unwrap();
+                l
+            })
+            .collect();
+        let lens = Arc::new(lens);
+        let lens2 = lens.clone();
+        run_ranks(n, move |i| {
+            for (g, &len) in lens2.iter().enumerate() {
+                comm.all_reduce(
+                    RankId(i as u32), g as u64, vec![i as f32; len],
+                    ReduceOp::Sum, 64, &NullObserver,
+                ).unwrap();
+            }
+        });
+        for (i, l) in ledgers.iter().enumerate() {
+            prop_assert!(
+                l.pinned_bytes() <= cap_bytes,
+                "member {} pins {} bytes over cap {}", i, l.pinned_bytes(), cap_bytes
+            );
+        }
     }
 
     #[test]

@@ -22,17 +22,24 @@
 //! (`checkpoint::load_for_rank`).
 
 use bytes::{Bytes, BytesMut};
-use collectives::CommWorld;
+use collectives::ledger::{retained_ranges, GradLedger};
+use collectives::{CollKind, CommWorld};
 use dltrain::TrainState;
 use simcore::codec::{self, Decode, Encode, Encoder};
 use simcore::cost::CostModel;
 use simcore::{RankId, SimError, SimResult};
+use std::collections::BTreeMap;
+use std::ops::Range;
 use std::time::{Duration, Instant};
 
 /// Mailbox tag reserved for the recovery state stream (the byte inbox
 /// is disjoint from the f32 activation/gradient mailboxes, but a
 /// dedicated tag keeps frames self-describing in dumps).
 pub const TAG_STATE_STREAM: u64 = 0x53_54_41_54; // "STAT"
+
+/// Mailbox tag for in-network ledger-slice streams: survivors shipping
+/// their retained gradient shard slices to a replacement rank.
+pub const TAG_LEDGER_STREAM: u64 = 0x4C_45_44_47; // "LEDG"
 
 /// Sequence number of the stream preamble; shard `i` travels at
 /// sequence `i + 1`.
@@ -190,11 +197,12 @@ fn recv_frame(
     src: RankId,
     dst: RankId,
     dst_clock_idx: usize,
+    tag: u64,
     seq: u64,
     deadline: Instant,
 ) -> SimResult<Bytes> {
     loop {
-        if let Some(frame) = world.try_recv_bytes(src, dst, dst_clock_idx, TAG_STATE_STREAM, seq)? {
+        if let Some(frame) = world.try_recv_bytes(src, dst, dst_clock_idx, tag, seq)? {
             return Ok(frame);
         }
         if Instant::now() >= deadline {
@@ -220,7 +228,15 @@ pub fn recv_state(
     patience: Duration,
 ) -> SimResult<TrainState> {
     let deadline = Instant::now() + patience;
-    let preamble = recv_frame(world, src, dst, dst_clock_idx, SEQ_HEADER, deadline)?;
+    let preamble = recv_frame(
+        world,
+        src,
+        dst,
+        dst_clock_idx,
+        TAG_STATE_STREAM,
+        SEQ_HEADER,
+        deadline,
+    )?;
     let header: StreamHeader = codec::decode_framed(&preamble)?;
     if header.n_shards == 0 {
         return Err(SimError::Protocol(format!(
@@ -229,7 +245,15 @@ pub fn recv_state(
     }
     let mut payloads = BytesMut::with_capacity(header.total_bytes as usize);
     for i in 0..header.n_shards {
-        let mut frame = recv_frame(world, src, dst, dst_clock_idx, i + 1, deadline)?;
+        let mut frame = recv_frame(
+            world,
+            src,
+            dst,
+            dst_clock_idx,
+            TAG_STATE_STREAM,
+            i + 1,
+            deadline,
+        )?;
         let (index, payload) = codec::decode_shard(&mut frame)?;
         if index as u64 != i {
             return Err(SimError::Protocol(format!(
@@ -266,6 +290,368 @@ pub fn recv_state(
         )));
     }
     Ok(state)
+}
+
+// ---------------------------------------------------------------------------
+// In-network ledger streaming: survivors → replacement rank.
+// ---------------------------------------------------------------------------
+
+fn kind_to_u8(kind: CollKind) -> u8 {
+    match kind {
+        CollKind::AllReduce => 0,
+        CollKind::AllGather => 1,
+        CollKind::ReduceScatter => 2,
+        CollKind::Broadcast => 3,
+        CollKind::Barrier => 4,
+        CollKind::Rendezvous => 5,
+    }
+}
+
+fn u8_to_kind(v: u8) -> SimResult<CollKind> {
+    Ok(match v {
+        0 => CollKind::AllReduce,
+        1 => CollKind::AllGather,
+        2 => CollKind::ReduceScatter,
+        3 => CollKind::Broadcast,
+        4 => CollKind::Barrier,
+        5 => CollKind::Rendezvous,
+        other => {
+            return Err(SimError::Codec(format!(
+                "ledger stream: unknown collective kind byte {other}"
+            )))
+        }
+    })
+}
+
+/// Preamble of one survivor's ledger stream: how many slice frames
+/// follow and the epoch range they were filtered to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LedgerStreamHeader {
+    /// Number of [`LedgerSlice`] frames that follow the preamble.
+    pub n_frames: u64,
+    /// First epoch covered (inclusive).
+    pub epoch_lo: u64,
+    /// One past the last epoch covered.
+    pub epoch_hi: u64,
+}
+
+impl Encode for LedgerStreamHeader {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.n_frames.encode(buf);
+        self.epoch_lo.encode(buf);
+        self.epoch_hi.encode(buf);
+    }
+}
+
+impl Decode for LedgerStreamHeader {
+    fn decode(buf: &mut Bytes) -> SimResult<Self> {
+        Ok(LedgerStreamHeader {
+            n_frames: u64::decode(buf)?,
+            epoch_lo: u64::decode(buf)?,
+            epoch_hi: u64::decode(buf)?,
+        })
+    }
+}
+
+/// One retained shard slice on the wire: enough metadata for the
+/// replacement rank to place it inside the right generation's result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerSlice {
+    /// Iteration epoch of the generation.
+    pub epoch: u64,
+    /// Collective generation number on the tapped communicator.
+    pub gen: u64,
+    /// Collective kind (validated, not interpreted, by the receiver).
+    pub kind: CollKind,
+    /// Group size at record time.
+    pub members: u64,
+    /// Full result length in elements.
+    pub total_len: u64,
+    /// Element offset of this slice inside the full result.
+    pub start: u64,
+    /// The retained elements.
+    pub data: Vec<f32>,
+}
+
+impl Encode for LedgerSlice {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.epoch.encode(buf);
+        self.gen.encode(buf);
+        kind_to_u8(self.kind).encode(buf);
+        self.members.encode(buf);
+        self.total_len.encode(buf);
+        self.start.encode(buf);
+        codec::encode_f32_slice(&self.data, buf);
+    }
+}
+
+impl Decode for LedgerSlice {
+    fn decode(buf: &mut Bytes) -> SimResult<Self> {
+        Ok(LedgerSlice {
+            epoch: u64::decode(buf)?,
+            gen: u64::decode(buf)?,
+            kind: u8_to_kind(u8::decode(buf)?)?,
+            members: u64::decode(buf)?,
+            total_len: u64::decode(buf)?,
+            start: u64::decode(buf)?,
+            data: codec::decode_f32_slice(buf)?,
+        })
+    }
+}
+
+/// Streams every shard slice a survivor's ledger retains for the epoch
+/// range `epochs` to the replacement rank `dst`: a framed
+/// [`LedgerStreamHeader`] preamble, then one CRC frame per retained
+/// range per generation. Pure ledger reads — no checkpoint store, no
+/// re-reduction; the sender's clock pays the per-slice framing cost, the
+/// wire charges p2p transfer on top. Returns the number of slice frames
+/// shipped.
+#[allow(clippy::too_many_arguments)]
+pub fn send_ledger_slices(
+    world: &CommWorld,
+    cost: &CostModel,
+    src: RankId,
+    src_clock_idx: usize,
+    dst: RankId,
+    same_node: bool,
+    ledger: &GradLedger,
+    epochs: Range<u64>,
+) -> SimResult<u64> {
+    let mut slices: Vec<LedgerSlice> = Vec::new();
+    for meta in ledger.manifest() {
+        if !epochs.contains(&meta.epoch) {
+            continue;
+        }
+        for range in retained_ranges(meta.len, meta.members, meta.pos) {
+            let Some(data) = ledger.retained_slice(meta.gen, range.clone()) else {
+                continue;
+            };
+            slices.push(LedgerSlice {
+                epoch: meta.epoch,
+                gen: meta.gen,
+                kind: meta.kind,
+                members: meta.members as u64,
+                total_len: meta.len as u64,
+                start: range.start as u64,
+                data,
+            });
+        }
+    }
+    let header = LedgerStreamHeader {
+        n_frames: slices.len() as u64,
+        epoch_lo: epochs.start,
+        epoch_hi: epochs.end,
+    };
+    world.send_bytes(
+        src,
+        src_clock_idx,
+        dst,
+        TAG_LEDGER_STREAM,
+        SEQ_HEADER,
+        codec::encode_framed(&header),
+        same_node,
+    )?;
+    let n = slices.len() as u64;
+    for (i, slice) in slices.into_iter().enumerate() {
+        let mut payload = BytesMut::new();
+        slice.encode(&mut payload);
+        let frame = codec::frame_shard(i as u32, &payload);
+        world
+            .clock()
+            .advance(src_clock_idx, cost.shard_encode(frame.len() as u64));
+        world.send_bytes(
+            src,
+            src_clock_idx,
+            dst,
+            TAG_LEDGER_STREAM,
+            i as u64 + 1,
+            frame,
+            same_node,
+        )?;
+    }
+    Ok(n)
+}
+
+struct PendingGen {
+    kind: CollKind,
+    members: u64,
+    total_len: usize,
+    /// (start, data), possibly overlapping across senders.
+    pieces: Vec<(usize, Vec<f32>)>,
+}
+
+/// Receives the survivors' ledger streams and reassembles, per epoch in
+/// `epochs` and per generation in generation order, the full reduced
+/// result vectors — the exact input [`replay_reduced_history`]
+/// (`dltrain::RankTrainer`) needs to rebuild the dead rank's state.
+///
+/// Errors (all of which send the caller down the fallback chain):
+/// * a sender goes silent past `patience` → [`SimError::CollectiveTimeout`];
+/// * an epoch in the requested range arrives with no generations, or a
+///   generation's slices do not cover its full result — the
+///   "failed rank and its ring successor both died" coverage gap;
+/// * CRC / framing / metadata mismatches.
+pub fn recv_ledger_history(
+    world: &CommWorld,
+    cost: &CostModel,
+    srcs: &[RankId],
+    dst: RankId,
+    dst_clock_idx: usize,
+    patience: Duration,
+    epochs: Range<u64>,
+) -> SimResult<Vec<Vec<Vec<f32>>>> {
+    let mut gens: BTreeMap<(u64, u64), PendingGen> = BTreeMap::new();
+    for &src in srcs {
+        let deadline = Instant::now() + patience;
+        let preamble = recv_frame(
+            world,
+            src,
+            dst,
+            dst_clock_idx,
+            TAG_LEDGER_STREAM,
+            SEQ_HEADER,
+            deadline,
+        )?;
+        let header: LedgerStreamHeader = codec::decode_framed(&preamble)?;
+        for i in 0..header.n_frames {
+            let mut frame = recv_frame(
+                world,
+                src,
+                dst,
+                dst_clock_idx,
+                TAG_LEDGER_STREAM,
+                i + 1,
+                deadline,
+            )?;
+            let (index, mut payload) = codec::decode_shard(&mut frame)?;
+            if index as u64 != i {
+                return Err(SimError::Protocol(format!(
+                    "ledger stream from {src}: slice {index} arrived at slot {i}"
+                )));
+            }
+            // Verify + stage + host→device upload of the slice bytes.
+            world.clock().advance(
+                dst_clock_idx,
+                cost.shard_encode(payload.len() as u64) + cost.memcpy(payload.len() as u64),
+            );
+            let slice = LedgerSlice::decode(&mut payload)?;
+            if !epochs.contains(&slice.epoch) {
+                return Err(SimError::Protocol(format!(
+                    "ledger stream from {src}: epoch {} outside requested {:?}",
+                    slice.epoch, epochs
+                )));
+            }
+            let entry = gens
+                .entry((slice.epoch, slice.gen))
+                .or_insert_with(|| PendingGen {
+                    kind: slice.kind,
+                    members: slice.members,
+                    total_len: slice.total_len as usize,
+                    pieces: Vec::new(),
+                });
+            if entry.kind != slice.kind
+                || entry.members != slice.members
+                || entry.total_len != slice.total_len as usize
+            {
+                return Err(SimError::Protocol(format!(
+                    "ledger stream from {src}: generation {} metadata disagrees across senders",
+                    slice.gen
+                )));
+            }
+            entry.pieces.push((slice.start as usize, slice.data));
+        }
+    }
+    let mut history: Vec<Vec<Vec<f32>>> = Vec::new();
+    for epoch in epochs.clone() {
+        let in_epoch: Vec<(&(u64, u64), &PendingGen)> =
+            gens.range((epoch, 0)..=(epoch, u64::MAX)).collect();
+        if in_epoch.is_empty() {
+            return Err(SimError::Protocol(format!(
+                "in-network history gap: no generations retained for epoch {epoch}"
+            )));
+        }
+        let mut fused = Vec::with_capacity(in_epoch.len());
+        for (&(_, gen), pending) in in_epoch {
+            fused.push(assemble_gen(gen, pending)?);
+        }
+        history.push(fused);
+    }
+    Ok(history)
+}
+
+/// Stitches one generation's slices into its full result, requiring
+/// gap-free coverage of `0..total_len`. Overlaps are fine (two
+/// survivors legitimately retain the same shard); gaps are the lost-
+/// coverage signature and poison the in-network path.
+fn assemble_gen(gen: u64, pending: &PendingGen) -> SimResult<Vec<f32>> {
+    let mut out = vec![0.0f32; pending.total_len];
+    let mut pieces: Vec<&(usize, Vec<f32>)> = pending.pieces.iter().collect();
+    pieces.sort_by_key(|(start, _)| *start);
+    let mut covered = 0usize;
+    for (start, data) in pieces {
+        if *start > covered {
+            return Err(SimError::Protocol(format!(
+                "in-network coverage gap in generation {gen}: elements {covered}..{start} \
+                 held by no surviving ledger"
+            )));
+        }
+        let end = start + data.len();
+        if end > pending.total_len {
+            return Err(SimError::Protocol(format!(
+                "ledger slice overruns generation {gen}: {start}..{end} > {}",
+                pending.total_len
+            )));
+        }
+        out[*start..end].copy_from_slice(data);
+        covered = covered.max(end);
+    }
+    if covered < pending.total_len {
+        return Err(SimError::Protocol(format!(
+            "in-network coverage gap in generation {gen}: elements {covered}..{} \
+             held by no surviving ledger",
+            pending.total_len
+        )));
+    }
+    Ok(out)
+}
+
+/// Which leg of the recovery chain produced the restored state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoverySource {
+    /// Reconstructed from survivors' gradient ledgers + deterministic
+    /// replay — zero checkpoint-store objects touched.
+    InNetwork,
+    /// Streamed rank-to-rank from a healthy replica's restored state
+    /// (the PR 5 path; one store read, by the owner only).
+    StreamedReplica,
+    /// Full store round-trip (`checkpoint::load_for_rank`) — the §3.3
+    /// baseline and the last resort.
+    Store,
+}
+
+/// The recovery fallback chain: in-network ledger reconstruction first,
+/// the streamed-replica path when ledgers cannot cover (failed rank and
+/// its ring successor both dead, eviction past the window), and the
+/// checkpoint store as the always-available floor. Each leg runs only
+/// if the previous one failed; the winning leg is reported alongside
+/// the state so callers can assert (and account) the path taken.
+pub fn restore_with_fallback<A, B, C>(
+    in_network: A,
+    streamed: B,
+    store: C,
+) -> SimResult<(TrainState, RecoverySource)>
+where
+    A: FnOnce() -> SimResult<TrainState>,
+    B: FnOnce() -> SimResult<TrainState>,
+    C: FnOnce() -> SimResult<TrainState>,
+{
+    if let Ok(state) = in_network() {
+        return Ok((state, RecoverySource::InNetwork));
+    }
+    if let Ok(state) = streamed() {
+        return Ok((state, RecoverySource::StreamedReplica));
+    }
+    store().map(|state| (state, RecoverySource::Store))
 }
 
 #[cfg(test)]

@@ -15,6 +15,11 @@
 #                      chunk-size sweep, bucketed-overlap minibatch
 #                      time, and pipelined recovery streaming vs the
 #                      store round-trip.
+#   BENCH_recovery.json — in-network gradient-replication tap overhead
+#                      at world {8, 64, 256}, the recovery-scheme
+#                      head-to-head (periodic-optimal / user JIT /
+#                      transparent JIT / in-network), and the
+#                      zero-store-read ledger recovery demo.
 #
 # Optional args pass through to the checkpoint bench:
 #
@@ -26,6 +31,7 @@ PAYLOAD_MIB="${1:-64}"
 OUT="${2:-BENCH_ckpt.json}"
 PROXY_OUT="${PROXY_OUT:-BENCH_proxy.json}"
 COLL_OUT="${COLL_OUT:-BENCH_coll.json}"
+RECOVERY_OUT="${RECOVERY_OUT:-BENCH_recovery.json}"
 
 echo "==> cargo run --release -p bench --bin ckpt_bench -- ${PAYLOAD_MIB} ${OUT}"
 cargo run --release --quiet -p bench --bin ckpt_bench -- "${PAYLOAD_MIB}" "${OUT}"
@@ -36,9 +42,12 @@ cargo run --release --quiet -p bench --bin proxy_bench -- 20000 12000 "${PROXY_O
 echo "==> cargo run --release -p bench --bin coll_bench -- 6 64 ${COLL_OUT} 2048"
 cargo run --release --quiet -p bench --bin coll_bench -- 6 64 "${COLL_OUT}" 2048
 
+echo "==> cargo run --release -p bench --bin recovery_bench -- ${RECOVERY_OUT}"
+cargo run --release --quiet -p bench --bin recovery_bench -- "${RECOVERY_OUT}"
+
 echo "==> criterion micro-benches (ckpt, proxy, coll)"
 cargo bench -p bench --bench ckpt --quiet
 cargo bench -p bench --bench proxy --quiet
 cargo bench -p bench --bench coll --quiet
 
-echo "bench.sh: wrote ${OUT}, ${PROXY_OUT}, and ${COLL_OUT}"
+echo "bench.sh: wrote ${OUT}, ${PROXY_OUT}, ${COLL_OUT}, and ${RECOVERY_OUT}"

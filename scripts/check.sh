@@ -37,4 +37,7 @@ cargo run --release --quiet -p bench --bin proxy_bench -- 500 600 target/BENCH_p
 echo '==> coll_bench smoke (tiny sizes, hier ladder capped at 64 ranks)'
 cargo run --release --quiet -p bench --bin coll_bench -- 2 1 target/BENCH_coll.smoke.json 64
 
+echo '==> recovery_bench smoke (full matrix is sub-second, throwaway output)'
+cargo run --release --quiet -p bench --bin recovery_bench -- target/BENCH_recovery.smoke.json
+
 echo 'check.sh: all gates passed'
