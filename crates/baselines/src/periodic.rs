@@ -211,7 +211,9 @@ pub fn run_periodic_job(
                             coord.part,
                             coord.dp,
                             &state,
-                            &pcfg.shards,
+                            // Auto-size the pool for this state's shard
+                            // count (same policy as the JIT writer).
+                            &pcfg.shards.auto_sized_for(&state),
                         )?;
                         *ckpts.lock() += 1;
                     }

@@ -34,6 +34,7 @@ fn bench_ckpt(c: &mut Criterion) {
             shard_bytes: SHARD,
             workers,
             delta: false,
+            max_delta_chain: jitckpt::checkpoint::DEFAULT_MAX_DELTA_CHAIN,
         };
         let store = SharedStore::new();
         group.bench_function(format!("sharded_write_8MiB_w{workers}"), |b| {
@@ -52,6 +53,7 @@ fn bench_ckpt(c: &mut Criterion) {
         shard_bytes: SHARD,
         workers: 4,
         delta: true,
+        max_delta_chain: jitckpt::checkpoint::DEFAULT_MAX_DELTA_CHAIN,
     };
     let store = SharedStore::new();
     let _ = sharded_write(&store, &state, &cfg);

@@ -1,0 +1,87 @@
+//! Multi-job storage benchmark: write-behind vs. blocking persistence,
+//! jobs×ranks throughput under churn, gate isolation, and backend
+//! round-trip bit identity, emitted as `BENCH_store.json`.
+//!
+//! ```sh
+//! store_bench [payload_mib] [gens] [out_path]
+//! ```
+//!
+//! Defaults: 4 MiB head-to-head payload, 6 generations, jobs ladder
+//! {1, 4, 16} × ranks {8, 64}, report written to `BENCH_store.json` in
+//! the working directory.
+
+use bench::storebench::run_store_bench;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let payload_mib: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let gens: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(6);
+    let out_path = args
+        .get(2)
+        .cloned()
+        .unwrap_or_else(|| "BENCH_store.json".to_string());
+    eprintln!(
+        "measuring multi-job store persistence: {payload_mib} MiB head-to-head payload, \
+         {gens} generations, jobs {{1, 4, 16}} x ranks {{8, 64}} under churn ..."
+    );
+    let report = match run_store_bench(payload_mib << 20, gens, &[1, 4, 16], &[8, 64]) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("benchmark failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "{:<10} {:>14} {:>18} {:>9}",
+        "backend", "blocking MB/s", "write-behind MB/s", "speedup"
+    );
+    for h in &report.head_to_head {
+        println!(
+            "{:<10} {:>14.1} {:>18.1} {:>8.2}x",
+            h.backend,
+            h.blocking_mbps,
+            h.write_behind_mbps,
+            h.speedup()
+        );
+    }
+    println!();
+    println!(
+        "{:>5} {:>6} {:>8} {:>7} {:>7} {:>10}",
+        "jobs", "ranks", "durable", "failed", "churn", "MB/s"
+    );
+    for c in &report.ladder {
+        println!(
+            "{:>5} {:>6} {:>8} {:>7} {:>7} {:>10.1}",
+            c.jobs, c.ranks, c.ok_checkpoints, c.failed_checkpoints, c.churn_events, c.mbps
+        );
+    }
+    println!();
+    println!(
+        "isolation: healthy {:.1} MB/s alone, {:.1} MB/s alongside throttled job \
+         ({:.0}% retained, slow job durable: {})",
+        report.isolation.healthy_alone_mbps,
+        report.isolation.healthy_alongside_mbps,
+        report.isolation.retention() * 100.0,
+        report.isolation.slow_job_durable
+    );
+    println!(
+        "bit identity: {}",
+        report
+            .bit_identity
+            .iter()
+            .map(|(n, ok)| format!("{n}={ok}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!(
+        "write-behind speedup over blocking (objstore): {:.2}x",
+        report.objstore_speedup()
+    );
+
+    if let Err(e) = std::fs::write(&out_path, report.to_json()) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
+}

@@ -308,6 +308,7 @@ pub fn run_ckpt_bench(
             shard_bytes,
             workers,
             delta: false,
+            max_delta_chain: checkpoint::DEFAULT_MAX_DELTA_CHAIN,
         };
         let store = SharedStore::new();
         let w = time_per_iter(iters, || sharded_write(&store, &state, &cfg))?;
@@ -335,6 +336,7 @@ pub fn run_ckpt_bench(
             shard_bytes,
             workers,
             delta: false,
+            max_delta_chain: checkpoint::DEFAULT_MAX_DELTA_CHAIN,
         };
         let store = SharedStore::new();
         let w = time_per_iter(iters, || sharded_write(&store, &state, &cfg))?;
@@ -358,6 +360,7 @@ pub fn run_ckpt_bench(
         shard_bytes,
         workers: worker_counts.last().copied().unwrap_or(4),
         delta: true,
+        max_delta_chain: checkpoint::DEFAULT_MAX_DELTA_CHAIN,
     };
     let store = SharedStore::new();
     sharded_write(&store, &state, &cfg)?;

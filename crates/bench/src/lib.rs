@@ -15,6 +15,7 @@ pub mod collbench;
 pub mod montecarlo;
 pub mod proxybench;
 pub mod recovery;
+pub mod storebench;
 
 use baselines::{blocking_overhead, PolicyKind};
 use cluster::{FailureInjector, SharedStore};

@@ -1,0 +1,745 @@
+//! Multi-job storage-persistence benchmark, emitted as `BENCH_store.json`.
+//!
+//! Four measurement sections, one per claim the coordinator PR makes:
+//!
+//! 1. **Head-to-head** — the write-behind pipeline vs. the blocking
+//!    shard pool at *equal durability* (the clock stops only when every
+//!    submitted checkpoint's completion sidecar has landed), over both
+//!    the in-process [`SharedStore`] and the latency-injecting
+//!    [`SimObjectStore`]. Write-behind wins by overlapping the CPU half
+//!    (encode + CRC) of generation `i + 1` with the uploads of
+//!    generation `i`.
+//! 2. **Jobs×ranks ladder under churn** — aggregate durable throughput
+//!    of a [`Coordinator`] over a 4-node [`PlacedStore`] while jobs
+//!    arrive, depart (with purge), a storage node joins mid-run (epoch
+//!    rebalance), and a write fault tears one shard.
+//! 3. **Isolation** — a healthy job's throughput alone vs. alongside a
+//!    job gated onto a throttled backend sharing the same uploader
+//!    pool: the per-job gate must keep the slow job's backlog out of
+//!    the shared pipeline.
+//! 4. **Bit identity** — delta-chained write-behind checkpoints must
+//!    read back bit-exact on every backend.
+
+use crate::ckpt::{synthetic_state, touch_optimizer_slice};
+use cluster::{SharedStore, StorageBackend};
+use coordinator::{
+    Coordinator, CoordinatorConfig, JobSpec, ObjectStoreProfile, PlacedStore, SimObjectStore,
+};
+use dltrain::TrainState;
+use jitckpt::checkpoint::{self, CkptKind, ShardConfig, ShardPlan};
+use jitckpt::pipeline::{WriteBehind, WriteBehindConfig};
+use simcore::{JobId, RankId, SimError, SimResult};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Uploader-pool width used on both sides of the head-to-head, so the
+/// comparison isolates pipelining, not parallelism.
+const HEAD_TO_HEAD_WORKERS: usize = 4;
+
+/// One backend's write-behind vs. blocking measurement.
+#[derive(Debug, Clone)]
+pub struct HeadToHead {
+    /// Backend label (`mem`, `objstore`).
+    pub backend: &'static str,
+    /// Checkpoint generations persisted per measurement.
+    pub gens: usize,
+    /// Blocking shard-pool throughput, MB/s of payload.
+    pub blocking_mbps: f64,
+    /// Write-behind throughput at equal durability, MB/s.
+    pub write_behind_mbps: f64,
+}
+
+impl HeadToHead {
+    /// Write-behind speedup over blocking.
+    pub fn speedup(&self) -> f64 {
+        self.write_behind_mbps / self.blocking_mbps
+    }
+}
+
+/// One jobs×ranks cell of the churn ladder.
+#[derive(Debug, Clone, Copy)]
+pub struct LadderCell {
+    /// Concurrent jobs admitted for the whole run.
+    pub jobs: usize,
+    /// Ranks submitting per job per generation.
+    pub ranks: usize,
+    /// Checkpoints that reached durability.
+    pub ok_checkpoints: usize,
+    /// Checkpoints whose sidecar was suppressed (torn shard put).
+    pub failed_checkpoints: usize,
+    /// Churn events injected (job arrive+depart, node join, torn put,
+    /// lost put).
+    pub churn_events: usize,
+    /// Aggregate durable payload throughput, MB/s.
+    pub mbps: f64,
+}
+
+/// Healthy-job throughput with and without a gated slow neighbour.
+#[derive(Debug, Clone, Copy)]
+pub struct IsolationResult {
+    /// Healthy job alone on the shared pipeline, MB/s.
+    pub healthy_alone_mbps: f64,
+    /// Healthy job while a throttled-backend job shares the pool, MB/s.
+    pub healthy_alongside_mbps: f64,
+    /// The slow job still reached durability (gated, not starved).
+    pub slow_job_durable: bool,
+}
+
+impl IsolationResult {
+    /// Fraction of solo throughput the healthy job keeps.
+    pub fn retention(&self) -> f64 {
+        self.healthy_alongside_mbps / self.healthy_alone_mbps
+    }
+}
+
+/// Full multi-job storage benchmark report.
+#[derive(Debug, Clone)]
+pub struct StoreReport {
+    /// Per-checkpoint payload in the head-to-head section, bytes.
+    pub payload_bytes: usize,
+    /// Per-rank payload in the ladder and isolation sections, bytes.
+    pub ladder_payload_bytes: usize,
+    /// Write-behind vs. blocking, one row per backend.
+    pub head_to_head: Vec<HeadToHead>,
+    /// Jobs×ranks throughput under churn.
+    pub ladder: Vec<LadderCell>,
+    /// Gate-isolation measurement.
+    pub isolation: IsolationResult,
+    /// Per-backend delta-chain round-trip bit identity.
+    pub bit_identity: Vec<(&'static str, bool)>,
+}
+
+impl StoreReport {
+    /// Write-behind speedup on the latency-bound object store — the
+    /// backend the pipeline exists for.
+    pub fn objstore_speedup(&self) -> f64 {
+        self.head_to_head
+            .iter()
+            .find(|h| h.backend == "objstore")
+            .map(|h| h.speedup())
+            .unwrap_or(f64::NAN)
+    }
+
+    /// Aggregate-throughput scaling at `ranks`: widest-jobs cell over
+    /// the single-job cell.
+    pub fn scaling_at(&self, ranks: usize) -> f64 {
+        let at = |jobs_pick: fn(&[&LadderCell]) -> Option<f64>| {
+            let cells: Vec<&LadderCell> = self.ladder.iter().filter(|c| c.ranks == ranks).collect();
+            jobs_pick(&cells)
+        };
+        let lo = at(|cs| cs.iter().min_by_key(|c| c.jobs).map(|c| c.mbps));
+        let hi = at(|cs| cs.iter().max_by_key(|c| c.jobs).map(|c| c.mbps));
+        match (lo, hi) {
+            (Some(lo), Some(hi)) if lo > 0.0 => hi / lo,
+            _ => f64::NAN,
+        }
+    }
+
+    /// True when every backend round-tripped bit-exact.
+    pub fn bit_identical_everywhere(&self) -> bool {
+        !self.bit_identity.is_empty() && self.bit_identity.iter().all(|(_, ok)| *ok)
+    }
+
+    /// Renders the report as the `BENCH_store.json` document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"bench\": \"store\",\n");
+        out.push_str(&format!("  \"payload_bytes\": {},\n", self.payload_bytes));
+        out.push_str(&format!(
+            "  \"ladder_payload_bytes\": {},\n",
+            self.ladder_payload_bytes
+        ));
+        out.push_str("  \"head_to_head\": [\n");
+        for (i, h) in self.head_to_head.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"backend\": \"{}\", \"gens\": {}, \"blocking_mbps\": {:.2}, \
+                 \"write_behind_mbps\": {:.2}, \"speedup\": {:.3}}}{}\n",
+                h.backend,
+                h.gens,
+                h.blocking_mbps,
+                h.write_behind_mbps,
+                h.speedup(),
+                if i + 1 < self.head_to_head.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"ladder\": [\n");
+        for (i, c) in self.ladder.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"jobs\": {}, \"ranks\": {}, \"ok\": {}, \"failed\": {}, \
+                 \"churn_events\": {}, \"mbps\": {:.2}}}{}\n",
+                c.jobs,
+                c.ranks,
+                c.ok_checkpoints,
+                c.failed_checkpoints,
+                c.churn_events,
+                c.mbps,
+                if i + 1 < self.ladder.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        let ranks_seen: Vec<usize> = {
+            let mut r: Vec<usize> = self.ladder.iter().map(|c| c.ranks).collect();
+            r.sort_unstable();
+            r.dedup();
+            r
+        };
+        out.push_str("  \"ladder_scaling\": {");
+        for (i, r) in ranks_seen.iter().enumerate() {
+            out.push_str(&format!(
+                "\"ranks{}\": {:.3}{}",
+                r,
+                self.scaling_at(*r),
+                if i + 1 < ranks_seen.len() { ", " } else { "" }
+            ));
+        }
+        out.push_str("},\n");
+        out.push_str(&format!(
+            "  \"isolation\": {{\"healthy_alone_mbps\": {:.2}, \"healthy_alongside_mbps\": {:.2}, \
+             \"retention\": {:.3}, \"slow_job_durable\": {}}},\n",
+            self.isolation.healthy_alone_mbps,
+            self.isolation.healthy_alongside_mbps,
+            self.isolation.retention(),
+            self.isolation.slow_job_durable
+        ));
+        out.push_str("  \"bit_identity\": {");
+        for (i, (name, ok)) in self.bit_identity.iter().enumerate() {
+            out.push_str(&format!(
+                "\"{name}\": {ok}{}",
+                if i + 1 < self.bit_identity.len() {
+                    ", "
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str("},\n");
+        out.push_str(&format!(
+            "  \"write_behind_speedup_objstore\": {:.3}\n",
+            self.objstore_speedup()
+        ));
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// The object-store profile both head-to-head legs write through:
+/// low-millisecond PUT latency (the cheap end of real blob stores),
+/// bounded streams — enough that persistence is latency-bound, the
+/// regime write-behind exists for.
+fn bench_object_profile() -> ObjectStoreProfile {
+    ObjectStoreProfile {
+        put_latency: Duration::from_millis(2),
+        get_latency: Duration::from_micros(500),
+        bytes_per_sec: 1_000_000_000,
+        parallel_streams: 8,
+        put_loss_per_mille: 0,
+        seed: 7,
+    }
+}
+
+/// Per-node profile of the ladder fleet: same latency class, faster
+/// reads so in-run GC sidecar fetches stay cheap.
+fn ladder_node_profile(seed: u64) -> ObjectStoreProfile {
+    ObjectStoreProfile {
+        put_latency: Duration::from_millis(2),
+        get_latency: Duration::from_micros(200),
+        bytes_per_sec: 2_000_000_000,
+        parallel_streams: 8,
+        put_loss_per_mille: 0,
+        seed,
+    }
+}
+
+/// Measures one backend's blocking vs. write-behind throughput at equal
+/// durability: `gens` generations of `payload` bytes each, one rank.
+fn head_to_head(
+    backend: &'static str,
+    mk_store: &dyn Fn() -> Arc<dyn StorageBackend>,
+    payload: usize,
+    gens: usize,
+) -> SimResult<HeadToHead> {
+    let states: Vec<TrainState> = (1..=gens as u64)
+        .map(|g| synthetic_state(payload, g))
+        .collect();
+    let cfg = ShardConfig {
+        shard_bytes: (payload / 16).max(4 << 10),
+        workers: HEAD_TO_HEAD_WORKERS,
+        delta: false,
+        max_delta_chain: checkpoint::DEFAULT_MAX_DELTA_CHAIN,
+    };
+    let mb = (payload * gens) as f64 / 1e6;
+
+    // Blocking leg: every generation's puts complete before the next
+    // generation's encode starts — the seed semantics.
+    let store = mk_store();
+    let start = Instant::now();
+    for s in &states {
+        checkpoint::write_checkpoint_with(
+            &store,
+            JobId(0),
+            CkptKind::Jit,
+            RankId(0),
+            0,
+            0,
+            0,
+            s,
+            &cfg,
+        )?;
+    }
+    let blocking = start.elapsed().as_secs_f64();
+
+    // Write-behind leg: stage every generation back to back, then wait
+    // out all tickets — identical durability, overlapped I/O.
+    let store = mk_store();
+    let wb = WriteBehind::new(
+        store.clone(),
+        WriteBehindConfig {
+            workers: HEAD_TO_HEAD_WORKERS,
+            ..WriteBehindConfig::default()
+        },
+    );
+    let start = Instant::now();
+    let tickets: Vec<_> = states
+        .iter()
+        .map(|s| {
+            let plan = ShardPlan::stage(
+                &*store,
+                JobId(0),
+                CkptKind::Jit,
+                RankId(0),
+                0,
+                0,
+                0,
+                s,
+                &cfg,
+            );
+            wb.submit(&plan, None)
+        })
+        .collect();
+    for t in &tickets {
+        t.wait()?;
+    }
+    let behind = start.elapsed().as_secs_f64();
+
+    Ok(HeadToHead {
+        backend,
+        gens,
+        blocking_mbps: mb / blocking,
+        write_behind_mbps: mb / behind,
+    })
+}
+
+/// Runs one jobs×ranks cell of the churn ladder: `jobs` sessions over a
+/// 4-node placed fleet of latency-injecting object stores, `gens`
+/// generations × `ranks` cells each. Every job's gate admits one
+/// checkpoint's bytes at a time, so a single job is latency-bound on
+/// its own in-flight window and aggregate throughput grows with job
+/// count until the uploader pool (or the CPU) saturates. Churn injected
+/// mid-run: a transient job arrives and departs with purge, a storage
+/// node joins (new placement epoch), one shard put is torn, and one
+/// shard put is silently lost.
+fn ladder_cell(jobs: usize, ranks: usize, payload: usize, gens: usize) -> SimResult<LadderCell> {
+    let nodes: Vec<Arc<SimObjectStore>> = (0..4)
+        .map(|i| Arc::new(SimObjectStore::new(ladder_node_profile(i as u64))))
+        .collect();
+    let placed = Arc::new(PlacedStore::new(
+        nodes
+            .iter()
+            .map(|n| n.clone() as Arc<dyn StorageBackend>)
+            .collect(),
+    ));
+    let coord = Coordinator::new(
+        placed.clone(),
+        CoordinatorConfig {
+            pipeline: WriteBehindConfig {
+                workers: 32,
+                ..WriteBehindConfig::default()
+            },
+        },
+    );
+    let spec = JobSpec {
+        ranks,
+        shards: ShardConfig {
+            shard_bytes: (payload / 4).max(4 << 10),
+            workers: 2,
+            delta: false,
+            max_delta_chain: checkpoint::DEFAULT_MAX_DELTA_CHAIN,
+        },
+        keep_checkpoints: 2,
+        // One checkpoint in flight per job: the gate, not the queue, is
+        // each job's limiter.
+        inflight_budget_bytes: payload,
+    };
+    let sessions: Vec<_> = (0..jobs).map(|_| coord.admit(spec.clone())).collect();
+    let states: Vec<TrainState> = (1..=gens as u64)
+        .map(|g| synthetic_state(payload, g))
+        .collect();
+
+    let start = Instant::now();
+    let (ok, failed) = std::thread::scope(|s| {
+        let handles: Vec<_> = sessions
+            .iter()
+            .map(|sess| {
+                let states = &states;
+                s.spawn(move || {
+                    let mut tickets = Vec::new();
+                    for st in states {
+                        for r in 0..ranks {
+                            tickets.push(sess.submit_checkpoint(
+                                CkptKind::Jit,
+                                RankId(r as u32),
+                                0,
+                                0,
+                                r,
+                                st,
+                            ));
+                        }
+                    }
+                    let mut ok = 0usize;
+                    let mut failed = 0usize;
+                    for t in tickets {
+                        match t.wait() {
+                            Ok(()) => ok += 1,
+                            Err(_) => failed += 1,
+                        }
+                    }
+                    // Retention GC once the job's writes are durable —
+                    // inside the measured window, as a live job would.
+                    sess.gc(CkptKind::Jit);
+                    (ok, failed)
+                })
+            })
+            .collect();
+
+        // Churn, concurrent with the measured jobs: a transient job
+        // arrives, checkpoints, departs with purge; a storage node
+        // joins (new placement epoch); a shard put gets torn; a shard
+        // put is acknowledged but silently dropped.
+        let churn = coord.admit(spec.clone());
+        for r in 0..ranks.min(4) {
+            churn.submit_checkpoint(CkptKind::Jit, RankId(r as u32), 0, 0, r, &states[0]);
+        }
+        let _ = coord.depart(churn.job(), true);
+        placed.add_node(
+            Arc::new(SimObjectStore::new(ladder_node_profile(99))) as Arc<dyn StorageBackend>
+        );
+        nodes[0].tear_next_put_matching("ckpt/", 0.5);
+        nodes[1].lose_next_put_matching("ckpt/");
+
+        let mut ok = 0usize;
+        let mut failed = 0usize;
+        for h in handles {
+            let (o, f) = h.join().expect("ladder job thread");
+            ok += o;
+            failed += f;
+        }
+        (ok, failed)
+    });
+    let secs = start.elapsed().as_secs_f64();
+
+    // Correctness floor: at least one durable head checkpoint must read
+    // back bit-identical through the rebalanced placement.
+    let mut verified = false;
+    'outer: for sess in &sessions {
+        for r in 0..ranks {
+            for g in (1..=gens as u64).rev() {
+                if let Ok((got, _)) = checkpoint::read_checkpoint(
+                    sess.backend(),
+                    sess.job(),
+                    CkptKind::Jit,
+                    g,
+                    0,
+                    0,
+                    r,
+                ) {
+                    if got == states[(g - 1) as usize] {
+                        verified = true;
+                        break 'outer;
+                    }
+                    return Err(SimError::CorruptCheckpoint(format!(
+                        "ladder cell {jobs}x{ranks}: job {} dp {r} it {g} read back different bytes",
+                        sess.job()
+                    )));
+                }
+            }
+        }
+    }
+    if !verified {
+        return Err(SimError::CorruptCheckpoint(format!(
+            "ladder cell {jobs}x{ranks}: no durable checkpoint readable after churn"
+        )));
+    }
+
+    Ok(LadderCell {
+        jobs,
+        ranks,
+        ok_checkpoints: ok,
+        failed_checkpoints: failed,
+        churn_events: 4,
+        mbps: (ok * payload) as f64 / 1e6 / secs,
+    })
+}
+
+/// Measures gate isolation: a healthy job's durable throughput alone,
+/// then with a neighbour writing through a throttled backend while
+/// sharing the same uploader pool under a one-shard gate budget.
+fn isolation(payload: usize, ranks: usize, gens: usize) -> SimResult<IsolationResult> {
+    let shard_bytes = (payload / 4).max(4 << 10);
+    let mk_spec = |budget: usize| JobSpec {
+        ranks,
+        shards: ShardConfig {
+            shard_bytes,
+            workers: 2,
+            delta: false,
+            max_delta_chain: checkpoint::DEFAULT_MAX_DELTA_CHAIN,
+        },
+        keep_checkpoints: gens + 1,
+        inflight_budget_bytes: budget,
+    };
+    let pool = CoordinatorConfig {
+        pipeline: WriteBehindConfig {
+            workers: 8,
+            ..WriteBehindConfig::default()
+        },
+    };
+    let healthy_work = |sess: &Arc<coordinator::JobSession>| -> SimResult<f64> {
+        let states: Vec<TrainState> = (1..=gens as u64)
+            .map(|g| synthetic_state(payload, g))
+            .collect();
+        let start = Instant::now();
+        let mut tickets = Vec::new();
+        for st in &states {
+            for r in 0..ranks {
+                tickets.push(sess.submit_checkpoint(CkptKind::Jit, RankId(r as u32), 0, 0, r, st));
+            }
+        }
+        for t in &tickets {
+            t.wait()?;
+        }
+        Ok((payload * gens * ranks) as f64 / 1e6 / start.elapsed().as_secs_f64())
+    };
+
+    // Alone.
+    let coord = Coordinator::over_object_store(
+        SimObjectStore::new(ObjectStoreProfile::instant()),
+        pool.clone(),
+    );
+    let alone = healthy_work(&coord.admit(mk_spec(64 << 20)))?;
+
+    // Alongside: the neighbour brings a dedicated slow backend but
+    // shares the uploader pool; its gate admits ~one shard at a time.
+    let coord = Coordinator::over_object_store(
+        SimObjectStore::new(ObjectStoreProfile::instant()),
+        pool.clone(),
+    );
+    let slow_store = SimObjectStore::new(ObjectStoreProfile {
+        put_latency: Duration::from_millis(2),
+        parallel_streams: 1,
+        ..ObjectStoreProfile::instant()
+    });
+    slow_store.set_throttle(4.0);
+    let slow = coord.admit_with_backend(mk_spec(shard_bytes), Arc::new(slow_store));
+    let healthy = coord.admit(mk_spec(64 << 20));
+    let (alongside, slow_ok) = std::thread::scope(|s| {
+        let slow_ref = &slow;
+        let state = synthetic_state(payload, 1);
+        let slow_handle = s.spawn(move || {
+            let tickets: Vec<_> = (1..=4u64)
+                .map(|g| {
+                    let mut st = state.clone();
+                    st.iteration = g;
+                    slow_ref.submit_checkpoint(CkptKind::Jit, RankId(0), 0, 0, 0, &st)
+                })
+                .collect();
+            tickets.iter().all(|t| t.wait().is_ok())
+        });
+        let alongside = healthy_work(&healthy);
+        let slow_ok = slow_handle.join().expect("slow job thread");
+        alongside.map(|a| (a, slow_ok))
+    })?;
+
+    Ok(IsolationResult {
+        healthy_alone_mbps: alone,
+        healthy_alongside_mbps: alongside,
+        slow_job_durable: slow_ok,
+    })
+}
+
+/// Writes a three-generation delta chain through the write-behind
+/// pipeline and reads every generation back, per backend.
+fn bit_identity(payload: usize) -> SimResult<Vec<(&'static str, bool)>> {
+    let backends: Vec<(&'static str, Arc<dyn StorageBackend>)> = vec![
+        ("mem", Arc::new(SharedStore::new())),
+        (
+            "objstore",
+            Arc::new(SimObjectStore::new(bench_object_profile())),
+        ),
+    ];
+    let cfg = ShardConfig {
+        shard_bytes: (payload / 8).max(4 << 10),
+        workers: 2,
+        delta: true,
+        max_delta_chain: checkpoint::DEFAULT_MAX_DELTA_CHAIN,
+    };
+    let mut out = Vec::new();
+    for (name, store) in backends {
+        let wb = WriteBehind::new(store.clone(), WriteBehindConfig::default());
+        let mut states = vec![synthetic_state(payload, 1)];
+        for _ in 0..2 {
+            let mut next = states.last().unwrap().clone();
+            touch_optimizer_slice(&mut next, 128);
+            states.push(next);
+        }
+        let mut ok = true;
+        for s in &states {
+            // Wait each ticket so the next stage sees the previous
+            // sidecar and forms a real delta chain.
+            let plan = ShardPlan::stage(
+                &*store,
+                JobId(0),
+                CkptKind::Jit,
+                RankId(0),
+                0,
+                0,
+                0,
+                s,
+                &cfg,
+            );
+            wb.submit(&plan, None).wait()?;
+        }
+        for s in &states {
+            let (got, _) = checkpoint::read_checkpoint(
+                &*store,
+                JobId(0),
+                CkptKind::Jit,
+                s.iteration,
+                0,
+                0,
+                0,
+            )?;
+            ok &= got == *s;
+        }
+        out.push((name, ok));
+    }
+    Ok(out)
+}
+
+/// Runs the full store benchmark matrix.
+///
+/// `payload_bytes` sizes the head-to-head checkpoints; the ladder and
+/// isolation sections use a per-rank payload derived from it (1/64,
+/// clamped to [16 KiB, 256 KiB]) so wide cells stay tractable.
+pub fn run_store_bench(
+    payload_bytes: usize,
+    gens: usize,
+    jobs_ladder: &[usize],
+    ranks_ladder: &[usize],
+) -> SimResult<StoreReport> {
+    let ladder_payload = (payload_bytes / 16).clamp(64 << 10, 256 << 10);
+
+    let head = vec![
+        head_to_head(
+            "mem",
+            &|| Arc::new(SharedStore::new()) as Arc<dyn StorageBackend>,
+            payload_bytes,
+            gens,
+        )?,
+        head_to_head(
+            "objstore",
+            &|| Arc::new(SimObjectStore::new(bench_object_profile())) as Arc<dyn StorageBackend>,
+            payload_bytes,
+            gens,
+        )?,
+    ];
+
+    let mut ladder = Vec::new();
+    for &jobs in jobs_ladder {
+        for &ranks in ranks_ladder {
+            // Normalize work per cell (~512 checkpoints) so small cells
+            // aren't timer-noise and wide cells stay tractable.
+            let cell_gens = (512 / (jobs * ranks)).clamp(2, 16);
+            ladder.push(ladder_cell(jobs, ranks, ladder_payload, cell_gens)?);
+        }
+    }
+
+    let isolation = isolation(ladder_payload, 8.min(ranks_ladder[0]).max(2), 4)?;
+    let bit_identity = bit_identity(ladder_payload.max(64 << 10))?;
+
+    Ok(StoreReport {
+        payload_bytes,
+        ladder_payload_bytes: ladder_payload,
+        head_to_head: head,
+        ladder,
+        isolation,
+        bit_identity,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_shape_on_tiny_run() -> SimResult<()> {
+        // Tiny payloads so the test is fast; the shipped BENCH_store.json
+        // comes from `scripts/bench.sh` at full size.
+        let report = run_store_bench(1 << 20, 3, &[1, 2], &[2])?;
+        assert_eq!(report.head_to_head.len(), 2);
+        assert_eq!(report.ladder.len(), 2);
+        for c in &report.ladder {
+            assert!(c.mbps > 0.0, "{c:?}");
+            assert!(c.ok_checkpoints > 0, "{c:?}");
+            assert_eq!(c.churn_events, 4);
+        }
+        assert!(
+            report.bit_identical_everywhere(),
+            "{:?}",
+            report.bit_identity
+        );
+        assert!(report.isolation.slow_job_durable);
+        assert!(report.isolation.retention() > 0.0);
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"store\""), "{json}");
+        assert!(json.contains("write_behind_speedup_objstore"), "{json}");
+        assert!(json.contains("ladder_scaling"), "{json}");
+        Ok(())
+    }
+
+    #[test]
+    fn write_behind_beats_blocking_on_latency_bound_store() -> SimResult<()> {
+        // The acceptance claim, on the backend the pipeline targets:
+        // same durability (all sidecars landed), overlapped I/O.
+        //
+        // Debug builds (including the lock-witness instrumented gate)
+        // inflate encode/CRC cost ~20x, which drags the run out of the
+        // latency-bound regime the claim is about; push the backend
+        // latency up and the payload down there so overlap — not CPU —
+        // stays the measured quantity. Release uses the shipped profile.
+        let (payload, profile) = if cfg!(debug_assertions) {
+            let mut p = bench_object_profile();
+            p.put_latency = Duration::from_millis(10);
+            (1 << 20, p)
+        } else {
+            (4 << 20, bench_object_profile())
+        };
+        let h = head_to_head(
+            "objstore",
+            &|| Arc::new(SimObjectStore::new(profile.clone())) as Arc<dyn StorageBackend>,
+            payload,
+            5,
+        )?;
+        assert!(
+            h.speedup() > 1.0,
+            "write-behind {:.1} MB/s vs blocking {:.1} MB/s",
+            h.write_behind_mbps,
+            h.blocking_mbps
+        );
+        Ok(())
+    }
+}

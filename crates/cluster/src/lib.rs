@@ -27,5 +27,5 @@ pub mod topology;
 
 pub use injector::FailureInjector;
 pub use scheduler::{CheckpointAck, Scheduler};
-pub use store::SharedStore;
+pub use store::{SharedStore, StorageBackend};
 pub use topology::{Cluster, Node};

@@ -21,6 +21,133 @@ use simcore::sync::{Mutex, RwLock};
 use simcore::{SimError, SimResult};
 use std::collections::BTreeMap;
 
+/// The pluggable persistence plane behind the checkpoint pipeline.
+///
+/// Everything above the store — the sharded writer, delta reuse,
+/// assembly, recovery fallback chains, the multi-job coordinator — is
+/// written against this trait, so the same protocol runs unchanged over
+/// the in-process striped map ([`SharedStore`]), a simulated object
+/// store with latency/failure injection, or a placement layer that
+/// routes paths across many nodes. Object-`dyn`-safe on purpose: the
+/// coordinator holds heterogeneous backends as `Arc<dyn StorageBackend>`.
+///
+/// Contract (what the checkpoint protocol relies on):
+///
+/// * `put` replaces whole objects atomically per path — readers never
+///   observe a mix of two writes to the same path (torn writes are
+///   modeled as explicit injected faults, not races);
+/// * `get` returns exactly the bytes of some prior completed `put`;
+/// * `list` sees every object whose `put` returned before `list`
+///   started, sorted by path;
+/// * completion/visibility is signalled only through objects (the
+///   metadata sidecar), never through store-wide state.
+pub trait StorageBackend: Send + Sync {
+    /// Writes an object, replacing any previous version.
+    fn put(&self, path: &str, data: Bytes) -> SimResult<()>;
+
+    /// Reads an object.
+    fn get(&self, path: &str) -> SimResult<Bytes>;
+
+    /// True if the object exists (not counted as a read).
+    fn exists(&self, path: &str) -> bool;
+
+    /// Deletes an object (idempotent).
+    fn delete(&self, path: &str);
+
+    /// Lists object paths with a prefix, sorted.
+    fn list(&self, prefix: &str) -> Vec<String>;
+
+    /// Removes all objects under a prefix, returning how many.
+    fn delete_prefix(&self, prefix: &str) -> usize;
+
+    /// Number of object reads (`get`) served so far.
+    fn read_count(&self) -> u64;
+
+    /// Total object count.
+    fn object_count(&self) -> usize;
+
+    /// Short human label for reports (`"mem"`, `"objstore"`, …).
+    fn kind(&self) -> &'static str;
+}
+
+impl StorageBackend for SharedStore {
+    fn put(&self, path: &str, data: Bytes) -> SimResult<()> {
+        SharedStore::put(self, path, data)
+    }
+
+    fn get(&self, path: &str) -> SimResult<Bytes> {
+        SharedStore::get(self, path)
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        SharedStore::exists(self, path)
+    }
+
+    fn delete(&self, path: &str) {
+        SharedStore::delete(self, path)
+    }
+
+    fn list(&self, prefix: &str) -> Vec<String> {
+        SharedStore::list(self, prefix)
+    }
+
+    fn delete_prefix(&self, prefix: &str) -> usize {
+        SharedStore::delete_prefix(self, prefix)
+    }
+
+    fn read_count(&self) -> u64 {
+        SharedStore::read_count(self)
+    }
+
+    fn object_count(&self) -> usize {
+        self.len()
+    }
+
+    fn kind(&self) -> &'static str {
+        "mem"
+    }
+}
+
+/// Shared ownership of a backend is still a backend: coordinators hand
+/// `Arc`s of one store to many jobs and pipeline workers.
+impl<T: StorageBackend + ?Sized> StorageBackend for std::sync::Arc<T> {
+    fn put(&self, path: &str, data: Bytes) -> SimResult<()> {
+        (**self).put(path, data)
+    }
+
+    fn get(&self, path: &str) -> SimResult<Bytes> {
+        (**self).get(path)
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        (**self).exists(path)
+    }
+
+    fn delete(&self, path: &str) {
+        (**self).delete(path)
+    }
+
+    fn list(&self, prefix: &str) -> Vec<String> {
+        (**self).list(prefix)
+    }
+
+    fn delete_prefix(&self, prefix: &str) -> usize {
+        (**self).delete_prefix(prefix)
+    }
+
+    fn read_count(&self) -> u64 {
+        (**self).read_count()
+    }
+
+    fn object_count(&self) -> usize {
+        (**self).object_count()
+    }
+
+    fn kind(&self) -> &'static str {
+        (**self).kind()
+    }
+}
+
 /// Number of lock stripes. A small power of two: enough to de-serialize
 /// the per-shard puts of a whole job's ranks, small enough to keep
 /// cross-stripe scans cheap.
@@ -360,7 +487,7 @@ mod tests {
         });
         assert_eq!(s.len(), 8 * 50);
         for w in 0..8u8 {
-            let got = s.get(format!("ckpt/w{w}/shard00049")).ok();
+            let got = s.get(&format!("ckpt/w{w}/shard00049")).ok();
             assert_eq!(got, Some(Bytes::from(vec![w; 16])));
         }
     }

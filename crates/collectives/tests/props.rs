@@ -405,6 +405,87 @@ proptest! {
         }
     }
 
+    /// Epoch-window eviction under arbitrary interleavings of
+    /// `begin_epoch` advances and records, cross-checked against a
+    /// straight-line model applying the documented rules: entries
+    /// outside `[epoch + 1 - window, epoch]` go at the epoch boundary,
+    /// the byte cap evicts FIFO on record, and retained generations
+    /// stay in insertion order with exact pinned-byte accounting.
+    #[test]
+    fn ledger_epoch_window_evicts_exactly_like_the_model(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                (0u64..3).prop_map(Some),        // begin_epoch advance by delta
+                Just(None),                      // record one generation
+            ],
+            1..60,
+        ),
+        epoch_window in 1u64..4,
+        cap_bytes in 64usize..4096,
+        members in 2usize..5,
+    ) {
+        let cfg = LedgerConfig { cap_bytes, epoch_window };
+        let ledger = GradLedger::new(cfg);
+
+        // Reference model: (epoch, gen, retained_bytes), front = oldest.
+        let mut model: std::collections::VecDeque<(u64, u64, usize)> =
+            std::collections::VecDeque::new();
+        let mut epoch = 0u64;
+        let mut gen = 0u64;
+
+        for op in ops {
+            match op {
+                Some(delta) => {
+                    epoch += delta;
+                    ledger.begin_epoch(epoch);
+                    let keep_from = (epoch + 1).saturating_sub(epoch_window);
+                    while model.front().is_some_and(|&(e, _, _)| e < keep_from) {
+                        model.pop_front();
+                    }
+                }
+                None => {
+                    let len = 8 + (gen as usize * 7) % 120;
+                    let pos = gen as usize % members;
+                    ledger.record(
+                        gen,
+                        collectives::CollKind::AllReduce,
+                        pos,
+                        members,
+                        Arc::new(vec![0.5; len]),
+                    );
+                    let bytes: usize = collectives::ledger::retained_ranges(len, members, pos)
+                        .iter()
+                        .map(|r| (r.end - r.start) * 4)
+                        .sum();
+                    model.push_back((epoch, gen, bytes));
+                    let mut pinned: usize = model.iter().map(|&(_, _, b)| b).sum();
+                    while pinned > cap_bytes {
+                        let Some((_, _, b)) = model.pop_front() else { break };
+                        pinned -= b;
+                    }
+                    gen += 1;
+                }
+            }
+
+            // Exact agreement with the model after every step.
+            let manifest = ledger.manifest();
+            let got: Vec<(u64, u64)> = manifest.iter().map(|m| (m.epoch, m.gen)).collect();
+            let want: Vec<(u64, u64)> = model.iter().map(|&(e, g, _)| (e, g)).collect();
+            prop_assert_eq!(got, want, "retained set diverged from model");
+            let want_pinned: usize = model.iter().map(|&(_, _, b)| b).sum();
+            prop_assert_eq!(ledger.pinned_bytes(), want_pinned, "pinned accounting");
+            prop_assert!(ledger.pinned_bytes() <= cap_bytes);
+            // Window invariant: nothing retained from before the window.
+            let keep_from = (epoch + 1).saturating_sub(epoch_window);
+            prop_assert!(
+                manifest.iter().all(|m| m.epoch >= keep_from),
+                "entry older than the epoch window survived"
+            );
+            // FIFO: generations strictly increase front to back.
+            prop_assert!(manifest.windows(2).all(|w| w[0].gen < w[1].gen));
+        }
+    }
+
     #[test]
     fn mailbox_is_idempotent_and_seq_addressed(
         msgs in proptest::collection::vec(proptest::collection::vec(any::<f32>(), 1..8), 1..6)

@@ -1,0 +1,28 @@
+//! Multi-job checkpoint coordination.
+//!
+//! The paper (and this repo through PR 8) treats checkpoint persistence
+//! as one job talking to one in-process store. The north star — heavy
+//! traffic, many tenants — needs a *persistence plane*: many concurrent
+//! training jobs sharing placement-aware storage whose behavior
+//! (latency, bandwidth, faults) is realistic enough to measure against.
+//! This crate is that plane, built entirely on the
+//! [`StorageBackend`](cluster::StorageBackend) trait:
+//!
+//! * [`object_store`] — [`SimObjectStore`]: the in-memory store wrapped
+//!   with injected latency, metered per-stream bandwidth, bounded
+//!   transfer slots, and lossy/torn/slow fault injection;
+//! * [`placement`] — [`PlacedStore`]: consistent-hash shard placement
+//!   over a node fleet with epoch-based rebalancing, bounded ring
+//!   history for reads across membership changes, and repair migration;
+//! * [`coordinator`] — [`Coordinator`]/[`JobSession`]: job admission
+//!   with per-job write-behind backpressure
+//!   ([`JobGate`](jitckpt::pipeline::JobGate)), retention GC that
+//!   respects delta-base pinning, and departure purge.
+
+pub mod coordinator;
+pub mod object_store;
+pub mod placement;
+
+pub use coordinator::{Coordinator, CoordinatorConfig, JobSession, JobSpec};
+pub use object_store::{ObjectStoreProfile, SimObjectStore};
+pub use placement::PlacedStore;

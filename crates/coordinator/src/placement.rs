@@ -1,0 +1,307 @@
+//! Consistent-hash shard placement with epoch-based rebalancing.
+//!
+//! The coordinator spreads many jobs' checkpoint objects across a set
+//! of storage nodes. Placement must (a) spread load well at any node
+//! count, (b) move only ~1/N of the keyspace when a node joins or
+//! leaves, and (c) keep *old* checkpoints readable across a membership
+//! change without a stop-the-world migration. The classic answer is a
+//! consistent-hash ring with virtual nodes, plus bounded **ring
+//! history**: every membership change starts a new placement epoch;
+//! writes always go to the newest ring, reads try the newest ring first
+//! and fall back through recent older rings — so an object written two
+//! epochs ago is still found on the node that was responsible for it
+//! then, until [`PlacedStore::repair`] migrates it home.
+//!
+//! Lock discipline: the ring/membership state sits behind a `RwLock`
+//! that is only ever held to *resolve* a route (clone the node `Arc`),
+//! never across a backend call — backend puts can sleep for
+//! milliseconds and must not block membership changes.
+
+use bytes::Bytes;
+use cluster::StorageBackend;
+use simcore::sync::RwLock;
+use simcore::{SimError, SimResult};
+use std::sync::Arc;
+
+/// Virtual nodes per physical node: enough to keep the spread within a
+/// few percent at small node counts, cheap to rebuild on membership
+/// change.
+const VNODES: usize = 64;
+
+/// How many past placement epochs reads fall back through. Bounding
+/// this bounds read amplification after churn; `repair` exists to
+/// migrate stragglers before their epoch ages out.
+const RING_HISTORY: usize = 3;
+
+/// FNV-1a with a splitmix64 finalizer. Raw FNV distributes short,
+/// structured keys (`"node0#vn3"`, `"ckpt/job1/…"`) poorly across the
+/// full u64 range — without the avalanche pass a 4-node ring can leave
+/// a node with no keyspace at all.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// One epoch's ring: sorted `(vnode_hash, node_slot)` points.
+#[derive(Debug, Clone)]
+struct Ring {
+    points: Vec<(u64, usize)>,
+}
+
+impl Ring {
+    fn build(live: &[bool]) -> Ring {
+        let mut points = Vec::new();
+        for (slot, alive) in live.iter().enumerate() {
+            if !alive {
+                continue;
+            }
+            for v in 0..VNODES {
+                points.push((fnv1a(format!("node{slot}#vn{v}").as_bytes()), slot));
+            }
+        }
+        points.sort_unstable();
+        Ring { points }
+    }
+
+    /// First vnode clockwise of the path's hash.
+    fn route(&self, path: &str) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let h = fnv1a(path.as_bytes());
+        let i = self.points.partition_point(|&(ph, _)| ph < h);
+        let (_, slot) = self.points[i % self.points.len()];
+        Some(slot)
+    }
+}
+
+struct Membership {
+    /// Node slots; a removed node keeps its slot (dead) so older rings'
+    /// slot indices stay meaningful.
+    nodes: Vec<Option<Arc<dyn StorageBackend>>>,
+    /// Newest ring first; bounded to `RING_HISTORY`.
+    rings: Vec<Ring>,
+    /// Bumped on every membership change.
+    epoch: u64,
+}
+
+impl Membership {
+    fn live_mask(&self) -> Vec<bool> {
+        self.nodes.iter().map(|n| n.is_some()).collect()
+    }
+
+    fn push_ring(&mut self) {
+        self.rings.insert(0, Ring::build(&self.live_mask()));
+        self.rings.truncate(RING_HISTORY);
+        self.epoch += 1;
+    }
+}
+
+/// A placement-aware [`StorageBackend`]: routes each object to a
+/// storage node by consistent hash, keeps recent ring history for reads
+/// across rebalances, and supports explicit repair migration.
+pub struct PlacedStore {
+    state: RwLock<Membership>,
+}
+
+impl PlacedStore {
+    /// Builds a placement over the given storage nodes (epoch 1).
+    pub fn new(nodes: Vec<Arc<dyn StorageBackend>>) -> PlacedStore {
+        let mut m = Membership {
+            nodes: nodes.into_iter().map(Some).collect(),
+            rings: Vec::new(),
+            epoch: 0,
+        };
+        m.push_ring();
+        PlacedStore {
+            state: RwLock::new(m),
+        }
+    }
+
+    /// Current placement epoch.
+    pub fn epoch(&self) -> u64 {
+        self.state.read().epoch
+    }
+
+    /// Live node count.
+    pub fn live_nodes(&self) -> usize {
+        self.state.read().nodes.iter().flatten().count()
+    }
+
+    /// Adds a storage node; new epoch, ~1/N of the keyspace re-homes.
+    /// Returns the node's slot.
+    pub fn add_node(&self, node: Arc<dyn StorageBackend>) -> usize {
+        let mut m = self.state.write();
+        m.nodes.push(Some(node));
+        let slot = m.nodes.len() - 1;
+        m.push_ring();
+        slot
+    }
+
+    /// Removes a node (its objects become unreachable, as when a
+    /// storage server dies); new epoch.
+    pub fn remove_node(&self, slot: usize) -> Option<Arc<dyn StorageBackend>> {
+        let mut m = self.state.write();
+        let node = m.nodes.get_mut(slot)?.take();
+        if node.is_some() {
+            m.push_ring();
+        }
+        node
+    }
+
+    /// Per-slot object counts (live slots only) — balance diagnostics.
+    pub fn node_object_counts(&self) -> Vec<(usize, usize)> {
+        let nodes = self.snapshot_nodes();
+        nodes
+            .into_iter()
+            .map(|(slot, n)| (slot, n.object_count()))
+            .collect()
+    }
+
+    /// Resolves `path`'s home node on the newest ring.
+    fn route_current(&self, path: &str) -> SimResult<Arc<dyn StorageBackend>> {
+        let m = self.state.read();
+        let slot = m.rings[0]
+            .route(path)
+            .ok_or_else(|| SimError::Storage("placement: no live storage nodes".into()))?;
+        m.nodes[slot]
+            .clone()
+            .ok_or_else(|| SimError::Storage(format!("placement: node {slot} is gone")))
+    }
+
+    /// Resolves `path` across ring history, newest first, deduplicated.
+    fn route_history(&self, path: &str) -> Vec<Arc<dyn StorageBackend>> {
+        let m = self.state.read();
+        let mut slots = Vec::new();
+        for ring in &m.rings {
+            if let Some(slot) = ring.route(path) {
+                if !slots.contains(&slot) {
+                    slots.push(slot);
+                }
+            }
+        }
+        slots
+            .into_iter()
+            .filter_map(|s| m.nodes[s].clone())
+            .collect()
+    }
+
+    /// All live nodes with their slots (route snapshot for scans).
+    fn snapshot_nodes(&self) -> Vec<(usize, Arc<dyn StorageBackend>)> {
+        let m = self.state.read();
+        m.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.clone().map(|n| (i, n)))
+            .collect()
+    }
+
+    /// Migrates objects under `prefix` that no longer live on their
+    /// current-ring home node (stragglers from older epochs). Returns
+    /// how many objects moved. Run opportunistically; reads work
+    /// without it until the writing epoch ages out of ring history.
+    pub fn repair(&self, prefix: &str) -> usize {
+        let nodes = self.snapshot_nodes();
+        let mut moved = 0;
+        for (slot, node) in &nodes {
+            for path in node.list(prefix) {
+                let Ok(home) = self.route_current(&path) else {
+                    continue;
+                };
+                // Same backend instance ⇒ already home.
+                let home_slot = {
+                    let m = self.state.read();
+                    m.rings[0].route(&path)
+                };
+                if home_slot == Some(*slot) {
+                    continue;
+                }
+                if let Ok(data) = node.get(&path) {
+                    if home.put(&path, data).is_ok() {
+                        node.delete(&path);
+                        moved += 1;
+                    }
+                }
+            }
+        }
+        moved
+    }
+}
+
+impl StorageBackend for PlacedStore {
+    fn put(&self, path: &str, data: Bytes) -> SimResult<()> {
+        self.route_current(path)?.put(path, data)
+    }
+
+    fn get(&self, path: &str) -> SimResult<Bytes> {
+        let candidates = self.route_history(path);
+        if candidates.is_empty() {
+            return Err(SimError::Storage("placement: no live storage nodes".into()));
+        }
+        let mut last = None;
+        for node in candidates {
+            match node.get(path) {
+                Ok(b) => return Ok(b),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| SimError::Storage(format!("{path}: not found"))))
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.route_history(path).iter().any(|n| n.exists(path))
+    }
+
+    fn delete(&self, path: &str) {
+        for node in self.route_history(path) {
+            node.delete(path);
+        }
+    }
+
+    fn list(&self, prefix: &str) -> Vec<String> {
+        let mut all: Vec<String> = self
+            .snapshot_nodes()
+            .into_iter()
+            .flat_map(|(_, n)| n.list(prefix))
+            .collect();
+        all.sort();
+        all.dedup();
+        all
+    }
+
+    fn delete_prefix(&self, prefix: &str) -> usize {
+        // Count distinct paths, not per-node copies: a straggler and
+        // its repaired home copy are one logical object.
+        let distinct = self.list(prefix).len();
+        for (_, node) in self.snapshot_nodes() {
+            node.delete_prefix(prefix);
+        }
+        distinct
+    }
+
+    fn read_count(&self) -> u64 {
+        self.snapshot_nodes()
+            .iter()
+            .map(|(_, n)| n.read_count())
+            .sum()
+    }
+
+    fn object_count(&self) -> usize {
+        self.snapshot_nodes()
+            .iter()
+            .map(|(_, n)| n.object_count())
+            .sum()
+    }
+
+    fn kind(&self) -> &'static str {
+        "placed"
+    }
+}

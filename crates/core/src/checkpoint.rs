@@ -41,7 +41,7 @@
 //! kind.
 
 use bytes::{BufMut, Bytes, BytesMut};
-use cluster::SharedStore;
+use cluster::StorageBackend;
 use dltrain::TrainState;
 use serde::{Deserialize, Serialize};
 use simcore::codec::{decode_framed, encode_framed, Decode, Encode};
@@ -80,7 +80,22 @@ pub struct ShardConfig {
     /// Skip shards whose bytes are unchanged since this cell's previous
     /// checkpoint, recording a reference in the sidecar instead.
     pub delta: bool,
+    /// Longest run of consecutive delta checkpoints before the writer is
+    /// forced back to a full (no-reuse) checkpoint. Delta references are
+    /// collapsed transitively at write time, so *reads* never chase
+    /// chains — but every delta generation keeps its base's directory
+    /// alive: an unbounded run pins arbitrarily old iterations against
+    /// garbage collection, and `list`-driven costs (`read_meta` scans,
+    /// `assemble`) grow with job age. The cap bounds how far back any
+    /// live reference can reach. `0` disables delta entirely.
+    pub max_delta_chain: u32,
 }
+
+/// Default bound on consecutive delta generations
+/// ([`ShardConfig::max_delta_chain`]): long enough that steady-state
+/// writes stay mostly-delta, short enough that retention can always
+/// collect a cell's history within a handful of generations.
+pub const DEFAULT_MAX_DELTA_CHAIN: u32 = 8;
 
 impl Default for ShardConfig {
     fn default() -> Self {
@@ -88,6 +103,21 @@ impl Default for ShardConfig {
             shard_bytes: 4 << 20,
             workers: default_shard_workers(),
             delta: true,
+            max_delta_chain: DEFAULT_MAX_DELTA_CHAIN,
+        }
+    }
+}
+
+impl ShardConfig {
+    /// This configuration with the worker pool auto-sized for `state`:
+    /// [`auto_shard_workers`] of the shard count `state` will split into
+    /// at this `shard_bytes`. Both checkpoint policies (JIT and the
+    /// periodic baselines) route their write sites through this so pool
+    /// sizing logic lives in exactly one place.
+    pub fn auto_sized_for(&self, state: &TrainState) -> ShardConfig {
+        ShardConfig {
+            workers: auto_shard_workers(state.shard_count(self.shard_bytes)),
+            ..*self
         }
     }
 }
@@ -178,6 +208,11 @@ pub struct CheckpointMeta {
     /// Shard boundary size this checkpoint was written with. Delta reuse
     /// requires the base to have the identical value.
     pub shard_bytes: u64,
+    /// Length of the consecutive delta run ending at this checkpoint:
+    /// `0` for a full checkpoint (no shard reused), `base.delta_depth+1`
+    /// when any shard references a base. The writer refuses to extend a
+    /// run past [`ShardConfig::max_delta_chain`] — see that field.
+    pub delta_depth: u32,
     /// Per-shard records, in index order.
     pub shards: Vec<ShardMeta>,
 }
@@ -188,7 +223,8 @@ impl CheckpointMeta {
     /// binary — so any field change must bump this and decode rejects
     /// mismatched versions instead of silently misreading old bytes.
     /// v2: sharded payload (per-shard CRCs, delta references).
-    pub const SCHEMA_VERSION: u16 = 2;
+    /// v3: `delta_depth` (delta-chain accounting for the chain cap).
+    pub const SCHEMA_VERSION: u16 = 3;
 }
 
 impl Encode for CheckpointMeta {
@@ -200,6 +236,7 @@ impl Encode for CheckpointMeta {
         self.payload_len.encode(buf);
         self.logical_bytes.encode(buf);
         self.shard_bytes.encode(buf);
+        self.delta_depth.encode(buf);
         self.shards.encode(buf);
     }
 }
@@ -220,6 +257,7 @@ impl Decode for CheckpointMeta {
             payload_len: u64::decode(buf)?,
             logical_bytes: u64::decode(buf)?,
             shard_bytes: u64::decode(buf)?,
+            delta_depth: u32::decode(buf)?,
             shards: Vec::<ShardMeta>::decode(buf)?,
         })
     }
@@ -232,6 +270,12 @@ fn shard_set_crc(shards: &[ShardMeta]) -> u64 {
         b.put_u64_le(s.crc);
     }
     simcore::codec::crc64(&b)
+}
+
+/// Directory prefix of every checkpoint a job has written under `kind`
+/// — the unit of coordinator retention scans and departure purges.
+pub fn job_prefix(job: JobId, kind: CkptKind) -> String {
+    format!("ckpt/{job}/{}/", kind.dir())
 }
 
 /// Directory prefix of one rank-cell's checkpoint (shard objects and the
@@ -298,8 +342,8 @@ fn parse_rel_path(rest: &str) -> Option<(u64, &str, usize, &str)> {
 /// Writes a rank's checkpoint with default sharding. Kept as the
 /// one-call entry point for callers that don't tune the pipeline.
 #[allow(clippy::too_many_arguments)]
-pub fn write_checkpoint(
-    store: &SharedStore,
+pub fn write_checkpoint<S: StorageBackend + ?Sized>(
+    store: &S,
     job: JobId,
     kind: CkptKind,
     rank: RankId,
@@ -321,6 +365,181 @@ pub fn write_checkpoint(
     )
 }
 
+/// The staged write of one rank-cell checkpoint: the encoded logical
+/// stream, its zero-copy shard slices, and the resolved delta base.
+/// Both persistence paths are built on it — the blocking worker-pool
+/// path ([`write_checkpoint_with`]) and the write-behind pipeline
+/// ([`crate::pipeline`]) — so shard encoding, delta policy, and the
+/// chain cap live in exactly one place.
+pub struct ShardPlan {
+    /// Target checkpoint identity.
+    pub job: JobId,
+    /// Checkpoint flavor.
+    pub kind: CkptKind,
+    /// Writing rank.
+    pub rank: RankId,
+    /// Pipeline stage of the cell.
+    pub stage: usize,
+    /// Tensor partition of the cell.
+    pub part: usize,
+    /// Data-parallel replica index.
+    pub dp: usize,
+    /// Iteration being persisted.
+    pub iteration: u64,
+    /// Logical checkpoint size (cost accounting on restore).
+    pub logical_bytes: u64,
+    /// Shard boundary size, bytes.
+    pub shard_bytes: usize,
+    /// The encoded logical stream (shards are slices of it — the
+    /// `Arc`-backed buffer is shared, never copied, all the way into
+    /// the storage backend).
+    pub stream: Bytes,
+    /// Per-shard zero-copy slices of `stream`.
+    pub slices: Vec<Bytes>,
+    /// Delta base sidecar, when reuse is allowed and layout-compatible.
+    pub base: Option<CheckpointMeta>,
+}
+
+impl ShardPlan {
+    /// Stages a checkpoint write: encodes the logical stream once,
+    /// slices it at `shard_bytes` boundaries, and resolves the delta
+    /// base (enforcing [`ShardConfig::max_delta_chain`] — a base whose
+    /// consecutive-delta run is exhausted is discarded, forcing this
+    /// write to be full so old directories become collectable).
+    #[allow(clippy::too_many_arguments)]
+    pub fn stage<S: StorageBackend + ?Sized>(
+        store: &S,
+        job: JobId,
+        kind: CkptKind,
+        rank: RankId,
+        stage: usize,
+        part: usize,
+        dp: usize,
+        state: &TrainState,
+        cfg: &ShardConfig,
+    ) -> ShardPlan {
+        let shard_bytes = cfg.shard_bytes.max(1);
+        // Encode the logical stream once; shards are zero-copy slices of
+        // it. Pre-sizing to the exact encoded length avoids growing a
+        // multi-hundred-MiB buffer through a doubling realloc chain.
+        let mut staged = BytesMut::with_capacity(state.encoded_len());
+        state.encode(&mut staged);
+        let stream = staged.freeze();
+        let n = stream.len().div_ceil(shard_bytes).max(1);
+        let mut slices = Vec::with_capacity(n);
+        for i in 0..n {
+            let lo = i * shard_bytes;
+            let hi = ((i + 1) * shard_bytes).min(stream.len());
+            slices.push(stream.slice(lo..hi));
+        }
+
+        // Delta base: this cell+replica's newest prior sidecar with an
+        // identical shard layout. Only the sidecar is consulted — if a
+        // base object later turns out torn or missing, the *read* path
+        // rejects that shard by index and assembly falls back, exactly
+        // as for any other incomplete checkpoint.
+        let base = if cfg.delta && cfg.max_delta_chain > 0 {
+            latest_meta_before(store, job, kind, state.iteration, stage, part, dp)
+                .filter(|m| m.shard_bytes == shard_bytes as u64 && m.shards.len() == n)
+                // Chain cap: extending this base would make the run
+                // `base.delta_depth + 1` long; past the cap, write full.
+                .filter(|m| m.delta_depth < cfg.max_delta_chain)
+        } else {
+            None
+        };
+
+        ShardPlan {
+            job,
+            kind,
+            rank,
+            stage,
+            part,
+            dp,
+            iteration: state.iteration,
+            logical_bytes: state.logical_bytes,
+            shard_bytes,
+            stream,
+            slices,
+            base,
+        }
+    }
+
+    /// Number of shards in the plan.
+    pub fn n_shards(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// CRCs shard `i` and decides reuse-vs-upload: returns the shard's
+    /// sidecar record plus the payload to persist (`None` when the bytes
+    /// already live in the base iteration's directory). This is the
+    /// CPU-bound half of the pipeline; the returned payload is an
+    /// `Arc`-backed slice of the staged stream — handing it to an
+    /// uploader costs a refcount bump, not a copy.
+    pub fn resolve_shard(&self, i: usize) -> (ShardMeta, Option<Bytes>) {
+        let payload = &self.slices[i];
+        let crc = simcore::codec::crc64(payload);
+        let reused = self.base.as_ref().and_then(|b| {
+            let bs = b.shards.get(i)?;
+            (bs.len == payload.len() as u64 && bs.crc == crc)
+                .then(|| bs.base_iteration.unwrap_or(b.iteration))
+        });
+        let meta = ShardMeta {
+            index: i as u32,
+            len: payload.len() as u64,
+            crc,
+            base_iteration: reused,
+        };
+        let upload = reused.is_none().then(|| payload.clone());
+        (meta, upload)
+    }
+
+    /// Store path of shard `i`.
+    pub fn shard_path(&self, i: usize) -> String {
+        shard_path(
+            self.job,
+            self.kind,
+            self.iteration,
+            self.stage,
+            self.part,
+            self.dp,
+            i as u32,
+        )
+    }
+
+    /// Store path of the metadata sidecar.
+    pub fn meta_path(&self) -> String {
+        meta_path(
+            self.job,
+            self.kind,
+            self.iteration,
+            self.stage,
+            self.part,
+            self.dp,
+        )
+    }
+
+    /// Builds the completion sidecar from the resolved shard records
+    /// (index order). `delta_depth` extends the base's run only if any
+    /// shard actually reused it.
+    pub fn finish_meta(&self, shards: Vec<ShardMeta>) -> CheckpointMeta {
+        let any_reused = shards.iter().any(|s| s.base_iteration.is_some());
+        CheckpointMeta {
+            iteration: self.iteration,
+            rank: self.rank.0,
+            payload_crc: shard_set_crc(&shards),
+            payload_len: self.stream.len() as u64,
+            logical_bytes: self.logical_bytes,
+            shard_bytes: self.shard_bytes as u64,
+            delta_depth: if any_reused {
+                self.base.as_ref().map(|b| b.delta_depth + 1).unwrap_or(0)
+            } else {
+                0
+            },
+            shards,
+        }
+    }
+}
+
 /// Writes a rank's checkpoint: shard objects first (fanned out across a
 /// bounded worker pool), then the metadata sidecar — the completion
 /// marker. The caller charges the write cost to the rank's clock.
@@ -329,8 +548,8 @@ pub fn write_checkpoint(
 /// prior checkpoint (same `shard_bytes`, same shard count) are not
 /// re-written; the sidecar records where the bytes already live.
 #[allow(clippy::too_many_arguments)]
-pub fn write_checkpoint_with(
-    store: &SharedStore,
+pub fn write_checkpoint_with<S: StorageBackend + ?Sized>(
+    store: &S,
     job: JobId,
     kind: CkptKind,
     rank: RankId,
@@ -340,65 +559,19 @@ pub fn write_checkpoint_with(
     state: &TrainState,
     cfg: &ShardConfig,
 ) -> SimResult<()> {
-    let shard_bytes = cfg.shard_bytes.max(1);
-    // Encode the logical stream once; shards are zero-copy slices of it.
-    // Pre-sizing to the exact encoded length avoids growing a
-    // multi-hundred-MiB buffer through a doubling realloc chain.
-    let mut staged = BytesMut::with_capacity(state.encoded_len());
-    state.encode(&mut staged);
-    let stream = staged.freeze();
-    let n = stream.len().div_ceil(shard_bytes).max(1);
-    let mut slices = Vec::with_capacity(n);
-    for i in 0..n {
-        let lo = i * shard_bytes;
-        let hi = ((i + 1) * shard_bytes).min(stream.len());
-        slices.push(stream.slice(lo..hi));
-    }
-
-    // Delta base: this cell+replica's newest prior sidecar with an
-    // identical shard layout. Only the sidecar is consulted — if a base
-    // object later turns out torn or missing, the *read* path rejects
-    // that shard by index and assembly falls back, exactly as for any
-    // other incomplete checkpoint.
-    let base = if cfg.delta {
-        latest_meta_before(store, job, kind, state.iteration, stage, part, dp)
-            .filter(|m| m.shard_bytes == shard_bytes as u64 && m.shards.len() == n)
-    } else {
-        None
-    };
+    let plan = ShardPlan::stage(store, job, kind, rank, stage, part, dp, state, cfg);
+    let n = plan.n_shards();
 
     // Bounded worker pool ([`simcore::pool::fan_out`]): each worker CRCs
     // its shard, decides reuse-vs-put, and records the resulting
     // ShardMeta into an index-addressed slot.
-    let iteration = state.iteration;
     let results: Mutex<Vec<Option<SimResult<ShardMeta>>>> =
         Mutex::new((0..n).map(|_| None).collect());
     simcore::pool::fan_out(n, cfg.workers.min(n), "ckpt-shard", |i| {
-        let payload = &slices[i];
-        let crc = simcore::codec::crc64(payload);
-        let reused = base.as_ref().and_then(|b| {
-            let bs = b.shards.get(i)?;
-            (bs.len == payload.len() as u64 && bs.crc == crc)
-                .then(|| bs.base_iteration.unwrap_or(b.iteration))
-        });
-        let res = match reused {
-            Some(base_it) => Ok(ShardMeta {
-                index: i as u32,
-                len: payload.len() as u64,
-                crc,
-                base_iteration: Some(base_it),
-            }),
-            None => store
-                .put(
-                    shard_path(job, kind, iteration, stage, part, dp, i as u32),
-                    payload.clone(),
-                )
-                .map(|()| ShardMeta {
-                    index: i as u32,
-                    len: payload.len() as u64,
-                    crc,
-                    base_iteration: None,
-                }),
+        let (meta, upload) = plan.resolve_shard(i);
+        let res = match upload {
+            None => Ok(meta),
+            Some(payload) => store.put(&plan.shard_path(i), payload).map(|()| meta),
         };
         results.lock()[i] = Some(res);
     });
@@ -415,26 +588,15 @@ pub fn write_checkpoint_with(
             }
         }
     }
-    let meta = CheckpointMeta {
-        iteration,
-        rank: rank.0,
-        payload_crc: shard_set_crc(&shards),
-        payload_len: stream.len() as u64,
-        logical_bytes: state.logical_bytes,
-        shard_bytes: shard_bytes as u64,
-        shards,
-    };
-    store.put(
-        meta_path(job, kind, iteration, stage, part, dp),
-        encode_framed(&meta),
-    )?;
+    let meta = plan.finish_meta(shards);
+    store.put(&plan.meta_path(), encode_framed(&meta))?;
     Ok(())
 }
 
 /// Reads and validates a checkpoint's metadata sidecar only (no shard
 /// I/O). Used by the delta writer and by benchmarks measuring hit-rates.
-pub fn read_meta(
-    store: &SharedStore,
+pub fn read_meta<S: StorageBackend + ?Sized>(
+    store: &S,
     job: JobId,
     kind: CkptKind,
     iteration: u64,
@@ -449,8 +611,8 @@ pub fn read_meta(
 
 /// Newest prior iteration (strictly before `before`) with a decodable
 /// sidecar for this cell+replica; the delta writer's base.
-fn latest_meta_before(
-    store: &SharedStore,
+fn latest_meta_before<S: StorageBackend + ?Sized>(
+    store: &S,
     job: JobId,
     kind: CkptKind,
     before: u64,
@@ -486,8 +648,8 @@ fn latest_meta_before(
 /// every bad shard *by index* (`shard 3: checksum mismatch; shard 7:
 /// truncated …`) while healthy siblings remain validated, so callers and
 /// operators can see exactly which objects are damaged.
-pub fn read_checkpoint(
-    store: &SharedStore,
+pub fn read_checkpoint<S: StorageBackend + ?Sized>(
+    store: &S,
     job: JobId,
     kind: CkptKind,
     iteration: u64,
@@ -581,8 +743,8 @@ pub struct CellChoice {
     pub kind: CkptKind,
 }
 
-fn complete_iterations_for_cell(
-    store: &SharedStore,
+fn complete_iterations_for_cell<S: StorageBackend + ?Sized>(
+    store: &S,
     job: JobId,
     kind: CkptKind,
     layout: &ParallelLayout,
@@ -619,8 +781,8 @@ fn complete_iterations_for_cell(
 /// incomplete files — and which replica to read it from. Searches both
 /// JIT and periodic checkpoints and takes the newest (the combined
 /// JIT + PC mode of §6.3).
-pub fn assemble(
-    store: &SharedStore,
+pub fn assemble<S: StorageBackend + ?Sized>(
+    store: &S,
     job: JobId,
     layout: &ParallelLayout,
 ) -> SimResult<BTreeMap<(usize, usize), CellChoice>> {
@@ -674,8 +836,8 @@ pub fn assemble(
 /// rank should load — a complete checkpoint from any data-parallel
 /// replica of its own cell, at an iteration consistent across the whole
 /// job. Shard objects and the sidecar live under the returned prefix.
-pub fn jit_get_checkpoint_path(
-    store: &SharedStore,
+pub fn jit_get_checkpoint_path<S: StorageBackend + ?Sized>(
+    store: &S,
     job: JobId,
     layout: &ParallelLayout,
     rank: RankId,
@@ -694,8 +856,8 @@ pub fn jit_get_checkpoint_path(
 }
 
 /// Loads the resolved checkpoint for `rank` (validated).
-pub fn load_for_rank(
-    store: &SharedStore,
+pub fn load_for_rank<S: StorageBackend + ?Sized>(
+    store: &S,
     job: JobId,
     layout: &ParallelLayout,
     rank: RankId,
@@ -717,6 +879,7 @@ pub fn load_for_rank(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cluster::SharedStore;
     use simgpu::BufferTag;
 
     fn state(it: u64, v: f32) -> TrainState {
@@ -766,6 +929,7 @@ mod tests {
         shard_bytes: 64,
         workers: 3,
         delta: true,
+        max_delta_chain: DEFAULT_MAX_DELTA_CHAIN,
     };
 
     fn job() -> JobId {
@@ -1139,6 +1303,53 @@ mod tests {
         let plan = assemble(&store, job(), &layout)?;
         assert_eq!(plan[&(0, 0)].kind, CkptKind::Periodic);
         assert_eq!(plan[&(0, 0)].iteration, 30);
+        Ok(())
+    }
+
+    /// Boundary of the delta-chain cap: with `max_delta_chain = 3` and
+    /// bit-identical state every iteration, depths run 0,1,2,3, then the
+    /// write at the boundary is forced full (depth 0, no shard refs) and
+    /// the run restarts — `read`/`assemble` cost stays bounded however
+    /// old the job gets.
+    #[test]
+    fn delta_chain_cap_forces_full_write_at_boundary() -> SimResult<()> {
+        let cfg = ShardConfig {
+            max_delta_chain: 3,
+            ..SMALL
+        };
+        let store = SharedStore::new();
+        let mut depths = Vec::new();
+        for it in 1..=6 {
+            let mut s = big_state(1, 1.5);
+            s.iteration = it; // same bytes, new iteration ⇒ fully reusable
+            write_checkpoint_with(&store, job(), CkptKind::Jit, RankId(0), 0, 0, 0, &s, &cfg)?;
+            depths.push(read_meta(&store, job(), CkptKind::Jit, it, 0, 0, 0)?.delta_depth);
+        }
+        assert_eq!(depths, vec![0, 1, 2, 3, 0, 1], "cap resets the run at 3");
+
+        // The forced-full boundary write references nothing older.
+        let full = read_meta(&store, job(), CkptKind::Jit, 5, 0, 0, 0)?;
+        assert!(full.shards.iter().all(|s| s.base_iteration.is_none()));
+        // The capped write still reads back bit-identically.
+        let mut want = big_state(1, 1.5);
+        want.iteration = 5;
+        let (got, _) = read_checkpoint(&store, job(), CkptKind::Jit, 5, 0, 0, 0)?;
+        assert_eq!(got, want);
+
+        // `max_delta_chain: 0` disables delta entirely.
+        let none = ShardConfig {
+            max_delta_chain: 0,
+            ..SMALL
+        };
+        let store = SharedStore::new();
+        for it in 1..=2 {
+            let mut s = big_state(1, 1.5);
+            s.iteration = it;
+            write_checkpoint_with(&store, job(), CkptKind::Jit, RankId(0), 0, 0, 0, &s, &none)?;
+        }
+        let m = read_meta(&store, job(), CkptKind::Jit, 2, 0, 0, 0)?;
+        assert_eq!(m.delta_depth, 0);
+        assert!(m.shards.iter().all(|s| s.base_iteration.is_none()));
         Ok(())
     }
 }

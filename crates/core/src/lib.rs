@@ -28,6 +28,9 @@
 //!
 //! * [`checkpoint`] — the shared checkpoint format/naming/assembly
 //!   protocol (§3.2–§3.3), also used by the periodic baselines;
+//! * [`pipeline`] — write-behind checkpoint persistence: bounded-queue
+//!   async uploads with per-job admission control, so shard puts overlap
+//!   shard encode/CRC instead of stalling the training thread;
 //! * [`stream`] — pipelined replica-to-replica recovery state transfer
 //!   (CRC-framed codec shards rank-to-rank, replacing the per-rank
 //!   store round-trip on restore);
@@ -37,12 +40,14 @@
 
 pub mod analysis;
 pub mod checkpoint;
+pub mod pipeline;
 pub mod stream;
 pub mod transparent;
 pub mod user_level;
 pub mod workloads;
 
 pub use checkpoint::{jit_get_checkpoint_path, CkptKind};
+pub use pipeline::{CkptTicket, JobGate, WriteBehind, WriteBehindConfig};
 pub use transparent::{RecoveryReport, TransparentEngine};
 pub use user_level::{JitUserClient, JitUserConfig};
 pub use workloads::{catalog, Workload};

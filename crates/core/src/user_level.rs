@@ -227,7 +227,8 @@ fn save_checkpoint_from_watchdog(
         part,
         dp,
         &state,
-        shards,
+        // Pool width keyed to the actual shard count of this state.
+        &shards.auto_sized_for(&state),
     )?;
     events.lock().push(RecoveryEvent {
         rank,

@@ -23,6 +23,7 @@ fn cfg(shard_bytes: usize, workers: usize) -> ShardConfig {
         shard_bytes,
         workers,
         delta: true,
+        ..ShardConfig::default()
     }
 }
 

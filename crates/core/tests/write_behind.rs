@@ -1,0 +1,182 @@
+//! Write-behind pipeline semantics: durability equivalence with the
+//! blocking writer, completion ordering, failure invisibility, and
+//! per-job gate behavior.
+
+use bytes::Bytes;
+use cluster::{SharedStore, StorageBackend};
+use dltrain::TrainState;
+use jitckpt::checkpoint::{self, CkptKind, ShardConfig, ShardPlan};
+use jitckpt::pipeline::{JobGate, WriteBehind, WriteBehindConfig};
+use simcore::{JobId, RankId, SimResult};
+use simgpu::BufferTag;
+use std::sync::Arc;
+
+fn state(it: u64, elems: usize) -> TrainState {
+    let data: Vec<f32> = (0..elems).map(|i| (i as f32) * 0.5 + it as f32).collect();
+    TrainState {
+        iteration: it,
+        opt_t: it as u32,
+        buffers: vec![
+            ("w".into(), BufferTag::Param, data.clone()),
+            ("m".into(), BufferTag::OptimState, data),
+        ],
+        logical_bytes: (elems * 8) as u64,
+    }
+}
+
+fn small() -> ShardConfig {
+    ShardConfig {
+        shard_bytes: 256,
+        workers: 2,
+        delta: true,
+        ..ShardConfig::default()
+    }
+}
+
+fn submit(
+    wb: &WriteBehind,
+    store: &Arc<dyn StorageBackend>,
+    s: &TrainState,
+    cfg: &ShardConfig,
+    gate: Option<&Arc<JobGate>>,
+) -> jitckpt::pipeline::CkptTicket {
+    let plan = ShardPlan::stage(store, JobId(0), CkptKind::Jit, RankId(0), 0, 0, 0, s, cfg);
+    wb.submit_to(store, &plan, gate)
+}
+
+/// Same state through blocking writer and write-behind pipeline ⇒ the
+/// reader sees bit-identical checkpoints from both.
+#[test]
+fn write_behind_matches_blocking_writer_bit_for_bit() -> SimResult<()> {
+    let cfg = small();
+    let s = state(7, 300);
+
+    let blocking = SharedStore::new();
+    checkpoint::write_checkpoint_with(
+        &blocking,
+        JobId(0),
+        CkptKind::Jit,
+        RankId(0),
+        0,
+        0,
+        0,
+        &s,
+        &cfg,
+    )?;
+    let (from_blocking, _) =
+        checkpoint::read_checkpoint(&blocking, JobId(0), CkptKind::Jit, 7, 0, 0, 0)?;
+
+    let behind: Arc<dyn StorageBackend> = Arc::new(SharedStore::new());
+    let wb = WriteBehind::new(behind.clone(), WriteBehindConfig::default());
+    submit(&wb, &behind, &s, &cfg, None).wait()?;
+    let (from_behind, _) =
+        checkpoint::read_checkpoint(&behind, JobId(0), CkptKind::Jit, 7, 0, 0, 0)?;
+
+    assert_eq!(from_blocking, from_behind);
+    assert_eq!(from_behind, s);
+    Ok(())
+}
+
+/// Pipelined generations with delta: later submissions reuse earlier
+/// shards, a zero-upload checkpoint still finalizes, and every
+/// generation remains readable.
+#[test]
+fn pipelined_delta_generations_round_trip() -> SimResult<()> {
+    let cfg = small();
+    let store: Arc<dyn StorageBackend> = Arc::new(SharedStore::new());
+    let wb = WriteBehind::new(store.clone(), WriteBehindConfig::default());
+
+    let s1 = state(1, 300);
+    let mut s2 = s1.clone();
+    s2.iteration = 2; // bit-identical buffers ⇒ all shards reuse
+    let s3 = state(3, 300);
+
+    let t1 = submit(&wb, &store, &s1, &cfg, None);
+    t1.wait()?; // s2 must see s1's sidecar to delta against it
+    let t2 = submit(&wb, &store, &s2, &cfg, None);
+    t2.wait()?;
+    let t3 = submit(&wb, &store, &s3, &cfg, None);
+    t3.wait()?;
+
+    for (it, want) in [(1, &s1), (2, &s2), (3, &s3)] {
+        let (got, _) = checkpoint::read_checkpoint(&store, JobId(0), CkptKind::Jit, it, 0, 0, 0)?;
+        assert_eq!(&got, want, "iteration {it}");
+    }
+    Ok(())
+}
+
+/// A backend that rejects puts under an armed prefix.
+struct RejectingStore {
+    inner: SharedStore,
+    reject_prefix: String,
+}
+
+impl StorageBackend for RejectingStore {
+    fn put(&self, path: &str, data: Bytes) -> SimResult<()> {
+        if path.starts_with(&self.reject_prefix) && !path.ends_with("/meta") {
+            return Err(simcore::SimError::Storage(format!("{path}: injected")));
+        }
+        self.inner.put(path, data)
+    }
+    fn get(&self, path: &str) -> SimResult<Bytes> {
+        self.inner.get(path)
+    }
+    fn exists(&self, path: &str) -> bool {
+        self.inner.exists(path)
+    }
+    fn delete(&self, path: &str) {
+        self.inner.delete(path)
+    }
+    fn list(&self, prefix: &str) -> Vec<String> {
+        self.inner.list(prefix)
+    }
+    fn delete_prefix(&self, prefix: &str) -> usize {
+        self.inner.delete_prefix(prefix)
+    }
+    fn read_count(&self) -> u64 {
+        self.inner.read_count()
+    }
+    fn object_count(&self) -> usize {
+        self.inner.len()
+    }
+    fn kind(&self) -> &'static str {
+        "rejecting"
+    }
+}
+
+/// A failed shard put surfaces on the ticket AND suppresses the
+/// completion sidecar — the half-written checkpoint stays invisible.
+#[test]
+fn failed_shard_put_suppresses_sidecar() {
+    let cfg = small();
+    let store: Arc<dyn StorageBackend> = Arc::new(RejectingStore {
+        inner: SharedStore::new(),
+        reject_prefix: "ckpt/".into(),
+    });
+    let wb = WriteBehind::new(store.clone(), WriteBehindConfig::default());
+    let s = state(5, 300);
+    let ticket = submit(&wb, &store, &s, &cfg, None);
+    assert!(ticket.wait().is_err());
+    let meta = checkpoint::read_meta(&store, JobId(0), CkptKind::Jit, 5, 0, 0, 0);
+    assert!(meta.is_err(), "sidecar must not exist after a failed shard");
+    assert_eq!(
+        wb.stats().failed.load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+}
+
+/// The gate bounds in-flight bytes but always admits an oversized
+/// checkpoint when idle, and drains back to zero.
+#[test]
+fn job_gate_admits_oversized_and_drains() -> SimResult<()> {
+    let cfg = small();
+    let store: Arc<dyn StorageBackend> = Arc::new(SharedStore::new());
+    let wb = WriteBehind::new(store.clone(), WriteBehindConfig::default());
+    let gate = JobGate::new(64); // smaller than one shard
+    let s = state(9, 300);
+    submit(&wb, &store, &s, &cfg, Some(&gate)).wait()?;
+    assert_eq!(gate.in_flight(), 0, "gate must drain after durability");
+    let (got, _) = checkpoint::read_checkpoint(&store, JobId(0), CkptKind::Jit, 9, 0, 0, 0)?;
+    assert_eq!(got, s);
+    Ok(())
+}

@@ -968,6 +968,13 @@ impl TrainState {
         }
         n
     }
+
+    /// Number of fixed-size shards a checkpoint of this state will
+    /// occupy at `shard_bytes` per shard. Shard-worker auto-sizing keys
+    /// off this so pool width tracks actual parallelism available.
+    pub fn shard_count(&self, shard_bytes: usize) -> usize {
+        self.encoded_len().div_ceil(shard_bytes.max(1)).max(1)
+    }
 }
 
 /// Spawns one thread per rank, each building a trainer via `make` and

@@ -20,6 +20,11 @@
 #                      head-to-head (periodic-optimal / user JIT /
 #                      transparent JIT / in-network), and the
 #                      zero-store-read ledger recovery demo.
+#   BENCH_store.json — multi-job coordinator persistence: write-behind
+#                      vs blocking at equal durability over both
+#                      storage backends, the jobs×ranks throughput
+#                      ladder under churn, per-job gate isolation, and
+#                      backend round-trip bit identity.
 #
 # Optional args pass through to the checkpoint bench:
 #
@@ -32,6 +37,7 @@ OUT="${2:-BENCH_ckpt.json}"
 PROXY_OUT="${PROXY_OUT:-BENCH_proxy.json}"
 COLL_OUT="${COLL_OUT:-BENCH_coll.json}"
 RECOVERY_OUT="${RECOVERY_OUT:-BENCH_recovery.json}"
+STORE_OUT="${STORE_OUT:-BENCH_store.json}"
 
 echo "==> cargo run --release -p bench --bin ckpt_bench -- ${PAYLOAD_MIB} ${OUT}"
 cargo run --release --quiet -p bench --bin ckpt_bench -- "${PAYLOAD_MIB}" "${OUT}"
@@ -45,9 +51,12 @@ cargo run --release --quiet -p bench --bin coll_bench -- 6 64 "${COLL_OUT}" 2048
 echo "==> cargo run --release -p bench --bin recovery_bench -- ${RECOVERY_OUT}"
 cargo run --release --quiet -p bench --bin recovery_bench -- "${RECOVERY_OUT}"
 
+echo "==> cargo run --release -p bench --bin store_bench -- 4 6 ${STORE_OUT}"
+cargo run --release --quiet -p bench --bin store_bench -- 4 6 "${STORE_OUT}"
+
 echo "==> criterion micro-benches (ckpt, proxy, coll)"
 cargo bench -p bench --bench ckpt --quiet
 cargo bench -p bench --bench proxy --quiet
 cargo bench -p bench --bench coll --quiet
 
-echo "bench.sh: wrote ${OUT}, ${PROXY_OUT}, ${COLL_OUT}, and ${RECOVERY_OUT}"
+echo "bench.sh: wrote ${OUT}, ${PROXY_OUT}, ${COLL_OUT}, ${RECOVERY_OUT}, and ${STORE_OUT}"
