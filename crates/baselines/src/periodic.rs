@@ -166,7 +166,13 @@ pub fn run_periodic_job(
                 let mut tr = RankTrainer::new(exec, cfg.clone(), &per_rank[i], injector.clone())?;
                 let mut resumed_from = 0u64;
                 if resume.is_some() {
-                    let (state, meta) = checkpoint::load_for_rank(&store, job, &layout, rank)?;
+                    let (state, meta, _rstats) = jitckpt::restore::load_for_rank_parallel(
+                        store.as_ref(),
+                        job,
+                        &layout,
+                        rank,
+                        &jitckpt::restore::RestoreConfig::default(),
+                    )?;
                     let t_restore = cost.process_restart
                         + cost.checkpoint_read(
                             meta.logical_bytes,

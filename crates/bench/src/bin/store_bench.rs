@@ -1,6 +1,7 @@
 //! Multi-job storage benchmark: write-behind vs. blocking persistence,
-//! jobs×ranks throughput under churn, gate isolation, and backend
-//! round-trip bit identity, emitted as `BENCH_store.json`.
+//! jobs×ranks throughput under churn, gate isolation, backend
+//! round-trip bit identity, and the serial-vs-parallel restore matrix,
+//! emitted as `BENCH_store.json`.
 //!
 //! ```sh
 //! store_bench [payload_mib] [gens] [out_path]
@@ -77,6 +78,36 @@ fn main() {
     println!(
         "write-behind speedup over blocking (objstore): {:.2}x",
         report.objstore_speedup()
+    );
+    println!();
+    println!(
+        "{:<10} {:>7} {:>6} {:>11} {:>13} {:>9} {:>7} {:>9}",
+        "backend", "shards", "depth", "serial ms", "parallel ms", "speedup", "reads", "fallback"
+    );
+    for r in &report.restore {
+        println!(
+            "{:<10} {:>7} {:>6} {:>11.2} {:>13.2} {:>8.2}x {:>7} {:>9}",
+            r.backend,
+            r.shards,
+            r.delta_depth,
+            r.serial_ms,
+            r.parallel_ms,
+            r.speedup(),
+            r.shard_reads,
+            r.fallback_hits
+        );
+    }
+    println!(
+        "parallel restore speedup over serial (objstore, 16 shards): {:.2}x",
+        report.parallel_restore_speedup_objstore()
+    );
+    println!(
+        "delta list traffic over {} writes: {} scans uncached vs {} with the meta cache \
+         ({} listings saved)",
+        report.list_savings.writes,
+        report.list_savings.scan_lists,
+        report.list_savings.cached_lists,
+        report.list_savings.saved()
     );
 
     if let Err(e) = std::fs::write(&out_path, report.to_json()) {

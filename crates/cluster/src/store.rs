@@ -63,6 +63,28 @@ pub trait StorageBackend: Send + Sync {
     /// Number of object reads (`get`) served so far.
     fn read_count(&self) -> u64;
 
+    /// Number of prefix listings (`list`) served so far. Listings walk
+    /// the whole keyspace on most backends, so callers that can avoid
+    /// them (the delta writer's meta cache) count the savings here.
+    fn list_count(&self) -> u64 {
+        0
+    }
+
+    /// How many `get`s this backend can usefully serve concurrently —
+    /// the parallel-restore fetch pool sizes itself to this hint.
+    /// Transfer-slot-limited backends report their slot count; placement
+    /// layers report the fleet-wide sum. Default: serial.
+    fn read_parallelism(&self) -> usize {
+        1
+    }
+
+    /// Reads that were *not* served by the object's current-ring home —
+    /// e.g. a placement layer finding bytes on a previous epoch's node
+    /// after a rebalance. Always `0` for flat backends.
+    fn fallback_reads(&self) -> u64 {
+        0
+    }
+
     /// Total object count.
     fn object_count(&self) -> usize;
 
@@ -97,6 +119,16 @@ impl StorageBackend for SharedStore {
 
     fn read_count(&self) -> u64 {
         SharedStore::read_count(self)
+    }
+
+    fn list_count(&self) -> u64 {
+        SharedStore::list_count(self)
+    }
+
+    fn read_parallelism(&self) -> usize {
+        // Reads only contend per stripe; the stripe count is the honest
+        // concurrency hint for an in-process map.
+        STRIPES
     }
 
     fn object_count(&self) -> usize {
@@ -139,6 +171,18 @@ impl<T: StorageBackend + ?Sized> StorageBackend for std::sync::Arc<T> {
         (**self).read_count()
     }
 
+    fn list_count(&self) -> u64 {
+        (**self).list_count()
+    }
+
+    fn read_parallelism(&self) -> usize {
+        (**self).read_parallelism()
+    }
+
+    fn fallback_reads(&self) -> u64 {
+        (**self).fallback_reads()
+    }
+
     fn object_count(&self) -> usize {
         (**self).object_count()
     }
@@ -175,6 +219,9 @@ pub struct SharedStore {
     /// this to observe store traffic — e.g. that streamed replica
     /// recovery reads each checkpoint once instead of once per rank.
     reads: std::sync::atomic::AtomicU64,
+    /// Number of `list` calls served (full keyspace walks). The delta
+    /// writer's meta cache exists to shrink this; the bench reports it.
+    lists: std::sync::atomic::AtomicU64,
 }
 
 impl SharedStore {
@@ -262,9 +309,16 @@ impl SharedStore {
         self.stripe(path).write().remove(path);
     }
 
+    /// Number of `list` calls served so far.
+    pub fn list_count(&self) -> u64 {
+        self.lists.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
     /// Lists object paths with a prefix, sorted.
     pub fn list(&self, prefix: impl AsRef<str>) -> Vec<String> {
         let prefix = prefix.as_ref();
+        self.lists
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let mut out: Vec<String> = Vec::new();
         for stripe in &self.stripes {
             out.extend(

@@ -24,8 +24,10 @@
 use crate::object_store::SimObjectStore;
 use cluster::StorageBackend;
 use dltrain::TrainState;
-use jitckpt::checkpoint::{self, CheckpointMeta, CkptKind, ShardConfig, ShardPlan};
+use jitckpt::checkpoint::{self, CheckpointMeta, CkptKind, MetaCache, ShardConfig, ShardPlan};
 use jitckpt::pipeline::{CkptTicket, JobGate, WriteBehind, WriteBehindConfig};
+use jitckpt::restore::{load_for_rank_parallel, RestoreConfig, RestoreStats};
+use simcore::layout::ParallelLayout;
 use simcore::sync::Mutex;
 use simcore::{JobId, RankId, SimResult};
 use std::collections::{BTreeMap, BTreeSet};
@@ -72,6 +74,29 @@ pub struct JobStats {
     pub blocking_writes: AtomicU64,
     /// Objects deleted by retention GC.
     pub gc_deleted: AtomicU64,
+    /// Restores served through [`JobSession::restore_for_rank`].
+    pub restores: AtomicU64,
+    /// Shard `get`s those restores issued (sidecar reads excluded).
+    pub restore_shard_reads: AtomicU64,
+    /// Payload bytes those restores fetched.
+    pub restore_bytes: AtomicU64,
+    /// Reads served off an older placement ring during restores — the
+    /// job raced a rebalance and the ring history covered it.
+    pub restore_fallback_hits: AtomicU64,
+}
+
+impl JobStats {
+    /// Restore read amplification: shard reads per restore. `1.0` per
+    /// shard is the floor; higher means delta chains or churn made the
+    /// job fetch more objects than a single-wave full checkpoint would.
+    pub fn restore_amplification(&self, shards_per_checkpoint: usize) -> f64 {
+        let restores = self.restores.load(Ordering::Relaxed);
+        if restores == 0 || shards_per_checkpoint == 0 {
+            return 0.0;
+        }
+        let reads = self.restore_shard_reads.load(Ordering::Relaxed);
+        reads as f64 / (restores as f64 * shards_per_checkpoint as f64)
+    }
 }
 
 /// A job admitted to the coordinator: the handle its ranks checkpoint
@@ -84,6 +109,12 @@ pub struct JobSession {
     gate: Arc<JobGate>,
     /// Outstanding write-behind tickets; drained on departure.
     tickets: Mutex<Vec<CkptTicket>>,
+    /// Newest-iteration memo per cell: spares delta staging the full
+    /// `store.list` scan of `latest_meta_before` on every checkpoint
+    /// (entries are validated with one targeted sidecar read, scan on
+    /// miss — behavior is identical to the uncached path, only list
+    /// traffic differs).
+    meta_cache: MetaCache,
     stats: JobStats,
 }
 
@@ -122,7 +153,7 @@ impl JobSession {
         state: &TrainState,
     ) -> CkptTicket {
         let cfg = self.spec.shards.auto_sized_for(state);
-        let plan = ShardPlan::stage(
+        let plan = ShardPlan::stage_cached(
             &self.backend,
             self.job,
             kind,
@@ -132,10 +163,13 @@ impl JobSession {
             dp,
             state,
             &cfg,
+            Some(&self.meta_cache),
         );
         let ticket = self
             .pipeline
             .submit_to(&self.backend, &plan, Some(&self.gate));
+        self.meta_cache
+            .record(self.job, kind, stage, part, dp, state.iteration);
         self.stats.submitted.fetch_add(1, Ordering::Relaxed);
         self.tickets.lock().push(ticket.clone());
         ticket
@@ -154,7 +188,8 @@ impl JobSession {
         state: &TrainState,
     ) -> SimResult<()> {
         self.stats.blocking_writes.fetch_add(1, Ordering::Relaxed);
-        checkpoint::write_checkpoint_with(
+        let cfg = self.spec.shards.auto_sized_for(state);
+        let plan = ShardPlan::stage_cached(
             &self.backend,
             self.job,
             kind,
@@ -163,8 +198,43 @@ impl JobSession {
             part,
             dp,
             state,
-            &self.spec.shards.auto_sized_for(state),
-        )
+            &cfg,
+            Some(&self.meta_cache),
+        );
+        checkpoint::write_plan(&self.backend, &plan, cfg.workers)?;
+        self.meta_cache
+            .record(self.job, kind, stage, part, dp, state.iteration);
+        Ok(())
+    }
+
+    /// Restores the resolved checkpoint for `rank` through the parallel
+    /// restore plane, recording read metrics so the coordinator can
+    /// report restore amplification per job
+    /// ([`JobStats::restore_amplification`]).
+    pub fn restore_for_rank(
+        &self,
+        layout: &ParallelLayout,
+        rank: RankId,
+    ) -> SimResult<(TrainState, CheckpointMeta, RestoreStats)> {
+        let out = load_for_rank_parallel(
+            &self.backend,
+            self.job,
+            layout,
+            rank,
+            &RestoreConfig::default(),
+        )?;
+        let stats = &out.2;
+        self.stats.restores.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .restore_shard_reads
+            .fetch_add(stats.shard_reads, Ordering::Relaxed);
+        self.stats
+            .restore_bytes
+            .fetch_add(stats.bytes_fetched, Ordering::Relaxed);
+        self.stats
+            .restore_fallback_hits
+            .fetch_add(stats.fallback_hits, Ordering::Relaxed);
+        Ok(out)
     }
 
     /// Waits until every checkpoint submitted through this session is
@@ -304,6 +374,7 @@ impl Coordinator {
             backend,
             pipeline: self.pipeline.clone(),
             tickets: Mutex::new(Vec::new()),
+            meta_cache: MetaCache::new(),
             stats: JobStats::default(),
             spec,
         });

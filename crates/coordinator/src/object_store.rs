@@ -255,6 +255,16 @@ impl StorageBackend for SimObjectStore {
         self.inner.read_count()
     }
 
+    fn list_count(&self) -> u64 {
+        self.inner.list_count()
+    }
+
+    fn read_parallelism(&self) -> usize {
+        // More concurrent `get`s than transfer slots just queue on the
+        // slot condvar; the slot count is the useful fetch width.
+        self.profile.parallel_streams.max(1)
+    }
+
     fn object_count(&self) -> usize {
         self.inner.len()
     }

@@ -21,6 +21,7 @@ use bytes::Bytes;
 use cluster::StorageBackend;
 use simcore::sync::RwLock;
 use simcore::{SimError, SimResult};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Virtual nodes per physical node: enough to keep the spread within a
@@ -110,6 +111,10 @@ impl Membership {
 /// across rebalances, and supports explicit repair migration.
 pub struct PlacedStore {
     state: RwLock<Membership>,
+    /// Reads served by a node other than the current ring's home —
+    /// restore-amplification visibility after churn ([`StorageBackend::
+    /// fallback_reads`]); `repair` drives this back toward zero.
+    fallback_hits: AtomicU64,
 }
 
 impl PlacedStore {
@@ -123,6 +128,7 @@ impl PlacedStore {
         m.push_ring();
         PlacedStore {
             state: RwLock::new(m),
+            fallback_hits: AtomicU64::new(0),
         }
     }
 
@@ -179,6 +185,12 @@ impl PlacedStore {
 
     /// Resolves `path` across ring history, newest first, deduplicated.
     fn route_history(&self, path: &str) -> Vec<Arc<dyn StorageBackend>> {
+        self.route_history_at(path).1
+    }
+
+    /// [`Self::route_history`] plus the epoch the routes were resolved
+    /// under, so `get` can detect a membership change racing its probes.
+    fn route_history_at(&self, path: &str) -> (u64, Vec<Arc<dyn StorageBackend>>) {
         let m = self.state.read();
         let mut slots = Vec::new();
         for ring in &m.rings {
@@ -188,10 +200,13 @@ impl PlacedStore {
                 }
             }
         }
-        slots
-            .into_iter()
-            .filter_map(|s| m.nodes[s].clone())
-            .collect()
+        (
+            m.epoch,
+            slots
+                .into_iter()
+                .filter_map(|s| m.nodes[s].clone())
+                .collect(),
+        )
     }
 
     /// All live nodes with their slots (route snapshot for scans).
@@ -242,18 +257,36 @@ impl StorageBackend for PlacedStore {
     }
 
     fn get(&self, path: &str) -> SimResult<Bytes> {
-        let candidates = self.route_history(path);
-        if candidates.is_empty() {
-            return Err(SimError::Storage("placement: no live storage nodes".into()));
-        }
-        let mut last = None;
-        for node in candidates {
-            match node.get(path) {
-                Ok(b) => return Ok(b),
-                Err(e) => last = Some(e),
+        // Probing runs with no ring lock held, so `add_node`/`remove_node`/
+        // `repair` can land between resolve and probe — `repair` may even
+        // move the object onto a node *outside* this snapshot. If every
+        // candidate missed but the epoch moved, re-resolve against the new
+        // rings before reporting failure (bounded: churn during one read
+        // is rare, and each retry needs a fresh epoch).
+        for _attempt in 0..(RING_HISTORY * 2) {
+            let (epoch, candidates) = self.route_history_at(path);
+            if candidates.is_empty() {
+                return Err(SimError::Storage("placement: no live storage nodes".into()));
+            }
+            let mut last = None;
+            for (i, node) in candidates.iter().enumerate() {
+                match node.get(path) {
+                    Ok(b) => {
+                        if i > 0 {
+                            self.fallback_hits.fetch_add(1, Ordering::Relaxed);
+                        }
+                        return Ok(b);
+                    }
+                    Err(e) => last = Some(e),
+                }
+            }
+            if self.epoch() == epoch {
+                return Err(last.unwrap_or_else(|| SimError::Storage(format!("{path}: not found"))));
             }
         }
-        Err(last.unwrap_or_else(|| SimError::Storage(format!("{path}: not found"))))
+        Err(SimError::Storage(format!(
+            "{path}: not found (placement churned through every retry)"
+        )))
     }
 
     fn exists(&self, path: &str) -> bool {
@@ -292,6 +325,27 @@ impl StorageBackend for PlacedStore {
             .iter()
             .map(|(_, n)| n.read_count())
             .sum()
+    }
+
+    fn list_count(&self) -> u64 {
+        self.snapshot_nodes()
+            .iter()
+            .map(|(_, n)| n.list_count())
+            .sum()
+    }
+
+    fn read_parallelism(&self) -> usize {
+        // Shards stripe across the fleet by consistent hash, so the
+        // useful fetch width is the sum of per-node read capacity.
+        self.snapshot_nodes()
+            .iter()
+            .map(|(_, n)| n.read_parallelism())
+            .sum::<usize>()
+            .max(1)
+    }
+
+    fn fallback_reads(&self) -> u64 {
+        self.fallback_hits.load(Ordering::Relaxed)
     }
 
     fn object_count(&self) -> usize {

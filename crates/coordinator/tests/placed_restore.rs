@@ -1,20 +1,22 @@
-//! Recovery bit-identity over the simulated object store.
+//! Parallel restore over a placement fleet that churns mid-restore.
 //!
-//! Re-runs the `restore_with_fallback` chain — in-network ledger
-//! replay, streamed replica, store round-trip — with the checkpoint
-//! store swapped for [`SimObjectStore`] running with latency, slow
-//! reads, and injected faults (a torn shard decoy and a silently lost
-//! sidecar decoy newer than the good checkpoint). Every leg must
-//! return state bit-identical to the failed rank's truth: backend
-//! behavior may change *when* recovery completes, never *what* it
-//! recovers.
+//! ROADMAP item-3 follow-on: the `restore_with_fallback` chain —
+//! in-network ledger replay, streamed replica, store round-trip — with
+//! the store leg backed by a [`PlacedStore`] over several
+//! [`SimObjectStore`] nodes, while `add_node`/`remove_node` fire *during*
+//! the restore. The parallel fetch plane must stripe shard reads across
+//! the fleet, survive the epoch bumps via ring-history fallback, and
+//! return state bit-identical to the failed rank's truth; `repair()`
+//! must then converge (no more stragglers) and drive fallback reads back
+//! to zero.
 
 use cluster::{FailureInjector, StorageBackend};
 use collectives::{CommWorld, GradLedger, LedgerConfig};
-use coordinator::{ObjectStoreProfile, SimObjectStore};
+use coordinator::{ObjectStoreProfile, PlacedStore, SimObjectStore};
 use dltrain::trainer::DEFAULT_BUCKET_BYTES;
 use dltrain::{JobSetup, RankTrainer, TrainConfig, TrainState};
 use jitckpt::checkpoint::{self, CkptKind, ShardConfig};
+use jitckpt::restore::{load_for_rank_parallel, RestoreConfig};
 use jitckpt::stream::{
     self, recv_ledger_history, restore_with_fallback, send_ledger_slices, RecoverySource,
 };
@@ -83,28 +85,23 @@ fn replay_replacement(
     tr.state_snapshot()
 }
 
-/// An object store with realistic (but test-fast) latency, slowed
-/// reads, and bandwidth metering.
-fn faulty_object_store() -> SimObjectStore {
-    let os = SimObjectStore::new(ObjectStoreProfile {
-        put_latency: Duration::from_micros(200),
-        get_latency: Duration::from_micros(100),
+/// One fleet node: enough latency to leave a real window for the
+/// mid-restore membership changes, fast enough for a unit test.
+fn fleet_node() -> Arc<dyn StorageBackend> {
+    Arc::new(SimObjectStore::new(ObjectStoreProfile {
+        put_latency: Duration::from_micros(100),
+        get_latency: Duration::from_micros(300),
         bytes_per_sec: 500_000_000,
         parallel_streams: 4,
         put_loss_per_mille: 0,
-        seed: 42,
-    });
-    os.set_slow_reads(3.0);
-    os
+        seed: 7,
+    }))
 }
 
-/// All three fallback legs recover bit-identical state when the store
-/// behind the chain is the simulated object store with faults armed:
-/// two decoy checkpoints newer than the good one (one with a torn
-/// shard, one whose sidecar was silently lost) must be rejected or
-/// invisible, never returned.
+/// All three fallback legs over a placed fleet, with membership churn
+/// racing the store leg's parallel restore, then repair convergence.
 #[test]
-fn all_three_legs_bit_identical_over_faulty_object_store() -> SimResult<()> {
+fn three_legs_with_mid_restore_rebalance() -> SimResult<()> {
     let _guard = serial();
     let cfg = TrainConfig::tiny_dp(4);
     let iters = 4u64;
@@ -112,16 +109,22 @@ fn all_three_legs_bit_identical_over_faulty_object_store() -> SimResult<()> {
     let failed = 0usize;
     let truth = ran[failed].0.clone();
     let cost = CostModel::v100();
+    // Small shards ⇒ many objects ⇒ the consistent hash stripes the
+    // checkpoint across all fleet nodes and a membership change rehomes
+    // a meaningful fraction of them.
     let shard_cfg = ShardConfig {
-        shard_bytes: 1024,
+        shard_bytes: 256,
         ..ShardConfig::default()
     };
 
-    let store = Arc::new(faulty_object_store());
+    let placed = Arc::new(PlacedStore::new(vec![
+        fleet_node(),
+        fleet_node(),
+        fleet_node(),
+    ]));
 
-    // The good checkpoint: a healthy replica's state at `iters`.
     checkpoint::write_checkpoint_with(
-        &*store,
+        &*placed,
         JobId(0),
         CkptKind::Jit,
         RankId(2),
@@ -131,57 +134,17 @@ fn all_three_legs_bit_identical_over_faulty_object_store() -> SimResult<()> {
         &ran[2].0,
         &shard_cfg,
     )?;
-
-    // Decoy 1 (newer): one shard torn mid-write — sidecar completes but
-    // CRC validation must reject the iteration.
-    let mut torn = ran[2].0.clone();
-    torn.iteration = iters + 1;
-    store.tear_next_put_matching(
-        checkpoint::checkpoint_prefix(JobId(0), CkptKind::Jit, iters + 1, 0, 0, 2),
-        0.5,
+    let meta = checkpoint::read_meta(&*placed, JobId(0), CkptKind::Jit, iters, 0, 0, 2)?;
+    assert!(
+        meta.shards.len() >= 16,
+        "want a wide stripe, got {} shards",
+        meta.shards.len()
     );
-    checkpoint::write_checkpoint_with(
-        &*store,
-        JobId(0),
-        CkptKind::Jit,
-        RankId(2),
-        0,
-        0,
-        2,
-        &torn,
-        &shard_cfg,
-    )?;
-
-    // Decoy 2 (newest): the completion sidecar itself is silently lost
-    // — acknowledged, never stored — so the checkpoint must be
-    // invisible to assembly.
-    let mut lost = ran[2].0.clone();
-    lost.iteration = iters + 2;
-    store.lose_next_put_matching(checkpoint::meta_path(
-        JobId(0),
-        CkptKind::Jit,
-        iters + 2,
-        0,
-        0,
-        2,
-    ));
-    checkpoint::write_checkpoint_with(
-        &*store,
-        JobId(0),
-        CkptKind::Jit,
-        RankId(2),
-        0,
-        0,
-        2,
-        &lost,
-        &shard_cfg,
-    )?;
-    assert_eq!(store.lost_puts(), 1, "the sidecar loss must have fired");
 
     let survivors = [1usize, 2, 3];
     let srcs: Vec<RankId> = survivors.iter().map(|&s| RankId(s as u32)).collect();
 
-    // Leg 1: in-network ledger replay; the object store is not read.
+    // Leg 1: in-network ledger replay; the fleet is not read.
     {
         let rw = recovery_world(4);
         for &s in &survivors {
@@ -196,7 +159,7 @@ fn all_three_legs_bit_identical_over_faulty_object_store() -> SimResult<()> {
                 0..iters,
             )?;
         }
-        let reads_before = store.read_count();
+        let reads_before = placed.read_count();
         let (state, source) = restore_with_fallback(
             || {
                 let history = recv_ledger_history(
@@ -215,11 +178,11 @@ fn all_three_legs_bit_identical_over_faulty_object_store() -> SimResult<()> {
         )?;
         assert_eq!(source, RecoverySource::InNetwork);
         assert_eq!(state_bits(&state), state_bits(&truth));
-        assert_eq!(store.read_count(), reads_before);
+        assert_eq!(placed.read_count(), reads_before);
     }
 
-    // Leg 2: ledger coverage lost (only ranks 2,3 survive) ⇒ streamed
-    // replica; still no object-store reads.
+    // Leg 2: ledger coverage lost ⇒ streamed replica; still no fleet
+    // reads.
     {
         let rw = recovery_world(4);
         let pair = [2usize, 3];
@@ -246,7 +209,7 @@ fn all_three_legs_bit_identical_over_faulty_object_store() -> SimResult<()> {
             &ran[2].0,
             4096,
         )?;
-        let reads_before = store.read_count();
+        let reads_before = placed.read_count();
         let (state, source) = restore_with_fallback(
             || {
                 let history = recv_ledger_history(
@@ -270,16 +233,19 @@ fn all_three_legs_bit_identical_over_faulty_object_store() -> SimResult<()> {
                     Duration::from_secs(5),
                 )
             },
-            || panic!("streamed replica succeeded; the store must stay untouched"),
+            || panic!("streamed replica succeeded; the fleet must stay untouched"),
         )?;
         assert_eq!(source, RecoverySource::StreamedReplica);
         assert_eq!(state_bits(&state), state_bits(&truth));
-        assert_eq!(store.read_count(), reads_before);
+        assert_eq!(placed.read_count(), reads_before);
     }
 
-    // Leg 3: stream truncated too ⇒ object-store round-trip. Assembly
-    // must skip both decoys (torn shard, lost sidecar) and land on the
-    // good iteration, bit-identically, despite latency and slow reads.
+    // Leg 3: stream truncated too ⇒ fleet round-trip through the
+    // parallel plane, with `add_node`/`remove_node` firing *while* the
+    // fetch pool is striping shard reads. The churned node is empty, so
+    // removing it again loses nothing — but each change bumps the epoch
+    // and rehomes keyspace, exercising ring-history fallback and the
+    // epoch-retry loop concurrently with the restore.
     {
         let rw = recovery_world(4);
         let pair = [2usize, 3];
@@ -307,6 +273,17 @@ fn all_three_legs_bit_identical_over_faulty_object_store() -> SimResult<()> {
             4096,
             1,
         )?;
+        let churner = {
+            let placed = placed.clone();
+            std::thread::spawn(move || {
+                for _ in 0..4 {
+                    let slot = placed.add_node(fleet_node());
+                    std::thread::sleep(Duration::from_micros(400));
+                    placed.remove_node(slot);
+                    std::thread::sleep(Duration::from_micros(400));
+                }
+            })
+        };
         let (state, source) = restore_with_fallback(
             || {
                 let history = recv_ledger_history(
@@ -331,23 +308,63 @@ fn all_three_legs_bit_identical_over_faulty_object_store() -> SimResult<()> {
                 )
             },
             || {
-                jitckpt::restore::load_for_rank_parallel(
-                    &*store,
+                load_for_rank_parallel(
+                    &*placed,
                     JobId(0),
                     &cfg.layout,
                     RankId(failed as u32),
-                    &jitckpt::restore::RestoreConfig::default(),
+                    &RestoreConfig::default(),
                 )
                 .map(|(state, _, _)| state)
             },
         )?;
+        churner.join().expect("churn thread panicked");
         assert_eq!(source, RecoverySource::Store);
-        assert_eq!(
-            state.iteration, truth.iteration,
-            "assembly must reject both newer decoys"
-        );
         assert_eq!(state_bits(&state), state_bits(&truth));
-        assert!(store.read_count() > 0, "the store leg must read the store");
+        assert!(placed.read_count() > 0, "the store leg must read the fleet");
+    }
+
+    // Deterministic rebalance: a permanent membership change rehomes a
+    // chunk of the keyspace, so a restore *must* lean on ring-history
+    // fallback; `repair()` then migrates every straggler home and a
+    // fresh restore runs fallback-free.
+    {
+        placed.add_node(fleet_node());
+        let (state, _, stats) = load_for_rank_parallel(
+            &*placed,
+            JobId(0),
+            &cfg.layout,
+            RankId(failed as u32),
+            &RestoreConfig::default(),
+        )?;
+        assert_eq!(state_bits(&state), state_bits(&truth));
+        assert!(
+            stats.fallback_hits > 0,
+            "post-rebalance restore should hit older rings (stats: {stats:?})"
+        );
+
+        let mut rounds = 0;
+        loop {
+            let moved = placed.repair("ckpt/");
+            rounds += 1;
+            if moved == 0 {
+                break;
+            }
+            assert!(rounds < 8, "repair must converge, still moving objects");
+        }
+
+        let (state, _, stats) = load_for_rank_parallel(
+            &*placed,
+            JobId(0),
+            &cfg.layout,
+            RankId(failed as u32),
+            &RestoreConfig::default(),
+        )?;
+        assert_eq!(state_bits(&state), state_bits(&truth));
+        assert_eq!(
+            stats.fallback_hits, 0,
+            "after repair every shard reads from its home node (stats: {stats:?})"
+        );
     }
     Ok(())
 }

@@ -51,7 +51,7 @@ use simcore::{JobId, RankId, SimError, SimResult};
 use std::collections::BTreeMap;
 
 /// Checkpoint flavor (JIT-on-failure or periodic), part of the path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum CkptKind {
     /// Just-in-time checkpoint, written after failure detection.
     Jit,
@@ -418,6 +418,27 @@ impl ShardPlan {
         state: &TrainState,
         cfg: &ShardConfig,
     ) -> ShardPlan {
+        Self::stage_cached(store, job, kind, rank, stage, part, dp, state, cfg, None)
+    }
+
+    /// [`Self::stage`] with a writer-side [`MetaCache`]: a cache hit
+    /// resolves the delta base with one targeted sidecar `get` instead
+    /// of a full `store.list` keyspace walk. Misses (cold cache, sidecar
+    /// not yet durable, lost put) fall back to the scan, so behavior is
+    /// identical to the uncached path — only the list traffic differs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn stage_cached<S: StorageBackend + ?Sized>(
+        store: &S,
+        job: JobId,
+        kind: CkptKind,
+        rank: RankId,
+        stage: usize,
+        part: usize,
+        dp: usize,
+        state: &TrainState,
+        cfg: &ShardConfig,
+        cache: Option<&MetaCache>,
+    ) -> ShardPlan {
         let shard_bytes = cfg.shard_bytes.max(1);
         // Encode the logical stream once; shards are zero-copy slices of
         // it. Pre-sizing to the exact encoded length avoids growing a
@@ -439,7 +460,14 @@ impl ShardPlan {
         // rejects that shard by index and assembly falls back, exactly
         // as for any other incomplete checkpoint.
         let base = if cfg.delta && cfg.max_delta_chain > 0 {
-            latest_meta_before(store, job, kind, state.iteration, stage, part, dp)
+            cache
+                .and_then(|c| c.newest_before(job, kind, state.iteration, stage, part, dp))
+                // A remembered iteration is only a *candidate*: its
+                // sidecar may still be queued behind the write-behind
+                // pipeline or silently lost by the backend. The targeted
+                // read confirms durability; failure falls to the scan.
+                .and_then(|it| read_meta(store, job, kind, it, stage, part, dp).ok())
+                .or_else(|| latest_meta_before(store, job, kind, state.iteration, stage, part, dp))
                 .filter(|m| m.shard_bytes == shard_bytes as u64 && m.shards.len() == n)
                 // Chain cap: extending this base would make the run
                 // `base.delta_depth + 1` long; past the cap, write full.
@@ -560,6 +588,18 @@ pub fn write_checkpoint_with<S: StorageBackend + ?Sized>(
     cfg: &ShardConfig,
 ) -> SimResult<()> {
     let plan = ShardPlan::stage(store, job, kind, rank, stage, part, dp, state, cfg);
+    write_plan(store, &plan, cfg.workers)
+}
+
+/// Persists an already-staged [`ShardPlan`]: shard objects first (fanned
+/// out across a bounded worker pool), then the metadata sidecar. Split
+/// out of [`write_checkpoint_with`] so callers that stage through a
+/// [`MetaCache`] (the coordinator's blocking path) share the pool body.
+pub fn write_plan<S: StorageBackend + ?Sized>(
+    store: &S,
+    plan: &ShardPlan,
+    workers: usize,
+) -> SimResult<()> {
     let n = plan.n_shards();
 
     // Bounded worker pool ([`simcore::pool::fan_out`]): each worker CRCs
@@ -567,7 +607,7 @@ pub fn write_checkpoint_with<S: StorageBackend + ?Sized>(
     // ShardMeta into an index-addressed slot.
     let results: Mutex<Vec<Option<SimResult<ShardMeta>>>> =
         Mutex::new((0..n).map(|_| None).collect());
-    simcore::pool::fan_out(n, cfg.workers.min(n), "ckpt-shard", |i| {
+    simcore::pool::fan_out(n, workers.min(n), "ckpt-shard", |i| {
         let (meta, upload) = plan.resolve_shard(i);
         let res = match upload {
             None => Ok(meta),
@@ -640,6 +680,71 @@ fn latest_meta_before<S: StorageBackend + ?Sized>(
     read_meta(store, job, kind, best?, stage, part, dp).ok()
 }
 
+/// Writer-side memo of the newest checkpoint iteration per cell+replica.
+///
+/// [`latest_meta_before`] answers "what is this cell's newest prior
+/// sidecar?" with a full `store.list` of the job's keyspace — paths put
+/// the iteration *before* the cell, so no prefix can narrow the walk,
+/// and the cost grows with job age and is paid on **every** delta write.
+/// But the long-lived writer (the coordinator's [`JobSession`]) already
+/// knows the answer: it is the iteration it last wrote. This cache
+/// remembers exactly that — the newest-iteration *number*, never the
+/// sidecar bytes — and [`ShardPlan::stage_cached`] turns it into one
+/// targeted sidecar `get`, validated against the store before use, so a
+/// stale or never-landed entry degrades to the scan instead of to a
+/// wrong delta base.
+///
+/// [`JobSession`]: ../../coordinator/struct.JobSession.html
+/// One writer cell: `(job, kind, stage, part, dp)`.
+type CellKey = (u32, CkptKind, usize, usize, usize);
+
+#[derive(Debug, Default)]
+pub struct MetaCache {
+    /// Cell → newest iteration recorded.
+    cells: Mutex<BTreeMap<CellKey, u64>>,
+}
+
+impl MetaCache {
+    /// An empty cache.
+    pub fn new() -> MetaCache {
+        MetaCache::default()
+    }
+
+    /// Records `iteration` as the cell's newest write (keeps the max, so
+    /// out-of-order recording — e.g. concurrent ranks of one dp group —
+    /// cannot move the answer backwards).
+    pub fn record(
+        &self,
+        job: JobId,
+        kind: CkptKind,
+        stage: usize,
+        part: usize,
+        dp: usize,
+        iteration: u64,
+    ) {
+        let mut cells = self.cells.lock();
+        let slot = cells.entry((job.0, kind, stage, part, dp)).or_insert(0);
+        *slot = (*slot).max(iteration);
+    }
+
+    /// The newest recorded iteration strictly before `before`, if any.
+    fn newest_before(
+        &self,
+        job: JobId,
+        kind: CkptKind,
+        before: u64,
+        stage: usize,
+        part: usize,
+        dp: usize,
+    ) -> Option<u64> {
+        self.cells
+            .lock()
+            .get(&(job.0, kind, stage, part, dp))
+            .copied()
+            .filter(|it| *it < before)
+    }
+}
+
 /// Reads and fully validates one checkpoint (metadata present, every
 /// shard present with matching length and CRC — resolving delta
 /// references — and the reassembled payload decodes).
@@ -659,6 +764,28 @@ pub fn read_checkpoint<S: StorageBackend + ?Sized>(
 ) -> SimResult<(TrainState, CheckpointMeta)> {
     let meta = read_meta(store, job, kind, iteration, stage, part, dp)?;
     let prefix = checkpoint_prefix(job, kind, iteration, stage, part, dp);
+    precheck_meta(&meta, &prefix)?;
+    let mut bad: Vec<String> = Vec::new();
+    let mut stream = BytesMut::with_capacity(meta.payload_len as usize);
+    for (i, sm) in meta.shards.iter().enumerate() {
+        if sm.index as usize != i {
+            bad.push(format!("shard {i}: sidecar index out of order"));
+            continue;
+        }
+        let holder = sm.base_iteration.unwrap_or(meta.iteration);
+        let path = shard_path(job, kind, holder, stage, part, dp, sm.index);
+        match verify_shard(i, sm, holder, store.get(&path)) {
+            Ok(obj) => stream.put_slice(&obj),
+            Err(blame) => bad.push(blame),
+        }
+    }
+    finish_restore(&prefix, meta, stream, bad)
+}
+
+/// Sidecar-level validation shared by the serial and parallel readers:
+/// a sidecar must list shards, and the shard *set* must match its
+/// binding CRC before any shard object is fetched.
+pub(crate) fn precheck_meta(meta: &CheckpointMeta, prefix: &str) -> SimResult<()> {
     if meta.shards.is_empty() {
         return Err(SimError::CorruptCheckpoint(format!(
             "{prefix}: sidecar lists no shards"
@@ -669,36 +796,50 @@ pub fn read_checkpoint<S: StorageBackend + ?Sized>(
             "{prefix}: shard-set checksum mismatch in sidecar"
         )));
     }
-    let mut bad: Vec<String> = Vec::new();
-    let mut stream = BytesMut::with_capacity(meta.payload_len as usize);
-    for (i, sm) in meta.shards.iter().enumerate() {
-        if sm.index as usize != i {
-            bad.push(format!("shard {i}: sidecar index out of order"));
-            continue;
-        }
-        let holder = sm.base_iteration.unwrap_or(meta.iteration);
-        let path = shard_path(job, kind, holder, stage, part, dp, sm.index);
-        match store.get(&path) {
-            Err(_) => bad.push(if sm.base_iteration.is_some() {
-                format!("shard {i}: missing delta base object (it{holder})")
+    Ok(())
+}
+
+/// Validates one fetched shard against its sidecar record, returning the
+/// payload or the by-index blame string. One function serves both read
+/// paths so the parallel plane's error contract is bit-identical to the
+/// serial one by construction, not by convention.
+pub(crate) fn verify_shard(
+    i: usize,
+    sm: &ShardMeta,
+    holder: u64,
+    fetched: SimResult<Bytes>,
+) -> Result<Bytes, String> {
+    match fetched {
+        Err(_) => Err(if sm.base_iteration.is_some() {
+            format!("shard {i}: missing delta base object (it{holder})")
+        } else {
+            format!("shard {i}: missing object")
+        }),
+        Ok(obj) => {
+            if obj.len() as u64 != sm.len {
+                Err(format!(
+                    "shard {i}: truncated ({} of {} bytes)",
+                    obj.len(),
+                    sm.len
+                ))
+            } else if simcore::codec::crc64(&obj) != sm.crc {
+                Err(format!("shard {i}: checksum mismatch"))
             } else {
-                format!("shard {i}: missing object")
-            }),
-            Ok(obj) => {
-                if obj.len() as u64 != sm.len {
-                    bad.push(format!(
-                        "shard {i}: truncated ({} of {} bytes)",
-                        obj.len(),
-                        sm.len
-                    ));
-                } else if simcore::codec::crc64(&obj) != sm.crc {
-                    bad.push(format!("shard {i}: checksum mismatch"));
-                } else {
-                    stream.put_slice(&obj);
-                }
+                Ok(obj)
             }
         }
     }
+}
+
+/// Final assembly checks shared by both readers: aggregate the per-shard
+/// blame, then verify reassembled length, decode, trailing bytes, and
+/// the sidecar-vs-payload iteration binding.
+pub(crate) fn finish_restore(
+    prefix: &str,
+    meta: CheckpointMeta,
+    stream: BytesMut,
+    bad: Vec<String>,
+) -> SimResult<(TrainState, CheckpointMeta)> {
     if !bad.is_empty() {
         return Err(SimError::CorruptCheckpoint(format!(
             "{prefix}: {} of {} shards invalid [{}]",
@@ -768,8 +909,22 @@ fn complete_iterations_for_cell<S: StorageBackend + ?Sized>(
         if out.contains_key(&iteration) {
             continue;
         }
-        // Validate before accepting: a torn write must not count.
-        if read_checkpoint(store, job, kind, iteration, stage, part, dp).is_ok() {
+        // Validate before accepting: a torn write must not count. The
+        // parallel restore plane fetches the candidate's shards — on a
+        // latency-bound backend, candidate validation is the dominant
+        // assemble cost and overlaps the same way a real restore does.
+        let valid = crate::restore::read_checkpoint_parallel(
+            store,
+            job,
+            kind,
+            iteration,
+            stage,
+            part,
+            dp,
+            &crate::restore::RestoreConfig::default(),
+        )
+        .is_ok();
+        if valid {
             out.insert(iteration, dp);
         }
     }

@@ -34,6 +34,9 @@
 //! * [`stream`] — pipelined replica-to-replica recovery state transfer
 //!   (CRC-framed codec shards rank-to-rank, replacing the per-rank
 //!   store round-trip on restore);
+//! * [`restore`] — the parallel restore plane: bounded shard fetch pool
+//!   with in-order fan-in verify/decode, delta-chain prefetch, and
+//!   multi-source striping across placed storage nodes;
 //! * [`analysis`] — the §5 wasted-work model (optimal frequency,
 //!   eq. 1–10, dollar costs);
 //! * [`workloads`] — the Table 2 workload catalog with calibration.
@@ -41,6 +44,7 @@
 pub mod analysis;
 pub mod checkpoint;
 pub mod pipeline;
+pub mod restore;
 pub mod stream;
 pub mod transparent;
 pub mod user_level;
@@ -48,6 +52,7 @@ pub mod workloads;
 
 pub use checkpoint::{jit_get_checkpoint_path, CkptKind};
 pub use pipeline::{CkptTicket, JobGate, WriteBehind, WriteBehindConfig};
+pub use restore::{load_for_rank_parallel, read_checkpoint_parallel, RestoreConfig, RestoreStats};
 pub use transparent::{RecoveryReport, TransparentEngine};
 pub use user_level::{JitUserClient, JitUserConfig};
 pub use workloads::{catalog, Workload};

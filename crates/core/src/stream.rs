@@ -19,7 +19,8 @@
 //! framed while shard `k` is in flight and shard `k−1` is being
 //! applied. Any stall, abort, or corruption on the stream degrades
 //! safely: the receiver falls back to the store-based restore path
-//! (`checkpoint::load_for_rank`).
+//! ([`crate::restore::load_for_rank_parallel`], which fetches shards
+//! through a bounded concurrent pool).
 
 use bytes::{Bytes, BytesMut};
 use collectives::ledger::{retained_ranges, GradLedger};
@@ -624,8 +625,9 @@ pub enum RecoverySource {
     /// Streamed rank-to-rank from a healthy replica's restored state
     /// (the PR 5 path; one store read, by the owner only).
     StreamedReplica,
-    /// Full store round-trip (`checkpoint::load_for_rank`) — the §3.3
-    /// baseline and the last resort.
+    /// Full store round-trip — the §3.3 baseline and the last resort,
+    /// fetched through the parallel restore plane
+    /// ([`crate::restore::load_for_rank_parallel`]).
     Store,
 }
 

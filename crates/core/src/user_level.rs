@@ -332,8 +332,13 @@ pub fn run_user_level_job(
                         });
                         let gpn = cost.gpu.gpus_per_node();
                         if !jit.stream_recovery || rank == owner {
-                            let (state, meta) =
-                                checkpoint::load_for_rank(&store, job, &layout, rank)?;
+                            let (state, meta, _rstats) = crate::restore::load_for_rank_parallel(
+                                store.as_ref(),
+                                job,
+                                &layout,
+                                rank,
+                                &crate::restore::RestoreConfig::default(),
+                            )?;
                             let t_restore = cost.process_restart
                                 + cost.checkpoint_read(
                                     meta.logical_bytes,
@@ -399,9 +404,16 @@ pub fn run_user_level_job(
                                 Ok(state) => state,
                                 Err(_) => {
                                     // Dead or corrupt replica stream:
-                                    // §3.3 store round-trip instead.
-                                    let (state, meta) =
-                                        checkpoint::load_for_rank(&store, job, &layout, rank)?;
+                                    // §3.3 store round-trip instead,
+                                    // through the parallel fetch plane.
+                                    let (state, meta, _rstats) =
+                                        crate::restore::load_for_rank_parallel(
+                                            store.as_ref(),
+                                            job,
+                                            &layout,
+                                            rank,
+                                            &crate::restore::RestoreConfig::default(),
+                                        )?;
                                     tr.exec.clock().advance(
                                         i,
                                         cost.checkpoint_read(

@@ -306,8 +306,14 @@ fn adjacent_pair_failure_falls_back_to_streamed_replica_then_store() {
                 )
             },
             || {
-                checkpoint::load_for_rank(&store, JobId(0), &cfg.layout, RankId(failed as u32))
-                    .map(|(state, _)| state)
+                jitckpt::restore::load_for_rank_parallel(
+                    &store,
+                    JobId(0),
+                    &cfg.layout,
+                    RankId(failed as u32),
+                    &jitckpt::restore::RestoreConfig::default(),
+                )
+                .map(|(state, _, _)| state)
             },
         )
         .unwrap();

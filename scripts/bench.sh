@@ -23,8 +23,12 @@
 #   BENCH_store.json — multi-job coordinator persistence: write-behind
 #                      vs blocking at equal durability over both
 #                      storage backends, the jobs×ranks throughput
-#                      ladder under churn, per-job gate isolation, and
-#                      backend round-trip bit identity.
+#                      ladder under churn, per-job gate isolation,
+#                      backend round-trip bit identity, the restore
+#                      matrix (serial vs parallel fetch across backends
+#                      × shard counts × delta depths, incl. a placed
+#                      fleet rebalanced mid-matrix), and the delta
+#                      writer's meta-cache list-traffic savings.
 #
 # Optional args pass through to the checkpoint bench:
 #

@@ -40,7 +40,9 @@ cargo run --release --quiet -p bench --bin coll_bench -- 2 1 target/BENCH_coll.s
 echo '==> recovery_bench smoke (full matrix is sub-second, throwaway output)'
 cargo run --release --quiet -p bench --bin recovery_bench -- target/BENCH_recovery.smoke.json
 
-echo '==> store_bench smoke (1 MiB payload, 2 generations, throwaway output)'
+echo '==> store_bench smoke (1 MiB payload, 2 generations, incl. restore matrix, throwaway output)'
 cargo run --release --quiet -p bench --bin store_bench -- 1 2 target/BENCH_store.smoke.json
+grep -q '"restore": \[' target/BENCH_store.smoke.json \
+    || { echo 'check.sh: store_bench smoke output lacks the restore section' >&2; exit 1; }
 
 echo 'check.sh: all gates passed'
